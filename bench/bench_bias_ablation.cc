@@ -1,0 +1,73 @@
+// Section 4.2 ablation: argument biasing. The paper's methodology is to introduce bias
+// only "where we have quantitative evidence that it is beneficial", citing read/write
+// sizes close to the disk page size as the example. This bench provides that
+// quantitative evidence for this code base: detection probability of the two
+// page-corner bugs (#1 frame-aligned, #10 trailer-aligned) with the size/key biasing
+// on vs off (uniform arguments), at equal budgets.
+//
+//   $ ./build/bench/bench_bias_ablation
+
+#include <cstdio>
+
+#include "src/faults/faults.h"
+#include "src/harness/kv_harness.h"
+
+using namespace ss;
+
+namespace {
+
+double DetectionRate(SeededBug bug, bool bias, bool crashes, size_t budget, int trials) {
+  int detected = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    ScopedBug scope(bug);
+    KvHarnessOptions options;
+    options.bias_arguments = bias;
+    options.crashes = crashes;
+    KvConformanceHarness harness(options);
+    PbtConfig config;
+    config.seed = 500 + static_cast<uint64_t>(trial);
+    config.num_cases = budget;
+    config.max_ops = 80;
+    config.max_shrink_runs = 0;  // detection only
+    if (harness.MakeRunner(config).Run().has_value()) {
+      ++detected;
+    }
+  }
+  return static_cast<double>(detected) / trials;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Section 4.2 ablation: argument biasing on vs off ===\n");
+  printf("(bias = key reuse + value sizes near page-size corners; off = uniform)\n\n");
+
+  struct Row {
+    SeededBug bug;
+    const char* name;
+    bool crashes;
+  };
+  const Row rows[] = {
+      {SeededBug::kReclaimOffByOnePageSize, "#1 frame ends exactly on a page boundary",
+       false},
+      {SeededBug::kReclaimUuidCollision, "#10 trailing UUID spills onto the next page",
+       true},
+      {SeededBug::kCacheNotDrainedOnReset, "#2 (control: not size-sensitive)", false},
+  };
+
+  const int kTrials = 15;
+  printf("%-46s %10s %12s %12s\n", "seeded bug", "budget", "P | bias on", "P | bias off");
+  for (const Row& row : rows) {
+    for (size_t budget : {200ul, 1000ul}) {
+      const double with_bias = DetectionRate(row.bug, true, row.crashes, budget, kTrials);
+      const double without = DetectionRate(row.bug, false, row.crashes, budget, kTrials);
+      printf("%-46s %10zu %12.2f %12.2f\n", row.name, budget, with_bias, without);
+    }
+  }
+
+  printf("\n(the paper's methodology: \"trust default randomness wherever possible, and\n"
+         " only introduce bias where we have quantitative evidence that it is\n"
+         " beneficial\" — the page-corner bugs are that evidence; the control bug is\n"
+         " found either way.)\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Section 5 ablation ("Block-level crash states"): coarse sampled DirtyReboots vs the
+// exhaustive block-level crash-state enumerator. The paper implemented the exhaustive
+// variant, found it caught nothing the sampled checks missed, and measured it
+// dramatically slower — this bench reproduces that comparison on this code base.
+//
+//   $ ./build/bench/bench_crash_enumeration
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/faults/faults.h"
+#include "src/harness/crash_enum.h"
+
+using namespace ss;
+
+namespace {
+
+KvOp Put(ShardId id, size_t size, uint8_t tag) {
+  KvOp op;
+  op.kind = KvOpKind::kPut;
+  op.id = id;
+  op.value = Bytes(size, tag);
+  return op;
+}
+
+KvOp Simple(KvOpKind kind, uint32_t arg = 0) {
+  KvOp op;
+  op.kind = kind;
+  op.arg = arg;
+  return op;
+}
+
+std::vector<KvOp> Workload(int puts) {
+  // Larger values spread the chunks over several extents, which multiplies the number
+  // of independent writeback domains — and with it the crash-state count.
+  std::vector<KvOp> ops;
+  for (int i = 0; i < puts; ++i) {
+    ops.push_back(Put(static_cast<ShardId>(i), 500 + 450 * static_cast<size_t>(i),
+                      static_cast<uint8_t>(i)));
+    if (i == puts / 2) {
+      ops.push_back(Simple(KvOpKind::kFlushIndex));
+    }
+  }
+  ops.push_back(Simple(KvOpKind::kFlushIndex));
+  return ops;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// The sampled baseline: N random crash states of the same workload, via the regular
+// section-5 harness machinery (one DirtyReboot per run).
+bool SampledDetects(const std::vector<KvOp>& workload, size_t samples, size_t* runs) {
+  KvHarnessOptions options;
+  KvConformanceHarness harness(options);
+  for (size_t i = 0; i < samples; ++i) {
+    std::vector<KvOp> ops = workload;
+    KvOp crash;
+    crash.kind = KvOpKind::kDirtyReboot;
+    crash.arg = static_cast<uint32_t>(0x9e3779b9u * (i + 1));
+    ops.push_back(crash);
+    ++*runs;
+    if (harness.Run(ops).has_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Section 5 ablation: sampled DirtyReboot vs exhaustive block-level"
+         " enumeration ===\n\n");
+
+  for (int puts : {1, 2, 4, 6}) {
+    const std::vector<KvOp> workload = Workload(puts);
+    CrashEnumOptions options;
+    options.max_states = 120000;
+
+    auto start = std::chrono::steady_clock::now();
+    CrashEnumResult exhaustive = EnumerateCrashStates(workload, options);
+    const double enum_seconds = Seconds(start);
+
+    start = std::chrono::steady_clock::now();
+    size_t sampled_runs = 0;
+    const bool sampled_found = SampledDetects(workload, 100, &sampled_runs);
+    const double sample_seconds = Seconds(start);
+
+    printf("workload: %d put(s) + index flush\n", puts);
+    printf("  exhaustive: %8zu crash states, %7.2f s  (%s, violations: %s)\n",
+           exhaustive.states_explored, enum_seconds,
+           exhaustive.exhausted ? "exhausted" : "cap hit",
+           exhaustive.violation.has_value() ? exhaustive.violation->c_str() : "none");
+    printf("  sampled:    %8zu random crashes, %5.2f s  (violations: %s)\n\n",
+           sampled_runs, sample_seconds, sampled_found ? "FOUND" : "none");
+  }
+
+  // Detection power check: both approaches catch seeded crash bug #8; the exhaustive
+  // one finds nothing extra on correct code (the paper's conclusion for keeping the
+  // coarse approach as the default).
+  printf("detection check with seeded bug #8 (missing soft-pointer dependency):\n");
+  {
+    ScopedBug bug(SeededBug::kWriteMissingSoftPointerDep);
+    const std::vector<KvOp> workload = Workload(1);
+    CrashEnumOptions options;
+    options.max_states = 120000;
+    auto start = std::chrono::steady_clock::now();
+    CrashEnumResult exhaustive = EnumerateCrashStates(workload, options);
+    printf("  exhaustive: %s after %zu states (%.2f s)\n",
+           exhaustive.violation.has_value() ? "DETECTED" : "missed",
+           exhaustive.states_explored, Seconds(start));
+    start = std::chrono::steady_clock::now();
+    size_t sampled_runs = 0;
+    const bool sampled_found = SampledDetects(workload, 100, &sampled_runs);
+    printf("  sampled:    %s after %zu random crashes (%.2f s)\n",
+           sampled_found ? "DETECTED" : "missed", sampled_runs, Seconds(start));
+  }
+
+  printf("\n(paper: \"this exhaustive approach has not found additional bugs and is\n"
+         " dramatically slower to test, so we do not use it by default\" — the state\n"
+         " count grows exponentially with pending IO while random sampling covers the\n"
+         " interesting states almost immediately.)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 6 reproduction: lines of code for implementation and validation artifacts.
+// Walks this repository's sources and prints the same category breakdown the paper
+// reports for ShardStore (implementation / unit+integration tests / reference models /
+// functional-correctness checks / crash-consistency checks / concurrency checks).
+//
+// The source root is baked in at configure time (SS_SOURCE_DIR); pass a path to
+// override:  $ ./build/bench/bench_fig6_loc [repo_root]
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+#ifndef SS_SOURCE_DIR
+#define SS_SOURCE_DIR "."
+#endif
+
+namespace {
+
+size_t CountLines(const fs::path& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  return lines;
+}
+
+bool IsSource(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(SS_SOURCE_DIR);
+  if (!fs::exists(root / "src")) {
+    printf("source root %s has no src/ directory\n", root.string().c_str());
+    return 1;
+  }
+
+  // Category rules, mirroring the paper's Figure 6 rows.
+  struct Rule {
+    const char* category;
+    std::vector<std::string> prefixes;  // repo-relative path prefixes
+  };
+  const std::vector<Rule> rules = {
+      // Validation artifacts first (more specific prefixes win by order).
+      {"Reference models (sec 3.2)", {"src/model"}},
+      {"Functional correctness checks (sec 4)",
+       {"src/pbt", "src/harness/kv_harness", "src/harness/component_harness",
+        "src/harness/rpc_harness", "src/harness/fig5", "tests/conformance_test",
+        "tests/fig5_test", "tests/pbt_test"}},
+      {"Crash consistency checks (sec 5)", {"tests/crash_test"}},
+      {"Concurrency checks (sec 6)",
+       {"src/mc", "src/harness/concurrency", "tests/concurrency_test", "tests/mc_test"}},
+      {"Unit & integration tests", {"tests/"}},
+      {"Implementation", {"src/", "examples/", "bench/"}},
+  };
+
+  std::map<std::string, size_t> totals;
+  std::map<std::string, size_t> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file() || !IsSource(entry.path())) {
+      continue;
+    }
+    const std::string rel = fs::relative(entry.path(), root).generic_string();
+    if (rel.rfind("build", 0) == 0) {
+      continue;
+    }
+    for (const Rule& rule : rules) {
+      bool matched = false;
+      for (const std::string& prefix : rule.prefixes) {
+        if (rel.rfind(prefix, 0) == 0) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        totals[rule.category] += CountLines(entry.path());
+        files[rule.category] += 1;
+        break;
+      }
+    }
+  }
+
+  printf("=== Figure 6: lines of code (this reproduction) ===\n\n");
+  printf("%-42s %8s %7s\n", "Component", "Lines", "Files");
+  printf("------------------------------------------------------------\n");
+  const std::vector<const char*> order = {
+      "Implementation",
+      "Unit & integration tests",
+      "Reference models (sec 3.2)",
+      "Functional correctness checks (sec 4)",
+      "Crash consistency checks (sec 5)",
+      "Concurrency checks (sec 6)",
+  };
+  size_t total = 0;
+  for (const char* category : order) {
+    printf("%-42s %8zu %7zu\n", category, totals[category], files[category]);
+    total += totals[category];
+  }
+  printf("------------------------------------------------------------\n");
+  printf("%-42s %8zu\n\n", "Total", total);
+
+  const size_t validation = totals["Reference models (sec 3.2)"] +
+                            totals["Functional correctness checks (sec 4)"] +
+                            totals["Crash consistency checks (sec 5)"] +
+                            totals["Concurrency checks (sec 6)"];
+  const size_t implementation = totals["Implementation"];
+  if (implementation > 0 && total > 0) {
+    printf("validation artifacts: %.0f%% of the code base, %.0f%% of implementation size\n",
+           100.0 * static_cast<double>(validation) / static_cast<double>(total),
+           100.0 * static_cast<double>(validation) / static_cast<double>(implementation));
+    printf("(paper: 13%% of code base, 20%% of implementation — far below the 3-10x\n");
+    printf(" overhead of full verification)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Storage-node microbenchmarks: put/get/delete throughput across value sizes, flush
+// and compaction cost, reclamation cost, and recovery time. Not a paper table —
+// supporting measurements that size the substrate the validation work runs against.
+//
+//   $ ./build/bench/bench_kv_ops
+
+#include <benchmark/benchmark.h>
+
+#include "src/kv/shard_store.h"
+
+using namespace ss;
+
+namespace {
+
+DiskGeometry BenchGeometry() {
+  return DiskGeometry{.extent_count = 128, .pages_per_extent = 64, .page_size = 256};
+}
+
+Bytes MakeValue(size_t size, uint8_t tag) {
+  Bytes out(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>(tag + i);
+  }
+  return out;
+}
+
+void BM_Put(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  Bytes value = MakeValue(value_size, 1);
+  ShardId id = 0;
+  for (auto _ : state) {
+    // Overwrite a rotating set of keys so the index stays bounded.
+    auto dep = store->Put(id++ % 64, value);
+    if (!dep.ok()) {
+      // Disk pressure: flush, reclaim, continue.
+      state.PauseTiming();
+      (void)store->FlushAll();
+      for (int i = 0; i < 8; ++i) {
+        (void)store->ReclaimAny();
+      }
+      (void)store->FlushAll();
+      state.ResumeTiming();
+    }
+    if (id % 128 == 0) {
+      state.PauseTiming();
+      (void)store->FlushAll();
+      for (int i = 0; i < 4; ++i) {
+        (void)store->ReclaimAny();
+      }
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * value_size));
+}
+BENCHMARK(BM_Put)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(3000);
+
+void BM_Get(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  for (ShardId id = 0; id < 32; ++id) {
+    (void)store->Put(id, MakeValue(value_size, static_cast<uint8_t>(id)));
+  }
+  (void)store->FlushAll();
+  ShardId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get(id++ % 32));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * value_size));
+}
+BENCHMARK(BM_Get)->Arg(64)->Arg(1024)->Arg(4096)->Iterations(20000);
+
+void BM_FlushIndex(benchmark::State& state) {
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  ShardId id = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 16; ++i) {
+      (void)store->Put(id++ % 48, MakeValue(100, 1));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store->FlushIndex());
+    if (id % 480 == 0) {
+      state.PauseTiming();
+      (void)store->FlushAll();
+      (void)store->CompactIndex();
+      for (int i = 0; i < 8; ++i) {
+        (void)store->ReclaimAny();
+      }
+      (void)store->FlushAll();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_FlushIndex)->Iterations(400);
+
+void BM_ReclaimExtent(benchmark::State& state) {
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Create garbage: write then delete a batch, flush.
+    for (ShardId id = 0; id < 8; ++id) {
+      (void)store->Put(1000 + id, MakeValue(500, 2));
+    }
+    for (ShardId id = 0; id < 8; ++id) {
+      (void)store->Delete(1000 + id);
+    }
+    (void)store->FlushAll();
+    auto candidates = store->chunks().ReclaimableExtents();
+    state.ResumeTiming();
+    if (!candidates.empty()) {
+      benchmark::DoNotOptimize(store->ReclaimExtent(candidates.front()));
+    }
+    state.PauseTiming();
+    (void)store->FlushAll();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ReclaimExtent)->Iterations(150);
+
+void BM_Recovery(benchmark::State& state) {
+  const int shard_count = static_cast<int>(state.range(0));
+  InMemoryDisk disk(BenchGeometry());
+  {
+    auto store = std::move(ShardStore::Open(&disk).value());
+    for (ShardId id = 0; id < static_cast<ShardId>(shard_count); ++id) {
+      (void)store->Put(id, MakeValue(200, static_cast<uint8_t>(id)));
+    }
+    (void)store->FlushAll();
+  }
+  for (auto _ : state) {
+    auto recovered = ShardStore::Open(&disk);
+    benchmark::DoNotOptimize(recovered);
+  }
+  state.SetLabel("recovery (open over existing image)");
+}
+BENCHMARK(BM_Recovery)->Arg(16)->Arg(128)->Iterations(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Figure 2 walkthrough: dependency graphs for three puts, the staged writeback queue,
+// and block-level crash states. Shows that a put only reports persistent once its
+// shard data, index entry (run + metadata), and soft write pointers are all durable —
+// and that after a crash, exactly the puts whose dependencies report persistent are
+// readable.
+//
+//   $ ./build/examples/crash_consistency_demo
+
+#include <cstdio>
+
+#include "src/kv/shard_store.h"
+
+using namespace ss;
+
+namespace {
+
+void Report(ShardStore& store, const std::vector<std::pair<ShardId, Dependency>>& puts,
+            const char* when) {
+  printf("%s: %zu writeback record(s) pending\n", when, store.scheduler().PendingCount());
+  for (const auto& [id, dep] : puts) {
+    printf("  put #%llu dependency: %s\n", static_cast<unsigned long long>(id),
+           dep.IsPersistent() ? "PERSISTENT" : "pending");
+  }
+}
+
+}  // namespace
+
+int main() {
+  printf("== Figure 2: dependency graphs for three puts ==\n\n");
+
+  InMemoryDisk disk(DiskGeometry{.extent_count = 12, .pages_per_extent = 16,
+                                 .page_size = 256});
+  auto store = std::move(ShardStore::Open(&disk).value());
+
+  // Three puts, as in the figure: #1 and #2 small (their chunks share an extent),
+  // #3 larger (multiple chunks).
+  std::vector<std::pair<ShardId, Dependency>> puts;
+  puts.push_back({1, store->Put(1, Bytes(100, 0x11)).value()});
+  puts.push_back({2, store->Put(2, Bytes(120, 0x22)).value()});
+  puts.push_back({3, store->Put(3, Bytes(700, 0x33)).value()});
+
+  printf("each put's dependency graph covers (paper Fig. 2):\n"
+         "  (a) its shard data chunk(s)           -> data extents\n"
+         "  (b) the index entry (run + metadata)  -> LSM tree extents\n"
+         "  (c) soft write pointer updates        -> superblock\n\n");
+
+  Report(*store, puts, "after the puts (nothing flushed)");
+
+  // All three puts join the same LSM flush, like the figure's shared index flush.
+  (void)store->FlushIndex();
+  Report(*store, puts, "\nafter the shared LSM-tree flush (still queued)");
+
+  printf("\npumping writebacks one at a time (the IO scheduler respects the graph):\n");
+  size_t step = 0;
+  while (store->scheduler().PendingCount() > 0) {
+    store->PumpIo(1);
+    ++step;
+    size_t persistent = 0;
+    for (const auto& [id, dep] : puts) {
+      persistent += dep.IsPersistent() ? 1 : 0;
+    }
+    printf("  io %2zu issued; %zu/3 puts persistent\n", step, persistent);
+  }
+  Report(*store, puts, "\nafter draining");
+
+  // Now the crash side: re-run the same workload, pump part of the queue, crash, and
+  // show that recovery exposes exactly the persistent puts.
+  printf("\nnote: all three puts share one LSM flush, so the shared metadata record\n"
+         "is their common commit point — they become durable together at the last IO.\n");
+  printf("\n== crash states ==\n");
+  for (size_t prefix : {4ul, 10ul, 16ul, 17ul}) {
+    InMemoryDisk disk2(DiskGeometry{.extent_count = 12, .pages_per_extent = 16,
+                                    .page_size = 256});
+    auto store2 = std::move(ShardStore::Open(&disk2).value());
+    std::vector<std::pair<ShardId, Dependency>> puts2;
+    puts2.push_back({1, store2->Put(1, Bytes(100, 0x11)).value()});
+    puts2.push_back({2, store2->Put(2, Bytes(120, 0x22)).value()});
+    puts2.push_back({3, store2->Put(3, Bytes(700, 0x33)).value()});
+    (void)store2->FlushIndex();
+    store2->PumpIo(prefix);
+    store2->scheduler().CrashDropAll();  // fail-stop: unissued IO is lost
+    store2.reset();
+
+    auto recovered = std::move(ShardStore::Open(&disk2).value());
+    printf("crash after %2zu IOs:", prefix);
+    for (const auto& [id, dep] : puts2) {
+      const bool readable = recovered->Get(id).ok();
+      printf("  put#%llu %s/%s", static_cast<unsigned long long>(id),
+             dep.IsPersistent() ? "persistent" : "pending",
+             readable ? "readable" : "absent");
+      // The persistence property: persistent => readable.
+      if (dep.IsPersistent() && !readable) {
+        printf("  <-- PERSISTENCE VIOLATION");
+      }
+    }
+    printf("\n");
+  }
+
+  printf("\nevery persistent put was readable after its crash — the section 5\n"
+         "persistence property, which the crash-consistency harness checks on\n"
+         "millions of random histories.\n");
+  return 0;
+}

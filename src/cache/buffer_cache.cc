@@ -1,0 +1,85 @@
+#include "src/cache/buffer_cache.h"
+
+#include "src/common/cover.h"
+
+namespace ss {
+
+BufferCache::BufferCache(ExtentManager* extents, size_t capacity_pages)
+    : extents_(extents), capacity_pages_(capacity_pages) {}
+
+void BufferCache::TouchLocked(Key key) {
+  auto it = pages_.find(key);
+  lru_.erase(it->second.second);
+  lru_.push_front(key);
+  it->second.second = lru_.begin();
+}
+
+void BufferCache::InsertLocked(Key key, Bytes page) {
+  while (pages_.size() >= capacity_pages_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    pages_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  pages_[key] = {std::move(page), lru_.begin()};
+}
+
+Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint32_t count) {
+  const uint32_t page_size = extents_->geometry().page_size;
+  Bytes out;
+  out.reserve(uint64_t{count} * page_size);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t page = first_page + i;
+    const Key key = MakeKey(extent, page);
+    {
+      LockGuard lock(mu_);
+      auto it = pages_.find(key);
+      if (it != pages_.end()) {
+        ++stats_.hits;
+        TouchLocked(key);
+        out.insert(out.end(), it->second.first.begin(), it->second.first.end());
+        continue;
+      }
+      ++stats_.misses;
+    }
+    SS_COVER("buffer_cache.miss");
+    SS_ASSIGN_OR_RETURN(Bytes data, extents_->Read(extent, page, 1));
+    {
+      LockGuard lock(mu_);
+      if (pages_.find(key) == pages_.end()) {
+        InsertLocked(key, data);
+      }
+    }
+    out.insert(out.end(), data.begin(), data.end());
+  }
+  return out;
+}
+
+void BufferCache::DrainExtent(ExtentId extent) {
+  LockGuard lock(mu_);
+  ++stats_.invalidations;
+  auto it = pages_.lower_bound(MakeKey(extent, 0));
+  while (it != pages_.end() && (it->first >> 32) == extent) {
+    lru_.erase(it->second.second);
+    it = pages_.erase(it);
+  }
+}
+
+void BufferCache::Clear() {
+  LockGuard lock(mu_);
+  pages_.clear();
+  lru_.clear();
+}
+
+BufferCacheStats BufferCache::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
+}
+
+size_t BufferCache::CachedPages() const {
+  LockGuard lock(mu_);
+  return pages_.size();
+}
+
+}  // namespace ss

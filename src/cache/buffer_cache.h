@@ -1,0 +1,66 @@
+// Read-through page cache.
+//
+// Sits between the chunk store and the extent manager. Pages below an extent's write
+// pointer are immutable, so the only invalidation event is an extent reset: the reset
+// path must drain the extent's cached pages before its space is reused (seeded bug #2
+// is precisely "cache was not correctly drained after resetting an extent" — stale
+// cached pages then serve deleted data for whatever is written there next).
+
+#ifndef SS_CACHE_BUFFER_CACHE_H_
+#define SS_CACHE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/superblock/extent_manager.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+
+struct BufferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+class BufferCache {
+ public:
+  BufferCache(ExtentManager* extents, size_t capacity_pages);
+
+  // Reads `count` pages starting at `first_page`, caching each page. Ranges past the
+  // write pointer or injected IO failures propagate the underlying error; failed pages
+  // are not cached.
+  Result<Bytes> ReadPages(ExtentId extent, uint32_t first_page, uint32_t count);
+
+  // Drops every cached page of `extent`. Must be called when the extent is reset.
+  void DrainExtent(ExtentId extent);
+
+  void Clear();
+  BufferCacheStats stats() const;
+  size_t CachedPages() const;
+
+ private:
+  using Key = uint64_t;  // extent << 32 | page
+  static Key MakeKey(ExtentId extent, uint32_t page) {
+    return (uint64_t{extent} << 32) | page;
+  }
+
+  void TouchLocked(Key key);
+  void InsertLocked(Key key, Bytes page);
+
+  ExtentManager* extents_;
+  size_t capacity_pages_;
+  mutable Mutex mu_;
+  std::map<Key, std::pair<Bytes, std::list<Key>::iterator>> pages_;
+  std::list<Key> lru_;  // front = most recently used
+  BufferCacheStats stats_;
+};
+
+}  // namespace ss
+
+#endif  // SS_CACHE_BUFFER_CACHE_H_

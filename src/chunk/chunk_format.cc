@@ -1,0 +1,60 @@
+#include "src/chunk/chunk_format.h"
+
+#include "src/common/crc32c.h"
+#include "src/common/serde.h"
+
+namespace ss {
+
+size_t ChunkFrameBytes(size_t payload_len) { return kChunkOverheadBytes + payload_len; }
+
+Bytes EncodeChunkFrame(ByteSpan payload, const Uuid& uuid) {
+  Writer w;
+  w.PutU8(kChunkMagic0);
+  w.PutU8(kChunkMagic1);
+  w.PutU8(kChunkVersion);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutUuid(uuid);
+  w.PutU32(Crc32c(payload.data(), payload.size()));
+  w.PutRaw(payload);
+  w.PutUuid(uuid);
+  return std::move(w).Take();
+}
+
+Result<ChunkHeader> ParseChunkHeader(ByteSpan data) {
+  Reader r(data);
+  SS_ASSIGN_OR_RETURN(uint8_t m0, r.GetU8());
+  SS_ASSIGN_OR_RETURN(uint8_t m1, r.GetU8());
+  if (m0 != kChunkMagic0 || m1 != kChunkMagic1) {
+    return Status::Corruption("chunk: bad magic");
+  }
+  SS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kChunkVersion) {
+    return Status::Corruption("chunk: bad version");
+  }
+  ChunkHeader header;
+  SS_ASSIGN_OR_RETURN(header.payload_len, r.GetU32());
+  SS_ASSIGN_OR_RETURN(header.uuid, r.GetUuid());
+  SS_ASSIGN_OR_RETURN(header.crc, r.GetU32());
+  return header;
+}
+
+Result<Bytes> DecodeChunkFrame(ByteSpan data) {
+  SS_ASSIGN_OR_RETURN(ChunkHeader header, ParseChunkHeader(data));
+  const size_t frame_bytes = ChunkFrameBytes(header.payload_len);
+  if (frame_bytes > data.size()) {
+    return Status::Corruption("chunk: frame extends past buffer");
+  }
+  ByteSpan payload = data.subspan(kChunkHeaderBytes, header.payload_len);
+  ByteSpan trailer = data.subspan(kChunkHeaderBytes + header.payload_len, kChunkTrailerBytes);
+  for (size_t i = 0; i < kChunkTrailerBytes; ++i) {
+    if (trailer[i] != header.uuid.bytes[i]) {
+      return Status::Corruption("chunk: trailing uuid mismatch");
+    }
+  }
+  if (Crc32c(payload.data(), payload.size()) != header.crc) {
+    return Status::Corruption("chunk: payload crc mismatch");
+  }
+  return Bytes(payload.begin(), payload.end());
+}
+
+}  // namespace ss

@@ -1,0 +1,54 @@
+// On-disk chunk framing (paper section 5, issue #10 diagram).
+//
+// A chunk frame is:
+//     [magic 2B][version 1B][payload_len 4B][uuid 16B][crc32c 4B][payload][uuid 16B]
+// The UUID is repeated at both ends so a scanner can validate the frame's claimed
+// length; the CRC covers the payload. Frames are page-aligned: the next frame on an
+// extent starts at the next page boundary after the previous frame's last byte.
+//
+// Decoding never trusts on-disk bytes: all lengths are bounds checked and validation
+// failures surface as kCorruption (never a crash) — tests/chunk_test.cc fuzzes this.
+
+#ifndef SS_CHUNK_CHUNK_FORMAT_H_
+#define SS_CHUNK_CHUNK_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+
+namespace ss {
+
+inline constexpr uint8_t kChunkMagic0 = 0x53;  // 'S'
+inline constexpr uint8_t kChunkMagic1 = 0x43;  // 'C'
+inline constexpr uint8_t kChunkVersion = 1;
+inline constexpr size_t kChunkHeaderBytes = 2 + 1 + 4 + 16 + 4;  // = 27
+inline constexpr size_t kChunkTrailerBytes = 16;
+inline constexpr size_t kChunkOverheadBytes = kChunkHeaderBytes + kChunkTrailerBytes;
+
+// Total frame size for a payload of `payload_len` bytes.
+size_t ChunkFrameBytes(size_t payload_len);
+
+// Encodes a frame.
+Bytes EncodeChunkFrame(ByteSpan payload, const Uuid& uuid);
+
+// Decodes and fully validates a frame that starts at byte 0 of `data`; trailing bytes
+// beyond the frame are ignored. Returns the payload.
+Result<Bytes> DecodeChunkFrame(ByteSpan data);
+
+// Decoded header of a frame (before the trailer has been validated).
+struct ChunkHeader {
+  uint32_t payload_len = 0;
+  Uuid uuid;
+  uint32_t crc = 0;
+};
+
+// Parses just the fixed-size header. Fails with kCorruption on bad magic/version or
+// truncated input.
+Result<ChunkHeader> ParseChunkHeader(ByteSpan data);
+
+}  // namespace ss
+
+#endif  // SS_CHUNK_CHUNK_FORMAT_H_

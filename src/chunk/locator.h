@@ -1,0 +1,67 @@
+// Chunk locators: opaque pointers returned by the chunk store (paper section 2.1).
+//
+// A locator names the physical frame location of a chunk. Locators are stored inside
+// LSM index values (shard records) and inside the LSM metadata (run list), so they are
+// serializable. Code outside the chunk store treats them as opaque tokens.
+
+#ifndef SS_CHUNK_LOCATOR_H_
+#define SS_CHUNK_LOCATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/disk/disk.h"
+
+namespace ss {
+
+struct Locator {
+  ExtentId extent = 0;
+  uint32_t first_page = 0;
+  uint32_t page_count = 0;
+  uint32_t frame_bytes = 0;  // exact frame length within the page span
+
+  friend bool operator==(const Locator& a, const Locator& b) {
+    return a.extent == b.extent && a.first_page == b.first_page &&
+           a.page_count == b.page_count && a.frame_bytes == b.frame_bytes;
+  }
+  friend bool operator!=(const Locator& a, const Locator& b) { return !(a == b); }
+  friend bool operator<(const Locator& a, const Locator& b) {
+    if (a.extent != b.extent) {
+      return a.extent < b.extent;
+    }
+    if (a.first_page != b.first_page) {
+      return a.first_page < b.first_page;
+    }
+    if (a.page_count != b.page_count) {
+      return a.page_count < b.page_count;
+    }
+    return a.frame_bytes < b.frame_bytes;
+  }
+
+  std::string ToString() const {
+    return "loc(e" + std::to_string(extent) + " p" + std::to_string(first_page) + "+" +
+           std::to_string(page_count) + " b" + std::to_string(frame_bytes) + ")";
+  }
+};
+
+inline void SerializeLocator(const Locator& loc, Writer& w) {
+  w.PutU32(loc.extent);
+  w.PutU32(loc.first_page);
+  w.PutU32(loc.page_count);
+  w.PutU32(loc.frame_bytes);
+}
+
+inline Result<Locator> DeserializeLocator(Reader& r) {
+  Locator loc;
+  SS_ASSIGN_OR_RETURN(loc.extent, r.GetU32());
+  SS_ASSIGN_OR_RETURN(loc.first_page, r.GetU32());
+  SS_ASSIGN_OR_RETURN(loc.page_count, r.GetU32());
+  SS_ASSIGN_OR_RETURN(loc.frame_bytes, r.GetU32());
+  return loc;
+}
+
+}  // namespace ss
+
+#endif  // SS_CHUNK_LOCATOR_H_

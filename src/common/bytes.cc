@@ -1,0 +1,27 @@
+#include "src/common/bytes.h"
+
+namespace ss {
+
+Bytes BytesOf(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  const size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  out.reserve(n * 3 + 4);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += kHex[data[i] >> 4];
+    out += kHex[data[i] & 0xf];
+  }
+  if (data.size() > max_bytes) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace ss

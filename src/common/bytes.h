@@ -1,0 +1,24 @@
+// Byte buffer aliases and small helpers shared across the code base.
+
+#ifndef SS_COMMON_BYTES_H_
+#define SS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+// Bytes from a string literal / std::string, for tests and examples.
+Bytes BytesOf(std::string_view s);
+
+// Hex rendering ("de ad be ef") for diagnostics; truncates long buffers with "...".
+std::string HexDump(ByteSpan data, size_t max_bytes = 64);
+
+}  // namespace ss
+
+#endif  // SS_COMMON_BYTES_H_

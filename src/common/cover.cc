@@ -1,0 +1,41 @@
+#include "src/common/cover.h"
+
+#include <mutex>
+
+namespace ss {
+namespace {
+// Leaf lock protecting the counter map. Deliberately a plain std::mutex (never a model-
+// checker scheduling point): coverage is observability, not behaviour.
+std::mutex& CoverMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+Coverage& Coverage::Global() {
+  static Coverage* instance = new Coverage();
+  return *instance;
+}
+
+void Coverage::Hit(const std::string& label) {
+  std::lock_guard<std::mutex> lock(CoverMutex());
+  ++counts_[label];
+}
+
+uint64_t Coverage::Count(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(CoverMutex());
+  auto it = counts_.find(label);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void Coverage::Reset() {
+  std::lock_guard<std::mutex> lock(CoverMutex());
+  counts_.clear();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Coverage::Snapshot() const {
+  std::lock_guard<std::mutex> lock(CoverMutex());
+  return {counts_.begin(), counts_.end()};
+}
+
+}  // namespace ss

@@ -1,0 +1,39 @@
+// Lightweight coverage counters.
+//
+// The paper (section 4.2) monitors code coverage to detect when the property-based test
+// harness stops reaching interesting implementation states. We provide an in-process
+// analogue: implementation code marks interesting sites with SS_COVER("label"), and test
+// harnesses can assert that labels were hit (or report which were not).
+
+#ifndef SS_COMMON_COVER_H_
+#define SS_COMMON_COVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+class Coverage {
+ public:
+  // Global registry (single process-wide instance).
+  static Coverage& Global();
+
+  void Hit(const std::string& label);
+  uint64_t Count(const std::string& label) const;
+  void Reset();
+
+  // All labels ever hit, with counts, sorted by label.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+ private:
+  mutable std::map<std::string, uint64_t> counts_;
+};
+
+}  // namespace ss
+
+// Count an execution of this site under the given label.
+#define SS_COVER(label) ::ss::Coverage::Global().Hit(label)
+
+#endif  // SS_COMMON_COVER_H_

@@ -1,0 +1,93 @@
+#include "src/common/rng.h"
+
+namespace ss {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+  // Avoid the (astronomically unlikely) all-zero state, which is a fixed point.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Debiased via rejection sampling on the tail.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+int64_t Rng::RangeSigned(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + Below(span + 1));
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+size_t Rng::WeightedIndex(const std::vector<uint32_t>& weights) {
+  uint64_t total = 0;
+  for (uint32_t w : weights) {
+    total += w;
+  }
+  uint64_t pick = Below(total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (pick < weights[i]) {
+      return i;
+    }
+    pick -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xd3f2a1c4b5968778ULL); }
+
+}  // namespace ss

@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// Every randomized piece of this repository (property-based test generation, crash-state
+// selection, PCT scheduling) draws from ss::Rng seeded explicitly, so every failure is
+// replayable from its seed — the paper's minimization workflow (section 4.3) depends on
+// exact determinism. We use xoshiro256** seeded through SplitMix64.
+
+#ifndef SS_COMMON_RNG_H_
+#define SS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ss {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+  int64_t RangeSigned(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Pick an index with probability proportional to weights[i]. Requires a nonempty
+  // weight vector with a positive sum.
+  size_t WeightedIndex(const std::vector<uint32_t>& weights);
+
+  // Fork a child generator whose stream is independent of subsequent draws from
+  // this one. Used to give each test case its own stream.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ss
+
+#endif  // SS_COMMON_RNG_H_

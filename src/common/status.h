@@ -1,0 +1,150 @@
+// Error model for ShardStore-CPP.
+//
+// Every fallible operation returns ss::Status or ss::Result<T>. We deliberately avoid
+// exceptions on IO paths: a production storage node must treat disk corruption, IO
+// failure, and resource exhaustion as ordinary values that flow through the system
+// (the paper's failure-injection testing, section 4.4, depends on this).
+
+#ifndef SS_COMMON_STATUS_H_
+#define SS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ss {
+
+// Canonical error codes. Kept intentionally small; the conformance harnesses compare
+// codes (not messages) between implementation and reference model.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // The requested key / locator / extent does not exist.
+  kNotFound = 1,
+  // Data read from disk failed validation (bad magic, UUID mismatch, CRC mismatch,
+  // impossible lengths). Reads beyond a write pointer also report corruption.
+  kCorruption = 2,
+  // The environment failed the operation (injected or simulated disk IO error).
+  kIoError = 3,
+  // Caller misuse: bad arguments, out-of-range offsets, zero-length values.
+  kInvalidArgument = 4,
+  // Out of disk space, buffer pool exhausted, too many extents.
+  kResourceExhausted = 5,
+  // The component is not in a state that allows the operation (e.g. disk removed
+  // from service, store already shut down).
+  kUnavailable = 6,
+  // An internal invariant was violated. Seeing this code is itself a bug.
+  kInternal = 7,
+};
+
+// Human-readable name for a status code ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional diagnostic message. Message content is for
+// humans; equality and checker logic use only the code.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code, std::string message = "")
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "Corruption: bad trailing uuid".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status or a value. Modeled after absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return Status::NotFound();` or
+  // `return value;` both work.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  Result(T value) : repr_(std::move(value)) {}         // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::Ok();
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(repr_);
+  }
+  StatusCode code() const { return ok() ? StatusCode::kOk : status().code(); }
+
+  // Precondition: ok(). Checked in debug builds via the variant access.
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define SS_RETURN_IF_ERROR(expr)        \
+  do {                                  \
+    ::ss::Status ss_status__ = (expr);  \
+    if (!ss_status__.ok()) {            \
+      return ss_status__;               \
+    }                                   \
+  } while (0)
+
+// Evaluate a Result<T> expression, propagating errors, binding the value otherwise.
+#define SS_CAT_INNER_(a, b) a##b
+#define SS_CAT_(a, b) SS_CAT_INNER_(a, b)
+#define SS_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  decl = std::move(tmp).value()
+#define SS_ASSIGN_OR_RETURN(decl, expr) \
+  SS_ASSIGN_OR_RETURN_IMPL_(SS_CAT_(ss_result_, __LINE__), decl, expr)
+
+}  // namespace ss
+
+#endif  // SS_COMMON_STATUS_H_

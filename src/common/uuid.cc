@@ -1,0 +1,27 @@
+#include "src/common/uuid.h"
+
+namespace ss {
+
+Uuid Uuid::Random(Rng& rng) {
+  Uuid u;
+  for (int i = 0; i < 16; i += 8) {
+    const uint64_t r = rng.Next();
+    for (int k = 0; k < 8; ++k) {
+      u.bytes[i + k] = static_cast<uint8_t>(r >> (8 * k));
+    }
+  }
+  return u;
+}
+
+std::string Uuid::ToString() const {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+}  // namespace ss

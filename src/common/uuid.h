@@ -1,0 +1,32 @@
+// 128-bit identifiers used to frame chunks on disk.
+//
+// Chunk frames repeat the UUID at both ends so readers can validate a frame's claimed
+// length (paper section 5, bug #10). UUIDs here are random, drawn from the test's
+// deterministic Rng so failing histories replay exactly.
+
+#ifndef SS_COMMON_UUID_H_
+#define SS_COMMON_UUID_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace ss {
+
+struct Uuid {
+  std::array<uint8_t, 16> bytes{};
+
+  static Uuid Random(Rng& rng);
+  static Uuid Zero() { return Uuid{}; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Uuid& a, const Uuid& b) { return a.bytes == b.bytes; }
+  friend bool operator!=(const Uuid& a, const Uuid& b) { return !(a == b); }
+};
+
+}  // namespace ss
+
+#endif  // SS_COMMON_UUID_H_

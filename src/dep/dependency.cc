@@ -1,0 +1,117 @@
+#include "src/dep/dependency.h"
+
+namespace ss {
+
+namespace dep_internal {
+
+bool NodePersistent(DepNode* node) {
+  if (node == nullptr) {
+    return true;
+  }
+  if (node->persistent.load(std::memory_order_acquire)) {
+    return true;
+  }
+  if (node->failed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (node->unresolved_promise.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (node->inputs.empty()) {
+    // A leaf that has not been issued yet.
+    return false;
+  }
+  for (const auto& input : node->inputs) {
+    if (!NodePersistent(input.get())) {
+      return false;
+    }
+  }
+  // Cache the result; persistence is monotonic.
+  node->persistent.store(true, std::memory_order_release);
+  return true;
+}
+
+namespace {
+
+bool NodeFailed(DepNode* node) {
+  if (node == nullptr) {
+    return false;
+  }
+  if (node->failed.load(std::memory_order_acquire)) {
+    return true;
+  }
+  if (node->persistent.load(std::memory_order_acquire)) {
+    return false;
+  }
+  for (const auto& input : node->inputs) {
+    if (NodeFailed(input.get())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+}  // namespace dep_internal
+
+bool Dependency::IsPersistent() const { return dep_internal::NodePersistent(node_.get()); }
+
+bool Dependency::Failed() const { return dep_internal::NodeFailed(node_.get()); }
+
+Dependency Dependency::And(const Dependency& other) const {
+  if (node_ == nullptr) {
+    return other;
+  }
+  if (other.node_ == nullptr) {
+    return *this;
+  }
+  auto node = std::make_shared<dep_internal::DepNode>();
+  node->inputs = {node_, other.node_};
+  return Dependency(std::move(node));
+}
+
+Dependency Dependency::MakeLeaf() {
+  return Dependency(std::make_shared<dep_internal::DepNode>());
+}
+
+Dependency Dependency::MakePromise() {
+  auto node = std::make_shared<dep_internal::DepNode>();
+  node->unresolved_promise.store(true, std::memory_order_release);
+  return Dependency(std::move(node));
+}
+
+Dependency Dependency::AndAll(const std::vector<Dependency>& deps) {
+  Dependency out;
+  for (const Dependency& d : deps) {
+    out = out.And(d);
+  }
+  return out;
+}
+
+void Dependency::MarkLeafPersistent() {
+  if (node_ != nullptr) {
+    node_->persistent.store(true, std::memory_order_release);
+  }
+}
+
+void Dependency::MarkLeafFailed() {
+  if (node_ != nullptr) {
+    node_->failed.store(true, std::memory_order_release);
+  }
+}
+
+void Dependency::ResolvePromise(const Dependency& target) {
+  if (node_ == nullptr || !node_->unresolved_promise.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (target.node_ != nullptr) {
+    node_->inputs.push_back(target.node_);
+  } else {
+    // Resolved against "no requirement": the promise is immediately persistent.
+    node_->persistent.store(true, std::memory_order_release);
+  }
+  node_->unresolved_promise.store(false, std::memory_order_release);
+}
+
+}  // namespace ss

@@ -1,0 +1,86 @@
+// Crash-consistency dependencies (paper section 2.2).
+//
+// Every mutating operation returns a Dependency. The contract is exactly the paper's:
+// a write is not issued to disk until its input dependencies have persisted, and a
+// Dependency reports IsPersistent() only once the writes it stands for are durable.
+// Dependencies compose with And() to build the dependency graphs of Figure 2.
+//
+// Three node flavours:
+//   * leaf     — tied to one writeback record in the IoScheduler; the scheduler marks it
+//                persistent when the record is issued to the disk,
+//   * AND      — persistent when all inputs are persistent,
+//   * promise  — a forward reference (e.g. "this LSM entry will be covered by some
+//                future metadata flush"); starts unresolved and is later linked to the
+//                dependency that fulfils it.
+//
+// Persistence flags are monotonic (false -> true) and may be polled from any thread.
+
+#ifndef SS_DEP_DEPENDENCY_H_
+#define SS_DEP_DEPENDENCY_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace ss {
+
+namespace dep_internal {
+
+struct DepNode {
+  // Monotonic "this node's own write is durable" flag (leaves) or cached AND result.
+  std::atomic<bool> persistent{false};
+  // The write this node stands for failed permanently (injected IO error); the node can
+  // never become persistent.
+  std::atomic<bool> failed{false};
+  // Promise nodes start unlinked; IsPersistent is false until linked.
+  std::atomic<bool> unresolved_promise{false};
+  // Guarded by the owning scheduler / index: inputs are only mutated while the node is
+  // unresolved or at construction.
+  std::vector<std::shared_ptr<DepNode>> inputs;
+};
+
+bool NodePersistent(DepNode* node);
+
+}  // namespace dep_internal
+
+class Dependency {
+ public:
+  // The trivially-persistent dependency ("no ordering requirement").
+  Dependency() = default;
+
+  // True once every write this dependency stands for is durable on disk.
+  bool IsPersistent() const;
+
+  // True if some underlying write failed permanently; the dependency will never
+  // become persistent.
+  bool Failed() const;
+
+  // The conjunction of this dependency and `other` (paper: dep1.and(dep2)).
+  Dependency And(const Dependency& other) const;
+
+  // --- Construction, used by the scheduler and the index ------------------------------
+
+  static Dependency MakeLeaf();
+  static Dependency MakePromise();
+  // Combine an arbitrary set (empty set -> trivially persistent).
+  static Dependency AndAll(const std::vector<Dependency>& deps);
+
+  // Leaf control (scheduler only).
+  void MarkLeafPersistent();
+  void MarkLeafFailed();
+
+  // Resolve a promise to follow `target`. No-op on non-promise nodes.
+  void ResolvePromise(const Dependency& target);
+
+  // Identity of the underlying node, for diagnostics.
+  const void* raw() const { return node_.get(); }
+
+ private:
+  explicit Dependency(std::shared_ptr<dep_internal::DepNode> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<dep_internal::DepNode> node_;
+};
+
+}  // namespace ss
+
+#endif  // SS_DEP_DEPENDENCY_H_

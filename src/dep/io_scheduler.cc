@@ -1,0 +1,270 @@
+#include "src/dep/io_scheduler.h"
+
+#include <set>
+#include <sstream>
+
+namespace ss {
+
+IoScheduler::IoScheduler(InMemoryDisk* disk) : disk_(disk) {}
+
+uint64_t IoScheduler::DomainKey(Kind kind, ExtentId extent) const {
+  // Data pages and reset markers share the extent's sequential-append domain; soft-wp
+  // and ownership updates for an extent each form their own FIFO domain.
+  switch (kind) {
+    case Kind::kDataPage:
+    case Kind::kReset:
+      return uint64_t{extent} * 4 + 0;
+    case Kind::kSoftWp:
+      return uint64_t{extent} * 4 + 1;
+    case Kind::kOwnership:
+      return uint64_t{extent} * 4 + 2;
+  }
+  return 0;
+}
+
+Dependency IoScheduler::EnqueueLocked(Record record) {
+  record.done = Dependency::MakeLeaf();
+  record.seq = next_seq_++;
+  Dependency done = record.done;
+  queue_.push_back(std::move(record));
+  ++stats_.records_enqueued;
+  return done;
+}
+
+Dependency IoScheduler::EnqueueDataPage(ExtentId extent, uint32_t page, Bytes data,
+                                        std::vector<Dependency> inputs) {
+  LockGuard lock(mu_);
+  Record r;
+  r.kind = Kind::kDataPage;
+  r.extent = extent;
+  r.page = page;
+  r.data = std::move(data);
+  r.input = Dependency::AndAll(inputs);
+  r.domain = DomainKey(r.kind, extent);
+  return EnqueueLocked(std::move(r));
+}
+
+Dependency IoScheduler::EnqueueSoftWp(ExtentId extent, uint32_t wp_pages,
+                                      std::vector<Dependency> inputs) {
+  LockGuard lock(mu_);
+  Record r;
+  r.kind = Kind::kSoftWp;
+  r.extent = extent;
+  r.soft_wp = wp_pages;
+  r.input = Dependency::AndAll(inputs);
+  r.domain = DomainKey(r.kind, extent);
+  return EnqueueLocked(std::move(r));
+}
+
+Dependency IoScheduler::EnqueueOwnership(ExtentId extent, ExtentOwner owner,
+                                         std::vector<Dependency> inputs) {
+  LockGuard lock(mu_);
+  Record r;
+  r.kind = Kind::kOwnership;
+  r.extent = extent;
+  r.owner = owner;
+  r.input = Dependency::AndAll(inputs);
+  r.domain = DomainKey(r.kind, extent);
+  return EnqueueLocked(std::move(r));
+}
+
+Dependency IoScheduler::EnqueueReset(ExtentId extent, std::vector<Dependency> inputs) {
+  LockGuard lock(mu_);
+  Record r;
+  r.kind = Kind::kReset;
+  r.extent = extent;
+  r.input = Dependency::AndAll(inputs);
+  r.domain = DomainKey(r.kind, extent);
+  return EnqueueLocked(std::move(r));
+}
+
+bool IoScheduler::ReadyLocked(const Record& record) const {
+  if (!record.input.IsPersistent()) {
+    return false;
+  }
+  // Must be the oldest pending record of its domain.
+  for (const Record& other : queue_) {
+    if (other.domain == record.domain && other.seq < record.seq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status IoScheduler::IssueLocked(Record& record) {
+  Status status = Status::Ok();
+  switch (record.kind) {
+    case Kind::kDataPage:
+      status = disk_->WritePage(record.extent, record.page, record.data);
+      break;
+    case Kind::kSoftWp:
+      status = disk_->WriteSoftWp(record.extent, record.soft_wp);
+      break;
+    case Kind::kOwnership:
+      status = disk_->WriteOwnership(record.extent, record.owner);
+      break;
+    case Kind::kReset:
+      status = disk_->ResetExtentRegion(record.extent);
+      break;
+  }
+  if (status.ok()) {
+    record.done.MarkLeafPersistent();
+    ++stats_.records_issued;
+  } else {
+    record.done.MarkLeafFailed();
+    ++stats_.records_failed_io;
+  }
+  return status;
+}
+
+size_t IoScheduler::Pump(size_t max_records) {
+  LockGuard lock(mu_);
+  size_t issued = 0;
+  while (issued < max_records) {
+    bool progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (ReadyLocked(*it)) {
+        IssueLocked(*it);  // Failed records are dropped; their deps report Failed().
+        queue_.erase(it);
+        ++issued;
+        progress = true;
+        break;
+      }
+    }
+    if (!progress) {
+      break;
+    }
+  }
+  return issued;
+}
+
+Status IoScheduler::FlushAll() {
+  // Bound iterations defensively; every Pump(1) that makes progress shrinks the queue.
+  while (true) {
+    {
+      LockGuard lock(mu_);
+      if (queue_.empty()) {
+        return Status::Ok();
+      }
+    }
+    if (Pump(1) == 0) {
+      return Status::Internal("io scheduler stuck: " + DescribeStuck());
+    }
+  }
+}
+
+void IoScheduler::Crash(Rng& rng, double persist_bias) {
+  LockGuard lock(mu_);
+  ++stats_.crashes;
+  std::set<uint64_t> stopped_domains;
+  // Repeatedly find the first record that could legally be the next to reach the disk;
+  // flip a coin to decide whether the crash happened before or after that IO.
+  while (true) {
+    Record* candidate = nullptr;
+    for (Record& r : queue_) {
+      if (stopped_domains.count(r.domain) != 0) {
+        continue;
+      }
+      if (ReadyLocked(r)) {
+        candidate = &r;
+        break;
+      }
+    }
+    if (candidate == nullptr) {
+      break;
+    }
+    if (rng.Chance(persist_bias)) {
+      IssueLocked(*candidate);
+      // Erase the issued record.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (&*it == candidate) {
+          queue_.erase(it);
+          break;
+        }
+      }
+    } else {
+      // This IO (and everything behind it in its domain) never reached the disk.
+      stopped_domains.insert(candidate->domain);
+    }
+  }
+  stats_.records_dropped_by_crash += queue_.size();
+  // Dropped records leave their leaves unpersisted forever.
+  queue_.clear();
+}
+
+void IoScheduler::CrashScripted(const std::vector<bool>& plan, size_t* decisions_used) {
+  LockGuard lock(mu_);
+  ++stats_.crashes;
+  std::set<uint64_t> stopped_domains;
+  size_t decision = 0;
+  while (true) {
+    Record* candidate = nullptr;
+    for (Record& r : queue_) {
+      if (stopped_domains.count(r.domain) != 0) {
+        continue;
+      }
+      if (ReadyLocked(r)) {
+        candidate = &r;
+        break;
+      }
+    }
+    if (candidate == nullptr) {
+      break;
+    }
+    const bool persist = decision < plan.size() && plan[decision];
+    ++decision;
+    if (persist) {
+      IssueLocked(*candidate);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (&*it == candidate) {
+          queue_.erase(it);
+          break;
+        }
+      }
+    } else {
+      stopped_domains.insert(candidate->domain);
+    }
+  }
+  if (decisions_used != nullptr) {
+    *decisions_used = decision;
+  }
+  stats_.records_dropped_by_crash += queue_.size();
+  queue_.clear();
+}
+
+void IoScheduler::CrashDropAll() {
+  LockGuard lock(mu_);
+  ++stats_.crashes;
+  stats_.records_dropped_by_crash += queue_.size();
+  queue_.clear();
+}
+
+size_t IoScheduler::PendingCount() const {
+  LockGuard lock(mu_);
+  return queue_.size();
+}
+
+IoSchedulerStats IoScheduler::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
+}
+
+std::string IoScheduler::DescribeStuck() const {
+  LockGuard lock(mu_);
+  std::ostringstream out;
+  out << queue_.size() << " pending record(s); head blocked records:";
+  size_t shown = 0;
+  for (const Record& r : queue_) {
+    if (ReadyLocked(r)) {
+      continue;
+    }
+    out << " [extent=" << r.extent << " kind=" << static_cast<int>(r.kind)
+        << " input_persistent=" << (r.input.IsPersistent() ? "y" : "n") << "]";
+    if (++shown == 4) {
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ss

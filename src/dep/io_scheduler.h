@@ -1,0 +1,125 @@
+// IO scheduler: orders writebacks to the disk according to the dependency graph.
+//
+// All persistence flows through here. Layers above enqueue writeback records; the
+// scheduler issues a record to the InMemoryDisk only when
+//   (a) every input dependency of the record is already persistent, and
+//   (b) all earlier records in the record's *sequence domain* have been issued.
+// Sequence domains capture orderings the medium itself enforces: appends within one
+// extent are sequential, and superblock updates for one extent apply in submission
+// order (so soft write pointers move monotonically between resets).
+//
+// Crash simulation (paper section 5): Crash() applies a random dependency-closed,
+// domain-FIFO-closed subset of the pending records to the disk and discards the rest —
+// exactly the set of block-level crash states the dependency contract allows. Records
+// dropped by a crash leave their dependency leaves unpersisted forever, which is what
+// the persistence checker polls after recovery.
+
+#ifndef SS_DEP_IO_SCHEDULER_H_
+#define SS_DEP_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/dep/dependency.h"
+#include "src/disk/disk.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+
+// Counters exposed for tests and benchmarks.
+struct IoSchedulerStats {
+  uint64_t records_enqueued = 0;
+  uint64_t records_issued = 0;
+  uint64_t records_dropped_by_crash = 0;
+  uint64_t records_failed_io = 0;
+  uint64_t crashes = 0;
+};
+
+class IoScheduler {
+ public:
+  explicit IoScheduler(InMemoryDisk* disk);
+
+  // --- Enqueue (called by ExtentManager) ----------------------------------------------
+  // Each call returns the leaf dependency of the new record.
+  Dependency EnqueueDataPage(ExtentId extent, uint32_t page, Bytes data,
+                             std::vector<Dependency> inputs);
+  Dependency EnqueueSoftWp(ExtentId extent, uint32_t wp_pages, std::vector<Dependency> inputs);
+  Dependency EnqueueOwnership(ExtentId extent, ExtentOwner owner,
+                              std::vector<Dependency> inputs);
+  // A reset marker ordered within the extent's data domain. Issuing it has no direct
+  // disk effect (the paired EnqueueSoftWp(extent, 0, ...) makes old data unreachable),
+  // but FIFO ordering guarantees no post-reset append is issued before it.
+  Dependency EnqueueReset(ExtentId extent, std::vector<Dependency> inputs);
+
+  // --- Issue ---------------------------------------------------------------------------
+  // Issues up to `max_records` ready records in FIFO-scan order; returns how many were
+  // issued. Records whose disk write fails are marked failed and dropped.
+  size_t Pump(size_t max_records);
+
+  // Pump until the queue drains. Fails with kInternal if no progress is possible while
+  // records remain (an unresolved promise or dependency cycle — a forward-progress
+  // violation), or with kIoError if a record failed.
+  Status FlushAll();
+
+  // --- Crash ---------------------------------------------------------------------------
+  // Simulates a fail-stop crash: persists a random allowed subset of pending records
+  // (each candidate record survives with probability `persist_bias`), drops the rest,
+  // and empties the queue. Deterministic given `rng` state.
+  void Crash(Rng& rng, double persist_bias);
+
+  // Convenience for tests: crash persisting nothing / everything eligible.
+  void CrashDropAll();
+
+  // Deterministic crash driven by a decision script instead of coin flips: decision i
+  // persists (true) or cuts the domain of (false) the i-th candidate record, in the
+  // same candidate order Crash() uses; an exhausted script drops everything remaining.
+  // `decisions_used` (optional) reports how many decisions the crash consumed — the
+  // branching factor an exhaustive enumerator needs (paper section 5's block-level
+  // crash-state enumeration, in the style of BOB / CrashMonkey).
+  void CrashScripted(const std::vector<bool>& plan, size_t* decisions_used = nullptr);
+
+  size_t PendingCount() const;
+  IoSchedulerStats stats() const;
+
+  // Description of why the queue is stuck (for forward-progress diagnostics).
+  std::string DescribeStuck() const;
+
+ private:
+  enum class Kind : uint8_t { kDataPage, kSoftWp, kOwnership, kReset };
+
+  struct Record {
+    Kind kind;
+    ExtentId extent;
+    uint32_t page = 0;      // kDataPage
+    Bytes data;             // kDataPage
+    uint32_t soft_wp = 0;   // kSoftWp
+    ExtentOwner owner = ExtentOwner::kFree;  // kOwnership
+    Dependency input;       // conjunction of the caller's input dependencies
+    Dependency done;        // leaf marked persistent on issue
+    uint64_t domain = 0;    // sequence domain key
+    uint64_t seq = 0;       // global enqueue order (FIFO position within domain)
+  };
+
+  uint64_t DomainKey(Kind kind, ExtentId extent) const;
+  Dependency EnqueueLocked(Record record);
+  // True if `record` may be issued now: inputs persistent and it is the oldest
+  // unissued record of its domain within `queue`.
+  bool ReadyLocked(const Record& record) const;
+  // Applies the record's effect to the disk. Returns the disk status.
+  Status IssueLocked(Record& record);
+
+  mutable Mutex mu_;
+  InMemoryDisk* disk_;
+  std::deque<Record> queue_;
+  uint64_t next_seq_ = 0;
+  IoSchedulerStats stats_;
+};
+
+}  // namespace ss
+
+#endif  // SS_DEP_IO_SCHEDULER_H_

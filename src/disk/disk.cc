@@ -1,0 +1,151 @@
+#include "src/disk/disk.h"
+
+#include <algorithm>
+
+namespace ss {
+
+namespace {
+bool TakeOne(std::vector<ExtentId>& v, ExtentId extent) {
+  auto it = std::find(v.begin(), v.end(), extent);
+  if (it == v.end()) {
+    return false;
+  }
+  v.erase(it);
+  return true;
+}
+}  // namespace
+
+void DiskFaultInjector::FailReadOnce(ExtentId extent) {
+  LockGuard lock(mu_);
+  read_once_.push_back(extent);
+}
+
+void DiskFaultInjector::FailWriteOnce(ExtentId extent) {
+  LockGuard lock(mu_);
+  write_once_.push_back(extent);
+}
+
+void DiskFaultInjector::FailAlways(ExtentId extent, bool enabled) {
+  LockGuard lock(mu_);
+  auto it = std::find(always_.begin(), always_.end(), extent);
+  if (enabled && it == always_.end()) {
+    always_.push_back(extent);
+  } else if (!enabled && it != always_.end()) {
+    always_.erase(it);
+  }
+}
+
+void DiskFaultInjector::Clear() {
+  LockGuard lock(mu_);
+  read_once_.clear();
+  write_once_.clear();
+  always_.clear();
+}
+
+bool DiskFaultInjector::ShouldFailRead(ExtentId extent) {
+  LockGuard lock(mu_);
+  if (std::find(always_.begin(), always_.end(), extent) != always_.end()) {
+    return true;
+  }
+  return TakeOne(read_once_, extent);
+}
+
+bool DiskFaultInjector::ShouldFailWrite(ExtentId extent) {
+  LockGuard lock(mu_);
+  if (std::find(always_.begin(), always_.end(), extent) != always_.end()) {
+    return true;
+  }
+  return TakeOne(write_once_, extent);
+}
+
+InMemoryDisk::InMemoryDisk(DiskGeometry geometry) : geometry_(geometry) {
+  pages_.resize(uint64_t{geometry_.extent_count} * geometry_.pages_per_extent);
+  soft_wp_.assign(geometry_.extent_count, 0);
+  ownership_.assign(geometry_.extent_count, ExtentOwner::kFree);
+}
+
+Status InMemoryDisk::CheckRange(ExtentId extent, uint32_t page) const {
+  if (extent >= geometry_.extent_count || page >= geometry_.pages_per_extent) {
+    return Status::InvalidArgument("disk: extent/page out of range");
+  }
+  return Status::Ok();
+}
+
+Status InMemoryDisk::WritePage(ExtentId extent, uint32_t page, ByteSpan data) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, page));
+  if (data.size() > geometry_.page_size) {
+    return Status::InvalidArgument("disk: write larger than a page");
+  }
+  Bytes& slot = pages_[uint64_t{extent} * geometry_.pages_per_extent + page];
+  slot.assign(data.begin(), data.end());
+  slot.resize(geometry_.page_size, 0);
+  return Status::Ok();
+}
+
+Result<Bytes> InMemoryDisk::ReadPage(ExtentId extent, uint32_t page) const {
+  SS_RETURN_IF_ERROR(CheckRange(extent, page));
+  const Bytes& slot = pages_[uint64_t{extent} * geometry_.pages_per_extent + page];
+  if (slot.empty()) {
+    return Bytes(geometry_.page_size, 0);
+  }
+  return slot;
+}
+
+Result<Bytes> InMemoryDisk::PeekPage(ExtentId extent, uint32_t page) const {
+  SS_RETURN_IF_ERROR(CheckRange(extent, page));
+  const Bytes& slot = pages_[uint64_t{extent} * geometry_.pages_per_extent + page];
+  if (slot.empty()) {
+    return Bytes(geometry_.page_size, 0);
+  }
+  return slot;
+}
+
+Result<Bytes> InMemoryDisk::ReadPages(ExtentId extent, uint32_t first_page,
+                                      uint32_t count) const {
+  Bytes out;
+  out.reserve(uint64_t{count} * geometry_.page_size);
+  for (uint32_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(Bytes page, ReadPage(extent, first_page + i));
+    out.insert(out.end(), page.begin(), page.end());
+  }
+  return out;
+}
+
+Status InMemoryDisk::WriteSoftWp(ExtentId extent, uint32_t wp_pages) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, 0));
+  if (wp_pages > geometry_.pages_per_extent) {
+    return Status::InvalidArgument("disk: soft wp out of range");
+  }
+  soft_wp_[extent] = wp_pages;
+  return Status::Ok();
+}
+
+uint32_t InMemoryDisk::ReadSoftWp(ExtentId extent) const {
+  return extent < soft_wp_.size() ? soft_wp_[extent] : 0;
+}
+
+Status InMemoryDisk::WriteOwnership(ExtentId extent, ExtentOwner owner) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, 0));
+  ownership_[extent] = owner;
+  return Status::Ok();
+}
+
+ExtentOwner InMemoryDisk::ReadOwnership(ExtentId extent) const {
+  return extent < ownership_.size() ? ownership_[extent] : ExtentOwner::kFree;
+}
+
+Status InMemoryDisk::ResetExtentRegion(ExtentId extent) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, 0));
+  // Intentionally does not clear page contents; see header comment.
+  return Status::Ok();
+}
+
+uint64_t InMemoryDisk::LivePages() const {
+  uint64_t total = 0;
+  for (uint32_t wp : soft_wp_) {
+    total += wp;
+  }
+  return total;
+}
+
+}  // namespace ss

@@ -1,0 +1,131 @@
+// In-memory user-space disk.
+//
+// The paper's harnesses run the real ShardStore stack against an in-memory disk for
+// determinism and speed (section 4.1); this is that disk. It models:
+//   * extents: contiguous page arrays with append-only write discipline,
+//   * a *persistent image* only — volatile state (pending writebacks, caches, memtables)
+//     lives in the layers above, so "crash" is simply "discard the layers above and
+//     reopen the disk",
+//   * a superblock region holding per-extent soft write pointers and extent ownership
+//     (the structured equivalent of extent 0 in Figure 2),
+//   * injectable IO failures (FailDiskOnce-style, section 4.4).
+//
+// Extent 0 is reserved for the superblock region and is not available for data.
+
+#ifndef SS_DISK_DISK_H_
+#define SS_DISK_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+
+using ExtentId = uint32_t;
+
+// Which subsystem owns an extent's contents. Stored in the superblock region; recovery
+// and reclamation dispatch reverse lookups on it.
+enum class ExtentOwner : uint8_t {
+  kFree = 0,
+  kChunkData = 1,    // chunk-store data (shard chunks and LSM run chunks)
+  kLsmMetadata = 2,  // reserved LSM metadata extents
+};
+
+struct DiskGeometry {
+  uint32_t extent_count = 32;     // including reserved extent 0
+  uint32_t pages_per_extent = 64;
+  uint32_t page_size = 256;       // bytes
+
+  uint64_t ExtentBytes() const { return uint64_t{pages_per_extent} * page_size; }
+};
+
+// Deterministic IO failure injection. The property-based failure tests (section 4.4)
+// arm these from their operation alphabet.
+class DiskFaultInjector {
+ public:
+  // The next read touching `extent` fails once, then behaviour returns to normal.
+  void FailReadOnce(ExtentId extent);
+  // The next write touching `extent` fails once.
+  void FailWriteOnce(ExtentId extent);
+  // All IO to `extent` fails until cleared (permanent failure).
+  void FailAlways(ExtentId extent, bool enabled);
+  void Clear();
+
+  // Consume-and-report: true if this read/write should fail.
+  bool ShouldFailRead(ExtentId extent);
+  bool ShouldFailWrite(ExtentId extent);
+
+ private:
+  Mutex mu_;
+  std::vector<ExtentId> read_once_;
+  std::vector<ExtentId> write_once_;
+  std::vector<ExtentId> always_;
+};
+
+// The persistent image of one disk. All mutators are invoked by the IO scheduler when a
+// writeback is issued (or by crash application); higher layers never write directly.
+class InMemoryDisk {
+ public:
+  explicit InMemoryDisk(DiskGeometry geometry = {});
+
+  const DiskGeometry& geometry() const { return geometry_; }
+
+  // --- Data pages -------------------------------------------------------------------
+  // Writes exactly one page. `data` shorter than page_size is zero-padded. Fault
+  // injection is enforced one layer up (ExtentManager), where failures surface
+  // synchronously to the operation that caused the IO; the disk itself never fails.
+  Status WritePage(ExtentId extent, uint32_t page, ByteSpan data);
+
+  // Reads one page (zeros if never written).
+  Result<Bytes> ReadPage(ExtentId extent, uint32_t page) const;
+
+  // Recovery read path: same contents as ReadPage but never subject to fault injection
+  // (used to rebuild the in-memory extent image after a reboot; injected faults target
+  // the running system's IO, not the snapshot copy).
+  Result<Bytes> PeekPage(ExtentId extent, uint32_t page) const;
+
+  // Reads `count` consecutive pages into one buffer.
+  Result<Bytes> ReadPages(ExtentId extent, uint32_t first_page, uint32_t count) const;
+
+  // --- Superblock region ---------------------------------------------------------------
+  // Persisted soft write pointer (in pages) for an extent.
+  Status WriteSoftWp(ExtentId extent, uint32_t wp_pages);
+  uint32_t ReadSoftWp(ExtentId extent) const;
+
+  Status WriteOwnership(ExtentId extent, ExtentOwner owner);
+  ExtentOwner ReadOwnership(ExtentId extent) const;
+
+  // Monotonic superblock epoch, bumped by recovery so tests can count reboots.
+  void BumpEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+  // --- Reset -----------------------------------------------------------------------
+  // Applied when an extent-reset writeback is issued: page *contents are retained*
+  // (nothing is physically erased) — only the superblock soft pointer write makes the
+  // old data unreachable. This mirrors real extent resets and is what makes stale-data
+  // resurrection bugs (#7) expressible.
+  Status ResetExtentRegion(ExtentId extent);
+
+  DiskFaultInjector& fault_injector() { return faults_; }
+
+  // Total pages with a nonzero persisted soft write pointer — diagnostics only.
+  uint64_t LivePages() const;
+
+ private:
+  Status CheckRange(ExtentId extent, uint32_t page) const;
+
+  DiskGeometry geometry_;
+  // pages_[extent * pages_per_extent + page]
+  std::vector<Bytes> pages_;
+  std::vector<uint32_t> soft_wp_;
+  std::vector<ExtentOwner> ownership_;
+  uint64_t epoch_ = 0;
+  mutable DiskFaultInjector faults_;
+};
+
+}  // namespace ss
+
+#endif  // SS_DISK_DISK_H_

@@ -1,0 +1,100 @@
+// Component-level conformance harnesses (paper Figure 3 and section 8.4's "model one
+// component at a time" methodology).
+//
+//   * IndexConformanceHarness  — drives LsmIndex directly against IndexModel (a hash
+//     map), with background Flush/Compact/Reclaim/Reboot operations that must not
+//     change the mapping. This is the paper's Figure 3 harness.
+//   * ChunkConformanceHarness  — drives ChunkStore against ChunkStoreModel, keeping the
+//     implementation-locator <-> model-locator correspondence and checking it remains a
+//     bijection (the invariant seeded model bug #15 violates).
+
+#ifndef SS_HARNESS_COMPONENT_HARNESS_H_
+#define SS_HARNESS_COMPONENT_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/models.h"
+#include "src/pbt/pbt.h"
+
+namespace ss {
+
+// --- Index harness (Figure 3) ------------------------------------------------------------
+
+enum class IndexOpKind : uint8_t {
+  kGet = 0,   // earliest variant: the minimizer prefers it (section 4.3)
+  kPut,
+  kDelete,
+  kFlush,
+  kCompact,
+  kReclaim,
+  kReboot,
+};
+
+struct IndexOp {
+  IndexOpKind kind = IndexOpKind::kGet;
+  ShardId key = 0;
+  uint32_t value_tag = 0;  // deterministic record payload selector
+  std::string ToString() const;
+};
+
+struct IndexHarnessOptions {
+  DiskGeometry geometry{.extent_count = 16, .pages_per_extent = 16, .page_size = 256};
+  uint64_t key_bound = 16;
+};
+
+IndexOp GenIndexOp(Rng& rng, const std::vector<IndexOp>& prefix,
+                   const IndexHarnessOptions& options);
+std::vector<IndexOp> ShrinkIndexOp(const IndexOp& op);
+
+class IndexConformanceHarness {
+ public:
+  explicit IndexConformanceHarness(IndexHarnessOptions options) : options_(options) {}
+  std::optional<std::string> Run(const std::vector<IndexOp>& ops);
+  PbtRunner<IndexOp> MakeRunner(PbtConfig config) const;
+
+ private:
+  IndexHarnessOptions options_;
+};
+
+// --- Chunk store harness ---------------------------------------------------------------
+
+enum class ChunkOpKind : uint8_t {
+  kGet = 0,
+  kPut,
+  kForget,   // drop our reference; the chunk becomes garbage
+  kReclaim,
+  kPumpIo,
+};
+
+struct ChunkOp {
+  ChunkOpKind kind = ChunkOpKind::kGet;
+  uint32_t pick = 0;      // which live chunk (modulo live count)
+  uint32_t size = 0;      // put payload size
+  uint64_t payload_seed = 0;
+  std::string ToString() const;
+};
+
+struct ChunkHarnessOptions {
+  DiskGeometry geometry{.extent_count = 16, .pages_per_extent = 16, .page_size = 256};
+  size_t max_payload = 1024;
+};
+
+ChunkOp GenChunkOp(Rng& rng, const std::vector<ChunkOp>& prefix,
+                   const ChunkHarnessOptions& options);
+std::vector<ChunkOp> ShrinkChunkOp(const ChunkOp& op);
+
+class ChunkConformanceHarness {
+ public:
+  explicit ChunkConformanceHarness(ChunkHarnessOptions options) : options_(options) {}
+  std::optional<std::string> Run(const std::vector<ChunkOp>& ops);
+  PbtRunner<ChunkOp> MakeRunner(PbtConfig config) const;
+
+ private:
+  ChunkHarnessOptions options_;
+};
+
+}  // namespace ss
+
+#endif  // SS_HARNESS_COMPONENT_HARNESS_H_

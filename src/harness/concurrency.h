@@ -1,0 +1,44 @@
+// Concurrency scenario bodies for the stateless model checker (paper section 6).
+//
+// Each Make*Body() returns a closure suitable for ss::McExplore: it builds fresh state,
+// spawns ss::Thread workers exercising the real ShardStore stack, and asserts with
+// MC_CHECK. The Figure 4 harness (index read-after-write under concurrent reclamation
+// and compaction) is MakeFig4IndexBody.
+
+#ifndef SS_HARNESS_CONCURRENCY_H_
+#define SS_HARNESS_CONCURRENCY_H_
+
+#include <functional>
+
+#include "src/mc/mc.h"
+
+namespace ss {
+
+// Figure 4: put/get read-after-write ∥ chunk reclamation ∥ LSM compaction. Catches the
+// locator race (#11) and the compaction/reclamation metadata race (#14).
+std::function<void()> MakeFig4IndexBody();
+
+// Narrow variant of the Figure 4 scenario focused on the index-flush/reclamation
+// window (#14): one thread flushes the memtable into a new run chunk while another
+// sweeps reclamation over the data extents. Small enough for exhaustive-ish search.
+std::function<void()> MakeFlushReclaimBody();
+
+// Two concurrent appends against a two-permit buffer pool. The correct atomic
+// acquisition serializes; the split acquisition of seeded bug #12 deadlocks.
+std::function<void()> MakeBufferPoolBody();
+
+// Control-plane listing concurrent with shard removal (#13): shards that exist
+// throughout must appear in the listing.
+std::function<void()> MakeListRemoveBody();
+
+// Bulk create ∥ bulk remove of the same batch (#16): observers must see the batch
+// applied atomically (all-or-nothing).
+std::function<void()> MakeBulkAtomicityBody();
+
+// Records a small concurrent history of puts/gets/deletes and checks it is
+// linearizable with respect to the sequential KV model.
+std::function<void()> MakeLinearizabilityBody();
+
+}  // namespace ss
+
+#endif  // SS_HARNESS_CONCURRENCY_H_

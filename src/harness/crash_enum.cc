@@ -1,0 +1,127 @@
+#include "src/harness/crash_enum.h"
+
+#include <sstream>
+
+#include "src/model/models.h"
+
+namespace ss {
+
+namespace {
+
+// One deterministic run: apply the ops, crash with `plan`, recover, sweep. Returns the
+// violation (if any) and reports the crash's decision count.
+std::optional<std::string> RunOnce(const std::vector<KvOp>& ops,
+                                   const CrashEnumOptions& options,
+                                   const std::vector<bool>& plan, size_t* decisions_used) {
+  InMemoryDisk disk(options.geometry);
+  auto store_or = ShardStore::Open(&disk, options.store);
+  if (!store_or.ok()) {
+    return "open failed: " + store_or.status().ToString();
+  }
+  std::unique_ptr<ShardStore> store = std::move(store_or).value();
+  KvStoreModel model;
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const KvOp& op = ops[i];
+    switch (op.kind) {
+      case KvOpKind::kPut: {
+        auto dep_or = store->Put(op.id, op.value);
+        if (dep_or.ok()) {
+          model.Put(op.id, op.value, dep_or.value());
+        } else if (dep_or.code() != StatusCode::kResourceExhausted) {
+          return "op#" + std::to_string(i) + " put failed: " + dep_or.status().ToString();
+        }
+        break;
+      }
+      case KvOpKind::kDelete: {
+        auto dep_or = store->Delete(op.id);
+        if (!dep_or.ok()) {
+          return "op#" + std::to_string(i) + " delete failed";
+        }
+        model.Delete(op.id, dep_or.value());
+        break;
+      }
+      case KvOpKind::kFlushIndex:
+        (void)store->FlushIndex();
+        break;
+      case KvOpKind::kCompactIndex:
+        (void)store->CompactIndex();
+        break;
+      case KvOpKind::kReclaim: {
+        std::vector<ExtentId> candidates = store->chunks().ReclaimableExtents();
+        if (!candidates.empty()) {
+          (void)store->ReclaimExtent(candidates[op.arg % candidates.size()]);
+        }
+        break;
+      }
+      case KvOpKind::kPumpIo:
+        store->PumpIo(op.arg);
+        break;
+      default:
+        return "op kind not supported by the crash enumerator";
+    }
+  }
+
+  store->scheduler().CrashScripted(plan, decisions_used);
+  store.reset();
+  disk.fault_injector().Clear();
+  auto reopened = ShardStore::Open(&disk, options.store);
+  if (!reopened.ok()) {
+    return "crash recovery failed: " + reopened.status().ToString();
+  }
+  store = std::move(reopened).value();
+
+  for (ShardId id : model.TouchedKeys()) {
+    std::optional<Bytes> observed;
+    auto got = store->Get(id);
+    if (got.ok()) {
+      observed = std::move(got).value();
+    } else if (got.code() != StatusCode::kNotFound) {
+      return "post-crash read error on shard " + std::to_string(id) + ": " +
+             got.status().ToString();
+    }
+    if (!model.AdoptPostCrash(id, observed)) {
+      return "shard " + std::to_string(id) +
+             (observed.has_value() ? " surfaced a value outside the crash-allowed set"
+                                   : " lost: a persisted mutation is unreadable");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CrashEnumResult EnumerateCrashStates(const std::vector<KvOp>& ops,
+                                     const CrashEnumOptions& options) {
+  CrashEnumResult result;
+  // DFS odometer over binary decision strings: false ("cut") is the first branch,
+  // true ("persist") the second; depth adapts to the decisions each run consumes.
+  std::vector<bool> plan;
+  while (result.states_explored < options.max_states) {
+    size_t used = 0;
+    std::optional<std::string> violation = RunOnce(ops, options, plan, &used);
+    ++result.states_explored;
+    if (violation.has_value()) {
+      result.violation = std::move(violation);
+      result.violating_plan = plan;
+      return result;
+    }
+    // Extend the path to the full decision depth of this run (unrecorded decisions
+    // defaulted to false).
+    while (plan.size() < used) {
+      plan.push_back(false);
+    }
+    // Advance: deepest false -> true, truncating everything after it.
+    while (!plan.empty() && plan.back()) {
+      plan.pop_back();
+    }
+    if (plan.empty()) {
+      result.exhausted = true;
+      return result;
+    }
+    plan.back() = true;
+  }
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,253 @@
+#include "src/harness/fig5.h"
+
+#include "src/harness/component_harness.h"
+#include "src/harness/concurrency.h"
+#include "src/harness/kv_harness.h"
+#include "src/harness/rpc_harness.h"
+
+namespace ss {
+
+namespace {
+
+// Which checker catches which bug (the paper's section per Figure 5 row).
+enum class Checker {
+  kPbtConformance,       // section 4: sequential conformance vs the reference model
+  kPbtCrashConsistency,  // section 5: conformance with DirtyReboot crash states
+  kPbtFailureInjection,  // section 4.4: conformance with injected IO failures
+  kPbtChunkComponent,    // section 4: chunk-store component harness (model invariants)
+  kMcFig4,               // section 6: Figure 4 index harness under the model checker
+  kMcFlushReclaim,       // section 6: narrow flush/reclamation window harness
+  kMcBufferPool,         // section 6: deadlock detection
+  kMcListRemove,         // section 6: control-plane race
+  kMcBulk,               // section 6: bulk-op atomicity
+};
+
+Checker CheckerFor(SeededBug bug) {
+  switch (bug) {
+    case SeededBug::kReclaimOffByOnePageSize:
+    case SeededBug::kCacheNotDrainedOnReset:
+    case SeededBug::kShutdownMetadataSkipAfterReset:
+      return Checker::kPbtConformance;
+    case SeededBug::kDiskRemovalLosesShards:
+      return Checker::kPbtConformance;  // runs the RPC-level harness (see below)
+    case SeededBug::kReclaimForgetsChunkOnReadError:
+      return Checker::kPbtFailureInjection;
+    case SeededBug::kSuperblockWrongOwnershipDep:
+    case SeededBug::kSoftPointerNotResetPersisted:
+    case SeededBug::kWriteMissingSoftPointerDep:
+    case SeededBug::kRecoveryWritePointerPastCrash:
+    case SeededBug::kReclaimUuidCollision:
+      return Checker::kPbtCrashConsistency;
+    case SeededBug::kLocatorInvalidOnWriteFlushRace:
+      return Checker::kMcFig4;
+    case SeededBug::kCompactReclaimMetadataRace:
+      return Checker::kMcFlushReclaim;
+    case SeededBug::kBufferPoolDeadlock:
+      return Checker::kMcBufferPool;
+    case SeededBug::kListRemoveRace:
+      return Checker::kMcListRemove;
+    case SeededBug::kModelLocatorReuse:
+      return Checker::kPbtChunkComponent;
+    case SeededBug::kBulkCreateRemoveRace:
+      return Checker::kMcBulk;
+  }
+  return Checker::kPbtConformance;
+}
+
+std::string_view CheckerName(Checker checker) {
+  switch (checker) {
+    case Checker::kPbtConformance:
+      return "property-based conformance (sec 4)";
+    case Checker::kPbtCrashConsistency:
+      return "crash-consistency conformance (sec 5)";
+    case Checker::kPbtFailureInjection:
+      return "failure-injection conformance (sec 4.4)";
+    case Checker::kPbtChunkComponent:
+      return "chunk-store component conformance (sec 4)";
+    case Checker::kMcFig4:
+      return "stateless model checking, Fig 4 harness (sec 6)";
+    case Checker::kMcFlushReclaim:
+      return "stateless model checking, flush/reclaim harness (sec 6)";
+    case Checker::kMcBufferPool:
+      return "stateless model checking, deadlock (sec 6)";
+    case Checker::kMcListRemove:
+      return "stateless model checking, list/remove (sec 6)";
+    case Checker::kMcBulk:
+      return "stateless model checking, bulk ops (sec 6)";
+  }
+  return "?";
+}
+
+template <typename Op>
+void FillFromPbt(const std::optional<PbtFailure<Op>>& failure, size_t cases_run,
+                 Fig5Detection& out) {
+  out.cases_or_execs = cases_run;
+  if (failure.has_value()) {
+    out.detected = true;
+    out.message = failure->message;
+    out.original_ops = failure->original.size();
+    out.minimized_ops = failure->minimized.size();
+    out.shrink_runs = failure->shrink_runs;
+  }
+}
+
+Fig5Detection RunChecker(SeededBug bug, Checker checker, const Fig5Budget& budget) {
+  Fig5Detection out;
+  out.bug = bug;
+  out.checker = std::string(CheckerName(checker));
+
+  switch (checker) {
+    case Checker::kPbtConformance: {
+      if (bug == SeededBug::kDiskRemovalLosesShards) {
+        RpcConformanceHarness harness{RpcHarnessOptions{}};
+        auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                                   .num_cases = budget.pbt_cases});
+        auto failure = runner.Run();
+        FillFromPbt(failure, runner.stats().cases_run, out);
+        break;
+      }
+      KvHarnessOptions options;
+      KvConformanceHarness harness(options);
+      auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                                 .num_cases = budget.pbt_cases});
+      auto failure = runner.Run();
+      FillFromPbt(failure, runner.stats().cases_run, out);
+      break;
+    }
+    case Checker::kPbtCrashConsistency: {
+      KvHarnessOptions options;
+      options.crashes = true;
+      KvConformanceHarness harness(options);
+      auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                                 .num_cases = budget.pbt_cases,
+                                                 .max_ops = 80});
+      auto failure = runner.Run();
+      FillFromPbt(failure, runner.stats().cases_run, out);
+      break;
+    }
+    case Checker::kPbtFailureInjection: {
+      KvHarnessOptions options;
+      options.failure_injection = true;
+      KvConformanceHarness harness(options);
+      auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                                 .num_cases = budget.pbt_cases});
+      auto failure = runner.Run();
+      FillFromPbt(failure, runner.stats().cases_run, out);
+      break;
+    }
+    case Checker::kPbtChunkComponent: {
+      ChunkConformanceHarness harness{ChunkHarnessOptions{}};
+      auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                                 .num_cases = budget.pbt_cases});
+      auto failure = runner.Run();
+      FillFromPbt(failure, runner.stats().cases_run, out);
+      break;
+    }
+    case Checker::kMcFig4:
+    case Checker::kMcFlushReclaim:
+    case Checker::kMcBufferPool:
+    case Checker::kMcListRemove:
+    case Checker::kMcBulk: {
+      std::function<void()> body;
+      if (checker == Checker::kMcFig4) {
+        body = MakeFig4IndexBody();
+      } else if (checker == Checker::kMcFlushReclaim) {
+        body = MakeFlushReclaimBody();
+      } else if (checker == Checker::kMcBufferPool) {
+        body = MakeBufferPoolBody();
+      } else if (checker == Checker::kMcListRemove) {
+        body = MakeListRemoveBody();
+      } else {
+        body = MakeBulkAtomicityBody();
+      }
+      McOptions mc;
+      mc.strategy = McOptions::Strategy::kPct;
+      mc.iterations = budget.mc_iterations;
+      // Decorrelate the PCT priority stream per bug.
+      mc.seed = budget.seed + static_cast<uint64_t>(bug) * 1009;
+      McResult result = McExplore(body, mc);
+      out.cases_or_execs = result.executions;
+      if (!result.ok) {
+        out.detected = true;
+        out.message = result.deadlock ? "deadlock: " + result.error : result.error;
+      }
+      break;
+    }
+  }
+  if (out.message.size() > 160) {
+    out.message.resize(160);
+    out.message += "...";
+  }
+  return out;
+}
+
+}  // namespace
+
+Fig5Detection DetectSeededBug(SeededBug bug, const Fig5Budget& budget) {
+  ScopedBug scope(bug);
+  return RunChecker(bug, CheckerFor(bug), budget);
+}
+
+std::vector<Fig5Detection> RunFig5Catalog(const Fig5Budget& budget) {
+  std::vector<Fig5Detection> out;
+  for (int b = 0; b < kSeededBugCount; ++b) {
+    out.push_back(DetectSeededBug(static_cast<SeededBug>(b), budget));
+  }
+  return out;
+}
+
+std::string RunFig5Baseline(const Fig5Budget& budget) {
+  FaultRegistry::Global().DisableAll();
+  // Sequential conformance.
+  {
+    KvConformanceHarness harness{KvHarnessOptions{}};
+    auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                               .num_cases = budget.pbt_cases});
+    if (auto failure = runner.Run(); failure.has_value()) {
+      return "baseline conformance failed: " + failure->message;
+    }
+  }
+  // Crash consistency.
+  {
+    KvHarnessOptions options;
+    options.crashes = true;
+    KvConformanceHarness harness(options);
+    auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                               .num_cases = budget.pbt_cases});
+    if (auto failure = runner.Run(); failure.has_value()) {
+      return "baseline crash consistency failed: " + failure->message;
+    }
+  }
+  // Failure injection.
+  {
+    KvHarnessOptions options;
+    options.failure_injection = true;
+    KvConformanceHarness harness(options);
+    auto runner = harness.MakeRunner(PbtConfig{.seed = budget.seed,
+                                               .num_cases = budget.pbt_cases});
+    if (auto failure = runner.Run(); failure.has_value()) {
+      return "baseline failure injection failed: " + failure->message;
+    }
+  }
+  // Model checking scenarios.
+  for (auto& [name, body] :
+       std::vector<std::pair<std::string, std::function<void()>>>{
+           {"fig4", MakeFig4IndexBody()},
+           {"flush-reclaim", MakeFlushReclaimBody()},
+           {"buffer-pool", MakeBufferPoolBody()},
+           {"list-remove", MakeListRemoveBody()},
+           {"bulk", MakeBulkAtomicityBody()},
+           {"linearizability", MakeLinearizabilityBody()}}) {
+    McOptions mc;
+    mc.strategy = McOptions::Strategy::kPct;
+    mc.iterations = budget.mc_iterations / 10 + 1;
+    mc.seed = budget.seed;
+    McResult result = McExplore(body, mc);
+    if (!result.ok) {
+      return "baseline MC scenario '" + name + "' failed: " + result.error;
+    }
+  }
+  return "";
+}
+
+}  // namespace ss

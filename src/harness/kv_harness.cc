@@ -1,0 +1,452 @@
+#include "src/harness/kv_harness.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/chunk/chunk_format.h"
+
+namespace ss {
+
+namespace {
+
+std::string_view KindName(KvOpKind kind) {
+  switch (kind) {
+    case KvOpKind::kGet:
+      return "Get";
+    case KvOpKind::kPut:
+      return "Put";
+    case KvOpKind::kDelete:
+      return "Delete";
+    case KvOpKind::kList:
+      return "List";
+    case KvOpKind::kPumpIo:
+      return "PumpIo";
+    case KvOpKind::kFlushIndex:
+      return "FlushIndex";
+    case KvOpKind::kCompactIndex:
+      return "CompactIndex";
+    case KvOpKind::kReclaim:
+      return "Reclaim";
+    case KvOpKind::kReboot:
+      return "Reboot";
+    case KvOpKind::kDirtyReboot:
+      return "DirtyReboot";
+    case KvOpKind::kFailReadOnce:
+      return "FailReadOnce";
+    case KvOpKind::kFailWriteOnce:
+      return "FailWriteOnce";
+  }
+  return "?";
+}
+
+Bytes RandomValue(Rng& rng, size_t size) {
+  Bytes out(size);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.Below(256));
+  }
+  return out;
+}
+
+std::vector<uint64_t> UsedKeys(const std::vector<KvOp>& prefix) {
+  std::vector<uint64_t> used;
+  for (const KvOp& op : prefix) {
+    if (op.kind == KvOpKind::kPut || op.kind == KvOpKind::kDelete ||
+        op.kind == KvOpKind::kGet) {
+      used.push_back(op.id);
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+std::string KvOp::ToString() const {
+  std::ostringstream out;
+  out << KindName(kind);
+  switch (kind) {
+    case KvOpKind::kGet:
+    case KvOpKind::kDelete:
+      out << "(" << id << ")";
+      break;
+    case KvOpKind::kPut:
+      out << "(" << id << ", " << value.size() << "B)";
+      break;
+    case KvOpKind::kPumpIo:
+    case KvOpKind::kReclaim:
+    case KvOpKind::kDirtyReboot:
+    case KvOpKind::kFailReadOnce:
+    case KvOpKind::kFailWriteOnce:
+      out << "(" << arg << ")";
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+KvOp GenKvOp(Rng& rng, const std::vector<KvOp>& prefix, const KvHarnessOptions& options) {
+  // Weights over the alphabet (order matches KvOpKind).
+  std::vector<uint32_t> weights = {
+      /*Get*/ 24, /*Put*/ 30, /*Delete*/ 10, /*List*/ 3,  /*PumpIo*/ 10,
+      /*Flush*/ 8, /*Compact*/ 4, /*Reclaim*/ 10, /*Reboot*/ 2,
+      /*DirtyReboot*/ options.crashes ? 6u : 0u,
+      /*FailRead*/ options.failure_injection ? 3u : 0u,
+      /*FailWrite*/ options.failure_injection ? 3u : 0u,
+  };
+  KvOp op;
+  op.kind = static_cast<KvOpKind>(rng.WeightedIndex(weights));
+  switch (op.kind) {
+    case KvOpKind::kGet:
+      // Bias toward keys already touched: a Get of a never-written key exercises only
+      // the miss path (section 4.2's example).
+      op.id = options.bias_arguments ? BiasedKey(rng, UsedKeys(prefix), 0.75, options.key_bound)
+                                     : rng.Below(options.key_bound);
+      break;
+    case KvOpKind::kPut: {
+      op.id = options.bias_arguments ? BiasedKey(rng, UsedKeys(prefix), 0.5, options.key_bound)
+                                     : rng.Below(options.key_bound);
+      const size_t size =
+          options.bias_arguments
+              ? BiasedValueSize(rng, options.geometry.page_size, kChunkOverheadBytes,
+                                options.max_value_bytes)
+              : rng.Below(options.max_value_bytes + 1);
+      op.value = RandomValue(rng, size);
+      break;
+    }
+    case KvOpKind::kDelete:
+      op.id = options.bias_arguments ? BiasedKey(rng, UsedKeys(prefix), 0.8, options.key_bound)
+                                     : rng.Below(options.key_bound);
+      break;
+    case KvOpKind::kPumpIo:
+      op.arg = static_cast<uint32_t>(rng.Range(1, 8));
+      break;
+    case KvOpKind::kReclaim:
+      op.arg = static_cast<uint32_t>(rng.Below(8));  // candidate selector
+      break;
+    case KvOpKind::kDirtyReboot:
+      op.arg = static_cast<uint32_t>(rng.Next());  // crash-state seed
+      break;
+    case KvOpKind::kFailReadOnce:
+    case KvOpKind::kFailWriteOnce:
+      op.arg = static_cast<uint32_t>(
+          rng.Range(1, options.geometry.extent_count - 1));
+      break;
+    default:
+      break;
+  }
+  return op;
+}
+
+std::vector<KvOp> ShrinkKvOp(const KvOp& op) {
+  std::vector<KvOp> out;
+  // Toward-zero numeric shrinks.
+  if (op.id > 0) {
+    KvOp smaller = op;
+    smaller.id /= 2;
+    out.push_back(smaller);
+  }
+  if (op.arg > 1) {
+    KvOp smaller = op;
+    smaller.arg /= 2;
+    out.push_back(smaller);
+  }
+  // Shorter values.
+  if (op.kind == KvOpKind::kPut && !op.value.empty()) {
+    KvOp shorter = op;
+    shorter.value.resize(op.value.size() / 2);
+    out.push_back(shorter);
+    KvOp tiny = op;
+    tiny.value.resize(std::min<size_t>(op.value.size(), 1));
+    out.push_back(tiny);
+  }
+  // Earlier alphabet variant: anything can try to become a Get of the same key (the
+  // minimizer keeps it only if the sequence still fails).
+  if (op.kind != KvOpKind::kGet) {
+    KvOp get;
+    get.kind = KvOpKind::kGet;
+    get.id = op.id;
+    out.push_back(get);
+  }
+  return out;
+}
+
+std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& ops) {
+  InMemoryDisk disk(options_.geometry);
+  ShardStoreOptions store_options = options_.store;
+  auto store_or = ShardStore::Open(&disk, store_options);
+  if (!store_or.ok()) {
+    return "initial open failed: " + store_or.status().ToString();
+  }
+  std::unique_ptr<ShardStore> store = std::move(store_or).value();
+
+  KvStoreModel model;
+  // Every dependency returned by a mutating op, for the forward-progress property.
+  std::vector<std::pair<size_t, Dependency>> dep_log;
+  bool faults_armed = false;
+
+  auto fail = [&](size_t i, const std::string& what) {
+    std::ostringstream out;
+    out << "op#" << i << " " << (i < ops.size() ? ops[i].ToString() : "<end>") << ": " << what;
+    return std::optional<std::string>(out.str());
+  };
+
+  // Post-recovery sweep: every touched key must read back exactly the model's value.
+  auto sweep = [&](size_t i, const char* when) -> std::optional<std::string> {
+    for (ShardId id : model.TouchedKeys()) {
+      std::optional<Bytes> expected = model.Get(id);
+      auto got = store->Get(id);
+      if (got.ok()) {
+        if (!expected.has_value()) {
+          return fail(i, std::string(when) + ": shard " + std::to_string(id) +
+                             " readable but expected absent (resurrection)");
+        }
+        if (got.value() != *expected) {
+          return fail(i, std::string(when) + ": shard " + std::to_string(id) +
+                             " has wrong contents");
+        }
+      } else if (got.code() == StatusCode::kNotFound) {
+        if (expected.has_value()) {
+          return fail(i, std::string(when) + ": shard " + std::to_string(id) +
+                             " lost (expected " + std::to_string(expected->size()) + "B)");
+        }
+      } else {
+        return fail(i, std::string(when) + ": unexpected error reading shard " +
+                           std::to_string(id) + ": " + got.status().ToString());
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const KvOp& op = ops[i];
+    switch (op.kind) {
+      case KvOpKind::kGet: {
+        auto got = store->Get(op.id);
+        std::optional<Bytes> expected = model.Get(op.id);
+        if (got.ok()) {
+          if (!expected.has_value()) {
+            return fail(i, "returned data for a shard the model says is absent");
+          }
+          if (got.value() != *expected) {
+            return fail(i, "returned wrong data");
+          }
+        } else if (got.code() == StatusCode::kNotFound) {
+          if (expected.has_value()) {
+            return fail(i, "NotFound for a shard the model says exists");
+          }
+        } else if (got.code() == StatusCode::kIoError && faults_armed) {
+          // Allowed to fail under injected faults, never allowed to return wrong data
+          // (section 4.4's relaxed check).
+        } else {
+          return fail(i, "unexpected error: " + got.status().ToString());
+        }
+        break;
+      }
+      case KvOpKind::kPut: {
+        auto dep_or = store->Put(op.id, op.value);
+        if (dep_or.ok()) {
+          model.Put(op.id, op.value, dep_or.value());
+          dep_log.push_back({i, dep_or.value()});
+        } else if (dep_or.code() == StatusCode::kResourceExhausted ||
+                   (dep_or.code() == StatusCode::kIoError && faults_armed)) {
+          // Failed puts must be atomic no-ops; the model stays unchanged.
+        } else {
+          return fail(i, "unexpected error: " + dep_or.status().ToString());
+        }
+        break;
+      }
+      case KvOpKind::kDelete: {
+        auto dep_or = store->Delete(op.id);
+        if (dep_or.ok()) {
+          model.Delete(op.id, dep_or.value());
+          dep_log.push_back({i, dep_or.value()});
+        } else if (dep_or.code() == StatusCode::kIoError && faults_armed) {
+        } else {
+          return fail(i, "unexpected error: " + dep_or.status().ToString());
+        }
+        break;
+      }
+      case KvOpKind::kList: {
+        auto listed = store->List();
+        if (!listed.ok()) {
+          if ((listed.code() == StatusCode::kIoError ||
+               listed.code() == StatusCode::kUnavailable) &&
+              faults_armed) {
+            break;
+          }
+          return fail(i, "unexpected error: " + listed.status().ToString());
+        }
+        std::vector<ShardId> impl = listed.value();
+        std::vector<ShardId> expected = model.List();
+        std::sort(impl.begin(), impl.end());
+        std::sort(expected.begin(), expected.end());
+        if (impl != expected) {
+          return fail(i, "listing disagrees with the model");
+        }
+        break;
+      }
+      case KvOpKind::kPumpIo:
+        store->PumpIo(op.arg);
+        break;
+      case KvOpKind::kFlushIndex:
+      case KvOpKind::kCompactIndex:
+      case KvOpKind::kReclaim: {
+        Status status;
+        if (op.kind == KvOpKind::kFlushIndex) {
+          status = store->FlushIndex();
+        } else if (op.kind == KvOpKind::kCompactIndex) {
+          status = store->CompactIndex();
+        } else {
+          // Candidates include the active extent: reclamation may legally target it
+          // (pinning is the protection for in-flight chunks), and several crash
+          // scenarios — e.g. the UUID-collision issue #10 — need exactly that.
+          std::vector<ExtentId> candidates;
+          for (ExtentId e : store->extents().ExtentsOwnedBy(ExtentOwner::kChunkData)) {
+            if (store->extents().WritePointer(e) > 0) {
+              candidates.push_back(e);
+            }
+          }
+          if (candidates.empty()) {
+            break;
+          }
+          status = store->ReclaimExtent(candidates[op.arg % candidates.size()]);
+        }
+        if (!status.ok() && status.code() != StatusCode::kUnavailable &&
+            status.code() != StatusCode::kResourceExhausted &&
+            !(status.code() == StatusCode::kIoError && faults_armed)) {
+          return fail(i, "maintenance failed: " + status.ToString());
+        }
+        break;
+      }
+      case KvOpKind::kReboot: {
+        Status status = store->FlushAll();
+        if (!status.ok()) {
+          if (status.code() == StatusCode::kResourceExhausted ||
+              (status.code() == StatusCode::kIoError && faults_armed)) {
+            break;  // legitimate inability to persist; skip the reboot
+          }
+          return fail(i, "clean shutdown failed (forward progress): " + status.ToString());
+        }
+        // Forward-progress property: after a clean shutdown, every dependency persists.
+        for (const auto& [op_index, dep] : dep_log) {
+          if (!dep.IsPersistent() && !dep.Failed()) {
+            return fail(i, "forward progress violated: dependency of op#" +
+                               std::to_string(op_index) + " not persistent after clean shutdown");
+          }
+        }
+        store.reset();
+        disk.fault_injector().Clear();
+        faults_armed = false;
+        auto reopened = ShardStore::Open(&disk, store_options);
+        if (!reopened.ok()) {
+          return fail(i, "recovery failed: " + reopened.status().ToString());
+        }
+        store = std::move(reopened).value();
+        if (auto err = sweep(i, "after clean reboot"); err.has_value()) {
+          return err;
+        }
+        break;
+      }
+      case KvOpKind::kDirtyReboot: {
+        Rng crash_rng(op.arg);
+        // Coarse RebootType choice: sometimes flush the in-memory index section first,
+        // so crash states interleave component flushes (section 5).
+        if (crash_rng.Chance(0.35)) {
+          (void)store->FlushIndex();
+        }
+        store->scheduler().Crash(crash_rng, /*persist_bias=*/0.6);
+        store.reset();
+        disk.fault_injector().Clear();
+        faults_armed = false;
+        auto reopened = ShardStore::Open(&disk, store_options);
+        if (!reopened.ok()) {
+          return fail(i, "crash recovery failed: " + reopened.status().ToString());
+        }
+        store = std::move(reopened).value();
+        // Dependencies dropped by the crash legitimately never persist; forward
+        // progress only constrains operations issued since the last crash.
+        dep_log.clear();
+        // Persistence + consistency sweep (section 5): every touched key must surface
+        // a crash-allowed value — at least the latest mutation whose dependency
+        // persisted (persistence), never anything older (consistency). The model then
+        // adopts the observed durable state as its new baseline.
+        for (ShardId id : model.TouchedKeys()) {
+          std::optional<Bytes> observed;
+          auto got = store->Get(id);
+          if (got.ok()) {
+            observed = std::move(got).value();
+          } else if (got.code() != StatusCode::kNotFound) {
+            return fail(i, "after crash: unexpected error reading shard " +
+                               std::to_string(id) + ": " + got.status().ToString());
+          }
+          if (!model.AdoptPostCrash(id, observed)) {
+            return fail(i, "after crash: shard " + std::to_string(id) +
+                               (observed.has_value()
+                                    ? " surfaced a value outside the crash-allowed set"
+                                    : " lost: a persisted mutation is unreadable"));
+          }
+        }
+        break;
+      }
+      case KvOpKind::kFailReadOnce:
+        disk.fault_injector().FailReadOnce(op.arg % options_.geometry.extent_count);
+        faults_armed = true;
+        break;
+      case KvOpKind::kFailWriteOnce:
+        disk.fault_injector().FailWriteOnce(op.arg % options_.geometry.extent_count);
+        faults_armed = true;
+        break;
+    }
+
+    // Invariant check after every op (Figure 3 line 24): the mapping agrees.
+    if (!faults_armed) {
+      auto listed = store->List();
+      if (!listed.ok()) {
+        return fail(i, "post-op listing failed: " + listed.status().ToString());
+      }
+      std::vector<ShardId> impl = listed.value();
+      std::vector<ShardId> expected = model.List();
+      std::sort(impl.begin(), impl.end());
+      std::sort(expected.begin(), expected.end());
+      if (impl != expected) {
+        return fail(i, "post-op key set disagrees with the model");
+      }
+    }
+  }
+
+  // End of sequence: clean shutdown, forward progress, final sweep.
+  Status status = store->FlushAll();
+  if (!status.ok()) {
+    if (status.code() != StatusCode::kResourceExhausted &&
+        !(status.code() == StatusCode::kIoError && faults_armed)) {
+      return fail(ops.size(), "final shutdown failed: " + status.ToString());
+    }
+    return std::nullopt;
+  }
+  for (const auto& [op_index, dep] : dep_log) {
+    if (!dep.IsPersistent() && !dep.Failed()) {
+      return fail(ops.size(), "forward progress violated at end: dependency of op#" +
+                                  std::to_string(op_index) + " not persistent");
+    }
+  }
+  if (auto err = sweep(ops.size(), "final"); err.has_value()) {
+    return err;
+  }
+  return std::nullopt;
+}
+
+PbtRunner<KvOp> KvConformanceHarness::MakeRunner(PbtConfig config) const {
+  KvHarnessOptions options = options_;
+  return PbtRunner<KvOp>(
+      config,
+      [options](Rng& rng, const std::vector<KvOp>& prefix) {
+        return GenKvOp(rng, prefix, options);
+      },
+      [options](const std::vector<KvOp>& ops) {
+        KvConformanceHarness harness(options);
+        return harness.Run(ops);
+      },
+      [](const KvOp& op) { return ShrinkKvOp(op); });
+}
+
+}  // namespace ss

@@ -1,0 +1,90 @@
+// Property-based conformance + crash-consistency harness for the full ShardStore stack
+// (paper sections 4 and 5; the whole-store analogue of Figure 3).
+//
+// A test case is a sequence of operations drawn from the alphabet below. Each API
+// operation is applied to both the implementation and the KvStoreModel and the results
+// compared; background operations (flush, compaction, reclamation, IO pumping) are
+// model no-ops that must not change the observable mapping. DirtyReboot crashes the
+// IO scheduler at a random dependency-allowed block-level crash state, re-opens the
+// store (recovery), collapses the model by dependency persistence, and sweeps every
+// touched key — the persistence property. Clean Reboot additionally checks the
+// forward-progress property: every dependency ever returned must report persistent
+// after a clean shutdown.
+//
+// The alphabet is ordered by increasing complexity so the minimizer prefers simpler
+// operations (section 4.3), and argument selection is biased (keys toward reuse,
+// value sizes toward page-boundary corners; section 4.2).
+
+#ifndef SS_HARNESS_KV_HARNESS_H_
+#define SS_HARNESS_KV_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kv/shard_store.h"
+#include "src/model/models.h"
+#include "src/pbt/pbt.h"
+
+namespace ss {
+
+enum class KvOpKind : uint8_t {
+  kGet = 0,
+  kPut,
+  kDelete,
+  kList,
+  kPumpIo,
+  kFlushIndex,
+  kCompactIndex,
+  kReclaim,
+  kReboot,         // clean shutdown + recovery (forward progress)
+  kDirtyReboot,    // crash + recovery (persistence)
+  kFailReadOnce,   // arm a one-shot read failure on an extent
+  kFailWriteOnce,  // arm a one-shot write failure on an extent
+};
+
+struct KvOp {
+  KvOpKind kind = KvOpKind::kGet;
+  ShardId id = 0;
+  Bytes value;       // kPut payload
+  uint32_t arg = 0;  // pump count / crash seed / extent or candidate selector
+  std::string ToString() const;
+};
+
+struct KvHarnessOptions {
+  DiskGeometry geometry{.extent_count = 24, .pages_per_extent = 16, .page_size = 256};
+  ShardStoreOptions store;
+  bool crashes = false;            // include kDirtyReboot in generation
+  bool failure_injection = false;  // include kFail* in generation
+  // Argument biasing (section 4.2): key reuse and page-corner value sizes. Disabling
+  // it (uniform arguments) is the ablation bench_bias_ablation measures.
+  bool bias_arguments = true;
+  uint64_t key_bound = 24;
+  size_t max_value_bytes = 1200;
+};
+
+// Generates one operation, biased by the prefix (key reuse, page-corner sizes).
+KvOp GenKvOp(Rng& rng, const std::vector<KvOp>& prefix, const KvHarnessOptions& options);
+
+// Simpler candidate replacements for one op (toward-zero ids/args, shorter values,
+// earlier alphabet variants).
+std::vector<KvOp> ShrinkKvOp(const KvOp& op);
+
+// Executes one op sequence from a fresh disk. Returns a failure description, or
+// nullopt if the sequence satisfies every property.
+class KvConformanceHarness {
+ public:
+  explicit KvConformanceHarness(KvHarnessOptions options) : options_(options) {}
+
+  std::optional<std::string> Run(const std::vector<KvOp>& ops);
+
+  // Builds a ready-to-run PbtRunner over this harness.
+  PbtRunner<KvOp> MakeRunner(PbtConfig config) const;
+
+ private:
+  KvHarnessOptions options_;
+};
+
+}  // namespace ss
+
+#endif  // SS_HARNESS_KV_HARNESS_H_

@@ -1,0 +1,116 @@
+// ShardStore: the per-disk key-value store (paper section 2).
+//
+// Composes the whole stack over one InMemoryDisk:
+//
+//     ShardStore (shard put/get/delete, recovery, maintenance)
+//       ├── LsmIndex        shard id -> ShardRecord (chunk locators)
+//       ├── ChunkStore      chunk put/get + reclamation
+//       ├── BufferCache     read-through page cache
+//       ├── ExtentManager   append-only extents + soft write pointers + superblock
+//       ├── IoScheduler     dependency-ordered writebacks
+//       └── InMemoryDisk    persistent image (owned by the caller, survives "crashes")
+//
+// A crash is simulated by IoScheduler::Crash() followed by destroying the ShardStore
+// and calling Open() on the same disk — recovery is simply reconstruction from the
+// persistent image, exactly as the paper's DirtyReboot harness does.
+
+#ifndef SS_KV_SHARD_STORE_H_
+#define SS_KV_SHARD_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/chunk/chunk_store.h"
+#include "src/dep/io_scheduler.h"
+#include "src/disk/disk.h"
+#include "src/lsm/lsm_index.h"
+#include "src/superblock/extent_manager.h"
+
+namespace ss {
+
+struct ShardStoreOptions {
+  ChunkStoreOptions chunk;
+  LsmOptions lsm;
+  size_t cache_pages = 256;
+  uint32_t buffer_permits = ExtentManager::kDefaultBufferPermits;
+  // Largest accepted shard value (split across this many chunks at most).
+  size_t max_chunks_per_shard = 16;
+};
+
+struct ShardStoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t reclaims = 0;
+};
+
+class ShardStore : public ReclaimClient {
+ public:
+  // Opens (formatting a fresh disk, or recovering an existing image). The disk must
+  // outlive the store.
+  static Result<std::unique_ptr<ShardStore>> Open(InMemoryDisk* disk,
+                                                  ShardStoreOptions options = {});
+
+  // --- Request plane ---------------------------------------------------------------------
+  // Stores `value` under `id`. Returns the operation's dependency: poll IsPersistent()
+  // to learn when the put is durable (data chunks + index entry + soft pointers).
+  Result<Dependency> Put(ShardId id, ByteSpan value);
+
+  // Reads the current value. kNotFound if the shard does not exist.
+  Result<Bytes> Get(ShardId id);
+
+  // Removes the shard (tombstone). Returns the delete's dependency.
+  Result<Dependency> Delete(ShardId id);
+
+  // Live shard ids.
+  Result<std::vector<ShardId>> List();
+
+  // --- Maintenance -----------------------------------------------------------------------
+  Status FlushIndex() { return index_->Flush(); }
+  Status CompactIndex() { return index_->Compact(); }
+
+  // Reclaims one specific extent / the first reclaimable extent (no-op if none).
+  Status ReclaimExtent(ExtentId extent);
+  Status ReclaimAny();
+
+  // Issues up to n pending writebacks.
+  size_t PumpIo(size_t n) { return scheduler_->Pump(n); }
+
+  // Clean shutdown: flush the index if needed, then drain all writebacks. After this,
+  // every dependency ever returned must report persistent (the paper's forward-progress
+  // property).
+  Status FlushAll();
+
+  // --- ReclaimClient ---------------------------------------------------------------------
+  Result<bool> IsReferenced(const Locator& loc) override;
+  Result<Dependency> UpdateReference(const Locator& old_loc, const Locator& new_loc,
+                                     const Dependency& new_dep) override;
+  Dependency DropGate() override;
+
+  // --- Introspection ---------------------------------------------------------------------
+  IoScheduler& scheduler() { return *scheduler_; }
+  ExtentManager& extents() { return *extents_; }
+  ChunkStore& chunks() { return *chunks_; }
+  BufferCache& cache() { return *cache_; }
+  LsmIndex& index() { return *index_; }
+  InMemoryDisk& disk() { return *disk_; }
+  ShardStoreStats stats() const;
+
+ private:
+  ShardStore(InMemoryDisk* disk, ShardStoreOptions options);
+
+  InMemoryDisk* disk_;
+  ShardStoreOptions options_;
+  std::unique_ptr<IoScheduler> scheduler_;
+  std::unique_ptr<ExtentManager> extents_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<ChunkStore> chunks_;
+  std::unique_ptr<LsmIndex> index_;
+  mutable Mutex stats_mu_;
+  ShardStoreStats stats_;
+};
+
+}  // namespace ss
+
+#endif  // SS_KV_SHARD_STORE_H_

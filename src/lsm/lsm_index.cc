@@ -1,0 +1,705 @@
+#include "src/lsm/lsm_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/chunk/chunk_format.h"
+#include "src/common/cover.h"
+#include "src/faults/faults.h"
+
+namespace ss {
+
+void SerializeShardRecord(const ShardRecord& record, Writer& w) {
+  w.PutU64(record.total_bytes);
+  w.PutU32(static_cast<uint32_t>(record.chunks.size()));
+  for (const Locator& loc : record.chunks) {
+    SerializeLocator(loc, w);
+  }
+}
+
+Result<ShardRecord> DeserializeShardRecord(Reader& r) {
+  ShardRecord record;
+  SS_ASSIGN_OR_RETURN(record.total_bytes, r.GetU64());
+  SS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (uint64_t{count} * 16 > r.remaining()) {
+    return Status::Corruption("shard record: chunk count exceeds input");
+  }
+  record.chunks.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(Locator loc, DeserializeLocator(r));
+    record.chunks.push_back(loc);
+  }
+  return record;
+}
+
+LsmIndex::LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options)
+    : extents_(extents), chunks_(chunks), options_(options), meta_rng_(options.meta_uuid_seed) {}
+
+Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkStore* chunks,
+                                                 LsmOptions options) {
+  std::unique_ptr<LsmIndex> index(new LsmIndex(extents, chunks, options));
+  std::vector<ExtentId> meta = extents->ExtentsOwnedBy(ExtentOwner::kLsmMetadata);
+  if (meta.size() > 2) {
+    return Status::Corruption("more than two LSM metadata extents");
+  }
+  // Formatting is idempotent so it is crash-safe: a crash may persist zero, one, or two
+  // of the metadata-extent ownership records, and recovery simply claims the missing
+  // ones (any records on the surviving extents remain valid).
+  while (meta.size() < 2) {
+    SS_ASSIGN_OR_RETURN(ExtentId claimed, extents->ClaimExtent(ExtentOwner::kLsmMetadata));
+    meta.push_back(claimed);
+  }
+  index->meta_extents_[0] = meta[0];
+  index->meta_extents_[1] = meta[1];
+  if (extents->WritePointer(meta[0]) == 0 && extents->WritePointer(meta[1]) == 0) {
+    return index;  // nothing written yet: fresh (or crashed-before-first-flush) state
+  }
+
+  // Recovery: scan both metadata extents for framed records; adopt the highest version.
+  bool found = false;
+  uint64_t best_version = 0;
+  for (int m = 0; m < 2; ++m) {
+    const ExtentId e = index->meta_extents_[m];
+    const uint32_t wp = extents->WritePointer(e);
+    uint32_t page = 0;
+    while (page < wp) {
+      auto head_or = extents->Read(e, page, 1);
+      if (!head_or.ok()) {
+        return head_or.status();
+      }
+      auto header_or = ParseChunkHeader(head_or.value());
+      if (!header_or.ok()) {
+        ++page;
+        continue;
+      }
+      const uint32_t frame_pages = extents->PagesNeeded(ChunkFrameBytes(header_or.value().payload_len));
+      if (uint64_t{page} + frame_pages > wp) {
+        ++page;
+        continue;
+      }
+      auto full_or = extents->Read(e, page, frame_pages);
+      if (!full_or.ok()) {
+        return full_or.status();
+      }
+      auto payload_or = DecodeChunkFrame(
+          ByteSpan(full_or.value().data(), ChunkFrameBytes(header_or.value().payload_len)));
+      if (!payload_or.ok()) {
+        ++page;
+        continue;
+      }
+      // Parse the metadata record.
+      Reader r(payload_or.value());
+      auto version_or = r.GetU64();
+      auto seq_or = r.GetU64();
+      auto count_or = r.GetU32();
+      if (version_or.ok() && seq_or.ok() && count_or.ok()) {
+        std::vector<Locator> run_locs;
+        bool parse_ok = true;
+        for (uint32_t i = 0; i < count_or.value(); ++i) {
+          auto loc_or = DeserializeLocator(r);
+          if (!loc_or.ok()) {
+            parse_ok = false;
+            break;
+          }
+          run_locs.push_back(loc_or.value());
+        }
+        if (parse_ok && (!found || version_or.value() > best_version)) {
+          found = true;
+          best_version = version_or.value();
+          index->version_ = version_or.value();
+          index->next_seq_ = seq_or.value();
+          index->runs_.clear();
+          for (const Locator& loc : run_locs) {
+            // Recovered runs are durable by definition.
+            index->runs_.push_back(RunRef{loc, Dependency()});
+          }
+          index->active_meta_ = m;
+        }
+      }
+      page += frame_pages;
+    }
+  }
+  SS_COVER(found ? "lsm.recover_with_metadata" : "lsm.recover_empty");
+  return index;
+}
+
+Dependency LsmIndex::Put(ShardId id, ShardRecord record, Dependency data_dep) {
+  Dependency promise = Dependency::MakePromise();
+  bool want_flush = false;
+  {
+    LockGuard lock(mu_);
+    ++stats_.puts;
+    Entry entry;
+    entry.value = std::move(record);
+    entry.data_dep = data_dep;
+    entry.seq = next_seq_++;
+    pending_promises_.push_back({entry.seq, promise});
+    memtable_[id] = std::move(entry);
+    api_dirty_ = true;
+    want_flush = memtable_.size() >= options_.memtable_flush_entries;
+  }
+  if (want_flush) {
+    // Best-effort background-style flush; errors surface on the next explicit flush.
+    (void)Flush();
+  }
+  return promise.And(data_dep);
+}
+
+Dependency LsmIndex::Delete(ShardId id) {
+  Dependency promise = Dependency::MakePromise();
+  {
+    LockGuard lock(mu_);
+    ++stats_.deletes;
+    Entry entry;
+    entry.value = std::nullopt;
+    entry.seq = next_seq_++;
+    pending_promises_.push_back({entry.seq, promise});
+    memtable_[id] = std::move(entry);
+    api_dirty_ = true;
+  }
+  return promise;
+}
+
+Bytes LsmIndex::SerializeRun(const RunMap& entries) {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [id, value] : entries) {
+    w.PutU64(id);
+    w.PutU8(value.has_value() ? 1 : 0);
+    if (value.has_value()) {
+      SerializeShardRecord(*value, w);
+    }
+  }
+  return std::move(w).Take();
+}
+
+Result<LsmIndex::RunMap> LsmIndex::DeserializeRun(ByteSpan payload) {
+  Reader r(payload);
+  SS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (uint64_t{count} * 9 > r.remaining()) {
+    return Status::Corruption("run: entry count exceeds input");
+  }
+  RunMap entries;
+  for (uint32_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(ShardId id, r.GetU64());
+    SS_ASSIGN_OR_RETURN(uint8_t live, r.GetU8());
+    if (live != 0) {
+      SS_ASSIGN_OR_RETURN(ShardRecord record, DeserializeShardRecord(r));
+      entries[id] = std::move(record);
+    } else {
+      entries[id] = std::nullopt;
+    }
+  }
+  return entries;
+}
+
+Result<LsmIndex::RunMap> LsmIndex::LoadRun(const Locator& loc) {
+  SS_ASSIGN_OR_RETURN(Bytes payload, chunks_->Get(loc));
+  return DeserializeRun(payload);
+}
+
+Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id) {
+  Status last_error = Status::Ok();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<Locator> runs_snapshot;
+    {
+      LockGuard lock(mu_);
+      ++stats_.gets;
+      auto it = memtable_.find(id);
+      if (it != memtable_.end()) {
+        return it->second.value;
+      }
+      for (const RunRef& run : runs_) {
+        runs_snapshot.push_back(run.loc);
+      }
+    }
+    bool retry = false;
+    for (auto rit = runs_snapshot.rbegin(); rit != runs_snapshot.rend(); ++rit) {
+      auto run_or = LoadRun(*rit);
+      if (!run_or.ok()) {
+        // A concurrent compaction/reclamation may have invalidated the snapshot;
+        // re-snapshot and retry.
+        last_error = run_or.status();
+        retry = true;
+        break;
+      }
+      auto it = run_or.value().find(id);
+      if (it != run_or.value().end()) {
+        return it->second;
+      }
+    }
+    if (!retry) {
+      return std::optional<ShardRecord>(std::nullopt);
+    }
+    YieldThread();
+  }
+  return last_error;
+}
+
+Result<std::vector<ShardId>> LsmIndex::Keys() {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<Locator> runs_snapshot;
+    std::map<ShardId, bool> live;
+    {
+      LockGuard lock(mu_);
+      for (const RunRef& run : runs_) {
+        runs_snapshot.push_back(run.loc);
+      }
+    }
+    bool retry = false;
+    for (const Locator& loc : runs_snapshot) {  // oldest first; later entries override
+      auto run_or = LoadRun(loc);
+      if (!run_or.ok()) {
+        retry = true;
+        break;
+      }
+      for (const auto& [id, value] : run_or.value()) {
+        live[id] = value.has_value();
+      }
+    }
+    if (retry) {
+      YieldThread();
+      continue;
+    }
+    {
+      LockGuard lock(mu_);
+      for (const auto& [id, entry] : memtable_) {
+        live[id] = entry.value.has_value();
+      }
+    }
+    std::vector<ShardId> out;
+    for (const auto& [id, is_live] : live) {
+      if (is_live) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+  return Status::Unavailable("keys: persistent snapshot churn");
+}
+
+Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input) {
+  ++version_;
+  Writer w;
+  w.PutU64(version_);
+  w.PutU64(next_seq_);
+  w.PutU32(static_cast<uint32_t>(runs_.size()));
+  // The record must not reach the disk before every run chunk it references is durable;
+  // gating only on the newest change is unsound because the two metadata extents do not
+  // share a FIFO ordering across the ping-pong switch.
+  for (const RunRef& run : runs_) {
+    SerializeLocator(run.loc, w);
+    input = input.And(run.dep);
+  }
+  Bytes frame = EncodeChunkFrame(w.bytes(), Uuid::Random(meta_rng_));
+  const uint32_t pages = extents_->PagesNeeded(frame.size());
+
+  ExtentId target = meta_extents_[active_meta_];
+  if (extents_->PagesFree(target) < pages) {
+    // Ping-pong: write the record to the other extent, then reset this one once the
+    // new record is durable.
+    const ExtentId full = target;
+    target = meta_extents_[1 - active_meta_];
+    SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input));
+    extents_->Reset(full, appended.dep);
+    active_meta_ = 1 - active_meta_;
+    ++stats_.metadata_writes;
+    last_meta_dep_ = appended.dep;
+    api_dirty_ = false;
+    internal_dirty_ = false;
+    return appended.dep;
+  }
+  SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input));
+  ++stats_.metadata_writes;
+  last_meta_dep_ = appended.dep;
+  api_dirty_ = false;
+  internal_dirty_ = false;
+  return appended.dep;
+}
+
+void LsmIndex::ResolvePromisesLocked(uint64_t max_seq, const Dependency& meta_dep) {
+  auto it = pending_promises_.begin();
+  while (it != pending_promises_.end()) {
+    if (it->first <= max_seq) {
+      it->second.ResolvePromise(meta_dep);
+      it = pending_promises_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status LsmIndex::Flush() {
+  LockGuard flush_lock(flush_mu_);
+  return FlushLocked();
+}
+
+std::vector<LsmIndex::RunMap> LsmIndex::PartitionRun(const RunMap& entries,
+                                                     size_t max_payload) {
+  // Split a run into segments whose serialized form fits one chunk each. A segment
+  // always accepts at least one entry (a single oversized entry is a configuration
+  // error caught by the chunk store).
+  std::vector<RunMap> segments;
+  RunMap current;
+  size_t current_bytes = 4;  // entry-count prefix
+  for (const auto& [id, value] : entries) {
+    size_t entry_bytes = 8 + 1;
+    if (value.has_value()) {
+      entry_bytes += 8 + 4 + value->chunks.size() * 16;
+    }
+    if (!current.empty() && current_bytes + entry_bytes > max_payload) {
+      segments.push_back(std::move(current));
+      current = RunMap{};
+      current_bytes = 4;
+    }
+    current[id] = value;
+    current_bytes += entry_bytes;
+  }
+  if (!current.empty()) {
+    segments.push_back(std::move(current));
+  }
+  return segments;
+}
+
+Status LsmIndex::FlushLocked() {
+  RunMap entries;
+  std::vector<Dependency> data_deps;
+  uint64_t max_seq = 0;
+  {
+    LockGuard lock(mu_);
+    if (memtable_.empty()) {
+      return Status::Ok();
+    }
+    for (const auto& [id, entry] : memtable_) {
+      entries[id] = entry.value;
+      data_deps.push_back(entry.data_dep);
+      max_seq = std::max(max_seq, entry.seq);
+    }
+  }
+  // Serialize into one or more run chunks (a run larger than the chunk store's max
+  // payload is split into segments). No run chunk may persist before the data its
+  // entries point to (Figure 2's ordering), hence the input dependency. Put pins each
+  // destination extent; the pins are held until the metadata references the runs.
+  // Seeded bug #14 releases them immediately, reproducing the flush/compaction-vs-
+  // reclamation race.
+  const Dependency data_gate = Dependency::AndAll(data_deps);
+  std::vector<ChunkPutResult> puts;
+  Status status = Status::Ok();
+  for (const RunMap& segment : PartitionRun(entries, chunks_->max_payload_bytes())) {
+    auto put_or = chunks_->Put(SerializeRun(segment), data_gate);
+    if (!put_or.ok()) {
+      status = put_or.status();
+      break;
+    }
+    puts.push_back(put_or.value());
+    if (BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
+      SS_COVER("lsm.bug14_early_unpin");
+      chunks_->Unpin(put_or.value().locator.extent);
+    }
+  }
+  if (!status.ok()) {
+    for (const ChunkPutResult& put : puts) {
+      if (!BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
+        chunks_->Unpin(put.locator.extent);
+      }
+    }
+    return status;
+  }
+  YieldThread();  // the preemption window behind bug #14
+
+  {
+    LockGuard lock(mu_);
+    Dependency runs_dep;
+    for (const ChunkPutResult& put : puts) {
+      runs_.push_back(RunRef{put.locator, put.dep});
+      runs_dep = runs_dep.And(put.dep);
+    }
+    auto meta_or = WriteMetadataLocked(runs_dep);
+    if (!meta_or.ok()) {
+      for (size_t i = 0; i < puts.size(); ++i) {
+        runs_.pop_back();
+      }
+      status = meta_or.status();
+    } else {
+      ++stats_.flushes;
+      ResolvePromisesLocked(max_seq, meta_or.value());
+      // Drop only the entries the run covers; concurrent overwrites stay.
+      auto it = memtable_.begin();
+      while (it != memtable_.end()) {
+        if (it->second.seq <= max_seq) {
+          it = memtable_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (!BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
+    for (const ChunkPutResult& put : puts) {
+      chunks_->Unpin(put.locator.extent);
+    }
+  }
+  return status;
+}
+
+Status LsmIndex::Compact() {
+  LockGuard flush_lock(flush_mu_);
+  Status last_error = Status::Ok();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::vector<Locator> runs_snapshot;
+    Dependency runs_durable;
+    {
+      LockGuard lock(mu_);
+      if (runs_.size() <= 1) {
+        return Status::Ok();
+      }
+      for (const RunRef& run : runs_) {
+        runs_snapshot.push_back(run.loc);
+        runs_durable = runs_durable.And(run.dep);
+      }
+      runs_durable = runs_durable.And(last_meta_dep_);
+    }
+    RunMap merged;
+    bool retry = false;
+    for (const Locator& loc : runs_snapshot) {  // oldest -> newest
+      auto run_or = LoadRun(loc);
+      if (!run_or.ok()) {
+        last_error = run_or.status();
+        retry = true;
+        break;
+      }
+      for (auto& [id, value] : run_or.value()) {
+        merged[id] = std::move(value);
+      }
+    }
+    if (retry) {
+      YieldThread();
+      continue;
+    }
+    // Full-merge compaction may drop tombstones outright.
+    auto it = merged.begin();
+    while (it != merged.end()) {
+      if (!it->second.has_value()) {
+        it = merged.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::vector<ChunkPutResult> puts;
+    Status status = Status::Ok();
+    for (const RunMap& segment : PartitionRun(merged, chunks_->max_payload_bytes())) {
+      auto put_or = chunks_->Put(SerializeRun(segment), runs_durable);
+      if (!put_or.ok()) {
+        status = put_or.status();
+        break;
+      }
+      puts.push_back(put_or.value());
+      if (BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
+        SS_COVER("lsm.bug14_early_unpin");
+        chunks_->Unpin(put_or.value().locator.extent);
+      }
+    }
+    if (!status.ok()) {
+      for (const ChunkPutResult& put : puts) {
+        if (!BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
+          chunks_->Unpin(put.locator.extent);
+        }
+      }
+      return status;
+    }
+    YieldThread();  // the preemption window behind bug #14 (paper's issue example)
+
+    {
+      LockGuard lock(mu_);
+      // Runs cannot have grown (flush_mu_ is held); relocations may have changed
+      // locators, but the merged content is unaffected.
+      runs_.clear();
+      Dependency runs_dep;
+      for (const ChunkPutResult& put : puts) {
+        runs_.push_back(RunRef{put.locator, put.dep});
+        runs_dep = runs_dep.And(put.dep);
+      }
+      auto meta_or = WriteMetadataLocked(runs_dep);
+      if (!meta_or.ok()) {
+        status = meta_or.status();
+      } else {
+        ++stats_.compactions;
+      }
+    }
+    if (!BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
+      for (const ChunkPutResult& put : puts) {
+        chunks_->Unpin(put.locator.extent);
+      }
+    }
+    return status;
+  }
+  return last_error;
+}
+
+bool LsmIndex::NeedsShutdownFlush() const {
+  LockGuard lock(mu_);
+  if (BugEnabled(SeededBug::kShutdownMetadataSkipAfterReset)) {
+    // Buggy path: trusts the API-mutation flag, missing memtables that only contain
+    // internal mutations (e.g. reclamation relocations after an extent reset).
+    SS_COVER("lsm.bug3_shutdown_flag");
+    return api_dirty_;
+  }
+  return !memtable_.empty() || api_dirty_ || internal_dirty_;
+}
+
+Result<std::optional<ShardId>> LsmIndex::FindShardReferencing(const Locator& loc) {
+  // Memtable first: most recent state wins.
+  std::vector<Locator> runs_snapshot;
+  {
+    LockGuard lock(mu_);
+    for (const auto& [id, entry] : memtable_) {
+      if (entry.value.has_value()) {
+        for (const Locator& c : entry.value->chunks) {
+          if (c == loc) {
+            return std::optional<ShardId>(id);
+          }
+        }
+      }
+    }
+    for (const RunRef& run : runs_) {
+      runs_snapshot.push_back(run.loc);
+    }
+  }
+  // Then the runs, newest first. A shard's newest entry (memtable or newer run,
+  // including tombstones) shadows older entries: a chunk referenced only by a
+  // superseded record is garbage.
+  std::set<ShardId> decided;
+  {
+    LockGuard lock(mu_);
+    for (const auto& [id, entry] : memtable_) {
+      decided.insert(id);
+    }
+  }
+  for (auto rit = runs_snapshot.rbegin(); rit != runs_snapshot.rend(); ++rit) {
+    SS_ASSIGN_OR_RETURN(RunMap run, LoadRun(*rit));
+    for (const auto& [id, value] : run) {
+      if (!decided.insert(id).second) {
+        continue;  // shadowed by a newer entry
+      }
+      if (!value.has_value()) {
+        continue;  // tombstone: this shard references nothing
+      }
+      for (const Locator& c : value->chunks) {
+        if (c == loc) {
+          return std::optional<ShardId>(id);
+        }
+      }
+    }
+  }
+  return std::optional<ShardId>(std::nullopt);
+}
+
+bool LsmIndex::MetadataReferences(const Locator& loc) const {
+  LockGuard lock(mu_);
+  for (const RunRef& run : runs_) {
+    if (run.loc == loc) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Dependency> LsmIndex::RelocateShardChunk(const Locator& old_loc, const Locator& new_loc,
+                                                const Dependency& new_dep) {
+  SS_ASSIGN_OR_RETURN(std::optional<ShardId> owner, FindShardReferencing(old_loc));
+  if (!owner.has_value()) {
+    // The reference disappeared concurrently (overwrite/delete); nothing to update.
+    return Dependency();
+  }
+  // Fetch the current record and rewrite the locator.
+  SS_ASSIGN_OR_RETURN(std::optional<ShardRecord> record_opt, Get(*owner));
+  if (!record_opt.has_value()) {
+    return Dependency();
+  }
+  ShardRecord record = std::move(*record_opt);
+  bool replaced = false;
+  for (Locator& c : record.chunks) {
+    if (c == old_loc) {
+      c = new_loc;
+      replaced = true;
+    }
+  }
+  if (!replaced) {
+    return Dependency();
+  }
+  Dependency promise = Dependency::MakePromise();
+  {
+    LockGuard lock(mu_);
+    Entry entry;
+    entry.value = std::move(record);
+    entry.data_dep = new_dep;
+    entry.seq = next_seq_++;
+    pending_promises_.push_back({entry.seq, promise});
+    memtable_[*owner] = std::move(entry);
+    internal_dirty_ = true;  // deliberately *not* api_dirty_ (see bug #3)
+  }
+  SS_COVER("lsm.relocate_shard_chunk");
+  return promise;
+}
+
+Result<Dependency> LsmIndex::RelocateRunChunk(const Locator& old_loc, const Locator& new_loc,
+                                              const Dependency& new_dep) {
+  LockGuard lock(mu_);
+  bool replaced = false;
+  for (RunRef& run : runs_) {
+    if (run.loc == old_loc) {
+      run.loc = new_loc;
+      run.dep = new_dep;  // the evacuated copy is what the metadata now references
+      replaced = true;
+    }
+  }
+  if (!replaced) {
+    return Dependency();
+  }
+  SS_COVER("lsm.relocate_run_chunk");
+  // The new run list must be durable before the old chunk's extent is reset; the new
+  // metadata record is gated on the evacuated copy.
+  return WriteMetadataLocked(new_dep);
+}
+
+Dependency LsmIndex::StateDurableGate() {
+  LockGuard lock(mu_);
+  if (memtable_.empty()) {
+    return last_meta_dep_;
+  }
+  Dependency promise = Dependency::MakePromise();
+  pending_promises_.push_back({next_seq_ - 1, promise});
+  return promise.And(last_meta_dep_);
+}
+
+size_t LsmIndex::MemtableEntries() const {
+  LockGuard lock(mu_);
+  return memtable_.size();
+}
+
+size_t LsmIndex::RunCount() const {
+  LockGuard lock(mu_);
+  return runs_.size();
+}
+
+uint64_t LsmIndex::MetadataVersion() const {
+  LockGuard lock(mu_);
+  return version_;
+}
+
+LsmStats LsmIndex::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
+}
+
+std::vector<Locator> LsmIndex::RunLocators() const {
+  LockGuard lock(mu_);
+  std::vector<Locator> out;
+  out.reserve(runs_.size());
+  for (const RunRef& run : runs_) {
+    out.push_back(run.loc);
+  }
+  return out;
+}
+
+}  // namespace ss

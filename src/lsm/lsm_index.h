@@ -1,0 +1,193 @@
+// Persistent LSM-tree index (paper section 2.1).
+//
+// Maps shard identifiers to shard records (the list of chunk locators holding the
+// shard's data, WiscKey-style). Structure:
+//   * a sorted in-memory memtable of recent mutations (values and tombstones),
+//   * immutable sorted runs, each serialized into a single chunk written through the
+//     chunk store (so the index's own storage is subject to reclamation),
+//   * a metadata record — the run list + version — framed and appended to one of two
+//     reserved metadata extents (ping-pong: when one fills, the record moves to the
+//     other and the full one is reset once the move is durable).
+//
+// Dependency protocol (Figure 2): Put returns a *promise* dependency that resolves when
+// a metadata record covering the entry persists. The run chunk's write is gated on the
+// entries' data dependencies and the metadata record on the run write, so an index
+// entry is never durable before the data it points to — which makes "visible after
+// recovery" equivalent to "dependency reports persistent", the property the crash
+// checker enforces.
+//
+// Seeded bugs hosted here: #3 (shutdown skips the flush when only internal mutations —
+// e.g. reclamation relocations — are pending) and #14 (flush/compaction write their run
+// chunk without pinning its extent).
+
+#ifndef SS_LSM_LSM_INDEX_H_
+#define SS_LSM_LSM_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/chunk/chunk_store.h"
+#include "src/chunk/locator.h"
+#include "src/common/rng.h"
+#include "src/dep/dependency.h"
+#include "src/superblock/extent_manager.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+
+using ShardId = uint64_t;
+
+// The index's value type: where a shard's data lives.
+struct ShardRecord {
+  uint64_t total_bytes = 0;
+  std::vector<Locator> chunks;
+
+  friend bool operator==(const ShardRecord& a, const ShardRecord& b) {
+    return a.total_bytes == b.total_bytes && a.chunks == b.chunks;
+  }
+};
+
+void SerializeShardRecord(const ShardRecord& record, Writer& w);
+Result<ShardRecord> DeserializeShardRecord(Reader& r);
+
+struct LsmOptions {
+  // Flush automatically once the memtable holds this many entries (SIZE_MAX = manual
+  // flushing only, which the deterministic test harnesses use).
+  size_t memtable_flush_entries = SIZE_MAX;
+  uint64_t meta_uuid_seed = 0x1e7a;
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t metadata_writes = 0;
+};
+
+class LsmIndex {
+ public:
+  // Opens over existing on-disk state (recovering the metadata record with the highest
+  // version from the reserved metadata extents) or formats a fresh index: claims two
+  // metadata extents and starts empty.
+  static Result<std::unique_ptr<LsmIndex>> Open(ExtentManager* extents, ChunkStore* chunks,
+                                                LsmOptions options = {});
+
+  // --- API ------------------------------------------------------------------------------
+  // Inserts/overwrites. `data_dep` is the dependency of the shard data the record points
+  // to; the entry will not reach durable index storage before that data does. Returns
+  // the entry's dependency (promise resolved by the covering metadata flush, combined
+  // with `data_dep`).
+  Dependency Put(ShardId id, ShardRecord record, Dependency data_dep);
+
+  // Tombstone. Returns the tombstone's dependency.
+  Dependency Delete(ShardId id);
+
+  // nullopt: no live mapping (never written, deleted, or tombstoned).
+  Result<std::optional<ShardRecord>> Get(ShardId id);
+
+  // All live shard ids (merged view of memtable and runs).
+  Result<std::vector<ShardId>> Keys();
+
+  // --- Maintenance ------------------------------------------------------------------------
+  // Writes the memtable as a new run + metadata record. No-op when clean.
+  Status Flush();
+
+  // Merges all runs into one, dropping tombstones and superseded versions.
+  Status Compact();
+
+  // True when a shutdown must still flush (bug #3 consults the wrong flag here).
+  bool NeedsShutdownFlush() const;
+
+  // --- Reclamation support -----------------------------------------------------------------
+  // Which shard (if any) references `loc` in its record. Linear scan of the live view;
+  // reclamation is a background task and the paper's reverse lookup is also index-wide.
+  Result<std::optional<ShardId>> FindShardReferencing(const Locator& loc);
+
+  // Whether `loc` is one of the live run chunks.
+  bool MetadataReferences(const Locator& loc) const;
+
+  // Rewrites the shard record containing `old_loc` to point at `new_loc` (no-op with a
+  // trivially-persistent result if the reference disappeared concurrently). The entry
+  // is gated on `new_dep`, the evacuated data's dependency.
+  Result<Dependency> RelocateShardChunk(const Locator& old_loc, const Locator& new_loc,
+                                        const Dependency& new_dep);
+
+  // Replaces run chunk `old_loc` with `new_loc` in the run list and persists a new
+  // metadata record gated on `new_dep`. Returns that record's dependency.
+  Result<Dependency> RelocateRunChunk(const Locator& old_loc, const Locator& new_loc,
+                                      const Dependency& new_dep);
+
+  // Dependency that persists once the current in-memory index state (memtable included)
+  // is durable; see ReclaimClient::DropGate.
+  Dependency StateDurableGate();
+
+  // --- Introspection -----------------------------------------------------------------------
+  size_t MemtableEntries() const;
+  size_t RunCount() const;
+  uint64_t MetadataVersion() const;
+  LsmStats stats() const;
+  std::vector<Locator> RunLocators() const;
+
+ private:
+  struct Entry {
+    std::optional<ShardRecord> value;  // nullopt = tombstone
+    Dependency data_dep;
+    uint64_t seq = 0;
+  };
+  // A run's decoded content.
+  using RunMap = std::map<ShardId, std::optional<ShardRecord>>;
+
+  LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options);
+
+  static Bytes SerializeRun(const RunMap& entries);
+  static Result<RunMap> DeserializeRun(ByteSpan payload);
+  // Splits a run into segments that each fit one chunk.
+  static std::vector<RunMap> PartitionRun(const RunMap& entries, size_t max_payload);
+  Result<RunMap> LoadRun(const Locator& loc);
+
+  // Serializes and appends the metadata record (runs + counters). Caller holds mu_.
+  // The record's write is gated on `input`.
+  Result<Dependency> WriteMetadataLocked(Dependency input);
+
+  // Resolves pending promises covered by `meta_dep` up to `max_seq`.
+  void ResolvePromisesLocked(uint64_t max_seq, const Dependency& meta_dep);
+
+  Status FlushLocked();  // caller holds flush_mu_ (not mu_)
+
+  ExtentManager* extents_;
+  ChunkStore* chunks_;
+  LsmOptions options_;
+  Rng meta_rng_;
+
+  mutable Mutex mu_;        // memtable, runs, metadata state
+  Mutex flush_mu_;          // serializes Flush/Compact
+  // A live run: its chunk locator plus the dependency under which that chunk (or its
+  // most recent evacuated copy) becomes durable. Metadata records are gated on the
+  // conjunction of these, so a persisted metadata record never references a run chunk
+  // that is not itself durable.
+  struct RunRef {
+    Locator loc;
+    Dependency dep;
+  };
+
+  std::map<ShardId, Entry> memtable_;
+  std::vector<RunRef> runs_;  // oldest first
+  uint64_t version_ = 0;
+  uint64_t next_seq_ = 1;
+  std::vector<std::pair<uint64_t, Dependency>> pending_promises_;
+  Dependency last_meta_dep_;
+  ExtentId meta_extents_[2] = {0, 0};
+  int active_meta_ = 0;
+  bool api_dirty_ = false;       // set by Put/Delete only (the flag bug #3 trusts)
+  bool internal_dirty_ = false;  // set by relocations and other internal mutations
+  LsmStats stats_;
+};
+
+}  // namespace ss
+
+#endif  // SS_LSM_LSM_INDEX_H_

@@ -1,0 +1,180 @@
+#include "src/mc/linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "src/common/crc32c.h"
+
+namespace ss {
+
+uint64_t LinHistory::Invoke() {
+  LockGuard lock(mu_);
+  return clock_++;
+}
+
+void LinHistory::Finish(uint64_t invoke, LinOp op) {
+  LockGuard lock(mu_);
+  op.invoke = invoke;
+  op.response = clock_++;
+  ops_.push_back(std::move(op));
+}
+
+void LinHistory::RecordPut(uint64_t invoke, uint64_t key, Bytes value) {
+  LinOp op;
+  op.kind = LinOp::Kind::kPut;
+  op.key = key;
+  op.value = std::move(value);
+  Finish(invoke, std::move(op));
+}
+
+void LinHistory::RecordDelete(uint64_t invoke, uint64_t key) {
+  LinOp op;
+  op.kind = LinOp::Kind::kDelete;
+  op.key = key;
+  Finish(invoke, std::move(op));
+}
+
+void LinHistory::RecordGetFound(uint64_t invoke, uint64_t key, Bytes result) {
+  LinOp op;
+  op.kind = LinOp::Kind::kGet;
+  op.key = key;
+  op.found = true;
+  op.result = std::move(result);
+  Finish(invoke, std::move(op));
+}
+
+void LinHistory::RecordGetMissing(uint64_t invoke, uint64_t key) {
+  LinOp op;
+  op.kind = LinOp::Kind::kGet;
+  op.key = key;
+  op.found = false;
+  Finish(invoke, std::move(op));
+}
+
+std::vector<LinOp> LinHistory::Ops() const {
+  LockGuard lock(mu_);
+  return ops_;
+}
+
+namespace {
+
+using ModelState = std::map<uint64_t, Bytes>;
+
+uint64_t HashState(const ModelState& state) {
+  uint32_t h = 0;
+  for (const auto& [key, value] : state) {
+    h = Crc32c(reinterpret_cast<const uint8_t*>(&key), sizeof(key), h);
+    h = Crc32c(value.data(), value.size(), h);
+  }
+  return h;
+}
+
+struct Searcher {
+  const std::vector<LinOp>& ops;
+  std::set<std::pair<uint64_t, uint64_t>> visited;  // (mask, state hash)
+
+  // Applies `op` to `state` if legal; returns false when the op's result contradicts
+  // the sequential semantics.
+  static bool Apply(const LinOp& op, ModelState& state) {
+    switch (op.kind) {
+      case LinOp::Kind::kPut:
+        state[op.key] = op.value;
+        return true;
+      case LinOp::Kind::kDelete:
+        state.erase(op.key);
+        return true;
+      case LinOp::Kind::kGet: {
+        auto it = state.find(op.key);
+        if (op.found) {
+          return it != state.end() && it->second == op.result;
+        }
+        return it == state.end();
+      }
+    }
+    return false;
+  }
+
+  bool Search(uint64_t mask, const ModelState& state) {
+    if (mask == (uint64_t{1} << ops.size()) - 1) {
+      return true;
+    }
+    if (!visited.insert({mask, HashState(state)}).second) {
+      return false;
+    }
+    // Candidate next ops: pending ops invoked before every pending op's response —
+    // i.e. op X is a candidate unless some other pending op responded before X was
+    // invoked (that op would have to linearize first).
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if ((mask >> i) & 1) {
+        continue;
+      }
+      bool minimal = true;
+      for (size_t j = 0; j < ops.size(); ++j) {
+        if (i == j || ((mask >> j) & 1)) {
+          continue;
+        }
+        if (ops[j].response < ops[i].invoke) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) {
+        continue;
+      }
+      ModelState next = state;
+      if (!Apply(ops[i], next)) {
+        continue;
+      }
+      if (Search(mask | (uint64_t{1} << i), next)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::string DescribeOp(const LinOp& op) {
+  std::ostringstream out;
+  switch (op.kind) {
+    case LinOp::Kind::kPut:
+      out << "Put(" << op.key << ", " << op.value.size() << "B)";
+      break;
+    case LinOp::Kind::kDelete:
+      out << "Delete(" << op.key << ")";
+      break;
+    case LinOp::Kind::kGet:
+      out << "Get(" << op.key << ") -> " << (op.found ? "found" : "missing");
+      break;
+  }
+  out << " @[" << op.invoke << "," << op.response << "]";
+  return out.str();
+}
+
+}  // namespace
+
+bool CheckLinearizable(const std::vector<LinOp>& history, std::string* explanation) {
+  if (history.size() > 62) {
+    if (explanation != nullptr) {
+      *explanation = "history too long for the checker (max 62 ops)";
+    }
+    return false;
+  }
+  Searcher searcher{history, {}};
+  if (searcher.Search(0, ModelState{})) {
+    return true;
+  }
+  if (explanation != nullptr) {
+    std::ostringstream out;
+    out << "no linearization exists for history:";
+    for (const LinOp& op : history) {
+      out << "\n  " << DescribeOp(op);
+    }
+    *explanation = out.str();
+  }
+  return false;
+}
+
+}  // namespace ss

@@ -1,0 +1,58 @@
+// Linearizability checking against the sequential reference model (paper section 6).
+//
+// Concurrent harnesses record a history of invocations/responses of key-value
+// operations; CheckLinearizable searches for a legal sequential witness (Wing & Gong's
+// algorithm with memoization on (linearized-set, model-state) pairs). The sequential
+// semantics are those of the KV reference model: a map from key to value.
+
+#ifndef SS_MC_LINEARIZABILITY_H_
+#define SS_MC_LINEARIZABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+
+struct LinOp {
+  enum class Kind : uint8_t { kPut, kGet, kDelete };
+  Kind kind = Kind::kGet;
+  uint64_t key = 0;
+  Bytes value;           // put argument
+  bool found = false;    // get result: key present?
+  Bytes result;          // get result bytes when found
+  uint64_t invoke = 0;   // logical invocation timestamp
+  uint64_t response = 0; // logical response timestamp (> invoke)
+};
+
+// Thread-safe recorder; timestamps come from an internal logical clock, so histories
+// are deterministic per model-checked schedule.
+class LinHistory {
+ public:
+  // Returns the invocation timestamp.
+  uint64_t Invoke();
+  void RecordPut(uint64_t invoke, uint64_t key, Bytes value);
+  void RecordDelete(uint64_t invoke, uint64_t key);
+  void RecordGetFound(uint64_t invoke, uint64_t key, Bytes result);
+  void RecordGetMissing(uint64_t invoke, uint64_t key);
+
+  std::vector<LinOp> Ops() const;
+
+ private:
+  void Finish(uint64_t invoke, LinOp op);
+
+  mutable Mutex mu_;
+  uint64_t clock_ = 1;
+  std::vector<LinOp> ops_;
+};
+
+// True if the history has a linearization legal for map semantics. On failure,
+// `explanation` (optional) describes the obstruction.
+bool CheckLinearizable(const std::vector<LinOp>& history, std::string* explanation);
+
+}  // namespace ss
+
+#endif  // SS_MC_LINEARIZABILITY_H_

@@ -1,0 +1,144 @@
+#include "src/model/models.h"
+
+#include "src/common/cover.h"
+#include "src/faults/faults.h"
+
+namespace ss {
+
+ChunkStoreModel::ModelLocator ChunkStoreModel::Put(Bytes data) {
+  ModelLocator loc;
+  if (BugEnabled(SeededBug::kModelLocatorReuse) && !free_list_.empty()) {
+    // Buggy model path: recycles locator tokens of forgotten chunks. Other harness code
+    // assumes model locators are unique forever (paper issue #15).
+    SS_COVER("model.bug15_locator_reuse");
+    loc = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    loc = next_++;
+  }
+  map_[loc] = std::move(data);
+  return loc;
+}
+
+std::optional<Bytes> ChunkStoreModel::Get(ModelLocator loc) const {
+  auto it = map_.find(loc);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ChunkStoreModel::Forget(ModelLocator loc) {
+  if (map_.erase(loc) != 0) {
+    free_list_.push_back(loc);
+  }
+}
+
+void KvStoreModel::Put(ShardId id, Bytes value, Dependency dep) {
+  history_[id].push_back(Version{std::move(value), std::move(dep)});
+}
+
+void KvStoreModel::Delete(ShardId id, Dependency dep) {
+  history_[id].push_back(Version{std::nullopt, std::move(dep)});
+}
+
+std::optional<Bytes> KvStoreModel::Get(ShardId id) const {
+  auto it = history_.find(id);
+  if (it == history_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  return it->second.back().value;
+}
+
+std::vector<ShardId> KvStoreModel::List() const {
+  std::vector<ShardId> out;
+  for (const auto& [id, versions] : history_) {
+    if (!versions.empty() && versions.back().value.has_value()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool KvStoreModel::CrashAllowed::Permits(const std::optional<Bytes>& observed) const {
+  if (!observed.has_value()) {
+    return allow_absent;
+  }
+  for (const Bytes& value : values) {
+    if (value == *observed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+KvStoreModel::CrashAllowed KvStoreModel::AllowedAfterCrash(ShardId id) const {
+  CrashAllowed allowed;
+  auto it = history_.find(id);
+  if (it == history_.end() || it->second.empty()) {
+    allowed.allow_absent = true;
+    return allowed;
+  }
+  const std::vector<Version>& versions = it->second;
+  if (BugEnabled(SeededBug::kRecoveryWritePointerPastCrash)) {
+    // Buggy model path (paper issue #9: "reference model was not updated correctly
+    // after a crash"): if the latest in-flight mutation is a delete, the model assumes
+    // the key is gone — forgetting that an unpersisted delete can be lost by the crash,
+    // leaving the previously persisted value readable. A *correct* implementation then
+    // fails the conformance check, which is how the paper's property test surfaced its
+    // model bug (after the famous 61-op -> 6-op minimization).
+    if (!versions.back().value.has_value()) {
+      SS_COVER("model.bug9_wrong_rollback");
+      allowed.allow_absent = true;
+      return allowed;
+    }
+  }
+  // Find the latest persisted mutation; everything from it onward is a legal survivor.
+  size_t first_allowed = 0;
+  bool any_persistent = false;
+  for (size_t i = versions.size(); i-- > 0;) {
+    if (versions[i].dep.IsPersistent()) {
+      first_allowed = i;
+      any_persistent = true;
+      break;
+    }
+  }
+  if (!any_persistent) {
+    // Nothing durable was promised: the key may be absent or reflect any in-flight
+    // mutation.
+    allowed.allow_absent = true;
+    first_allowed = 0;
+  }
+  for (size_t i = first_allowed; i < versions.size(); ++i) {
+    if (versions[i].value.has_value()) {
+      allowed.values.push_back(*versions[i].value);
+    } else {
+      allowed.allow_absent = true;
+    }
+  }
+  return allowed;
+}
+
+bool KvStoreModel::AdoptPostCrash(ShardId id, const std::optional<Bytes>& observed) {
+  if (!AllowedAfterCrash(id).Permits(observed)) {
+    return false;
+  }
+  std::vector<Version>& versions = history_[id];
+  versions.clear();
+  if (observed.has_value()) {
+    // The recovered state is on disk, hence durable.
+    versions.push_back(Version{*observed, Dependency()});
+  }
+  return true;
+}
+
+std::vector<ShardId> KvStoreModel::TouchedKeys() const {
+  std::vector<ShardId> out;
+  out.reserve(history_.size());
+  for (const auto& [id, versions] : history_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ss

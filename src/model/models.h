@@ -1,0 +1,128 @@
+// Executable reference models (paper section 3.2).
+//
+// Each ShardStore component gets a reference model: an executable specification with
+// the same interface but a trivially simple implementation (a hash map instead of a
+// persistent LSM tree). The conformance harnesses (src/harness) run implementation and
+// model side by side and compare; the same models double as mocks in unit tests.
+//
+// KvStoreModel carries the section-5 crash extension: every mutation records the
+// implementation-returned Dependency, and OnCrashRecovered() collapses each key's
+// history to the latest mutation whose dependency reports persistent — the state the
+// persistence property says a correct recovery must expose.
+//
+// Two of Figure 5's issues were bugs in the *models* themselves (#9, #15); both are
+// seeded here.
+
+#ifndef SS_MODEL_MODELS_H_
+#define SS_MODEL_MODELS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/dep/dependency.h"
+#include "src/lsm/lsm_index.h"
+
+namespace ss {
+
+// Reference model for the index component (paper Figure 3): a plain ordered map with
+// the LsmIndex interface. Background operations (flush, compaction, reclamation,
+// reboot) do not change the key-value mapping, so they have no model counterpart.
+class IndexModel {
+ public:
+  void Put(ShardId id, ShardRecord record) { map_[id] = std::move(record); }
+  void Delete(ShardId id) { map_.erase(id); }
+  std::optional<ShardRecord> Get(ShardId id) const {
+    auto it = map_.find(id);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+  std::vector<ShardId> Keys() const {
+    std::vector<ShardId> out;
+    out.reserve(map_.size());
+    for (const auto& [id, record] : map_) {
+      out.push_back(id);
+    }
+    return out;
+  }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::map<ShardId, ShardRecord> map_;
+};
+
+// Reference model for the chunk store. Model locators are abstract tokens; the
+// conformance harness maintains the correspondence between implementation locators and
+// model locators and checks it stays a bijection. Seeded bug #15 makes the model re-use
+// locator tokens, which breaks that uniqueness assumption — the paper's example of a
+// bug found in a reference model itself.
+class ChunkStoreModel {
+ public:
+  using ModelLocator = uint64_t;
+
+  ModelLocator Put(Bytes data);
+  // nullopt: unknown/forgotten locator.
+  std::optional<Bytes> Get(ModelLocator loc) const;
+  // Drop the mapping (the chunk becomes garbage; reclamation is a model no-op).
+  void Forget(ModelLocator loc);
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::map<ModelLocator, Bytes> map_;
+  std::vector<ModelLocator> free_list_;  // only used by the seeded model bug
+  ModelLocator next_ = 1;
+};
+
+// Reference model for the whole key-value store, with the crash extension.
+class KvStoreModel {
+ public:
+  void Put(ShardId id, Bytes value, Dependency dep);
+  void Delete(ShardId id, Dependency dep);
+
+  // Current (crash-free) expected value; nullopt = absent.
+  std::optional<Bytes> Get(ShardId id) const;
+  std::vector<ShardId> List() const;
+
+  // --- Crash extension (section 5) -------------------------------------------------------
+  //
+  // After a crash, the persistence property allows each key to surface the value of the
+  // *latest mutation whose dependency persisted*, or any later in-flight mutation (an
+  // operation may survive a crash even if its — possibly stronger-than-necessary —
+  // dependency reports non-persistent; the property is an implication, not an
+  // equivalence). What is never allowed: values from before the last persisted
+  // mutation (resurrection) or losing the last persisted value without a later
+  // surviving mutation.
+
+  // The set of values a key may legally have after a crash. `allow_absent` covers
+  // tombstones and never-persisted keys.
+  struct CrashAllowed {
+    bool allow_absent = false;
+    std::vector<Bytes> values;
+
+    bool Permits(const std::optional<Bytes>& observed) const;
+  };
+  CrashAllowed AllowedAfterCrash(ShardId id) const;
+
+  // Adopt the implementation's observed post-crash state for `id` (the recovered state
+  // is durable and becomes the new history baseline). Returns false — a consistency
+  // violation — if the observation is not in the allowed set.
+  bool AdoptPostCrash(ShardId id, const std::optional<Bytes>& observed);
+
+  // Keys ever touched (for post-crash sweeps, including keys that should be absent).
+  std::vector<ShardId> TouchedKeys() const;
+
+ private:
+  struct Version {
+    std::optional<Bytes> value;  // nullopt = delete
+    Dependency dep;
+  };
+  std::map<ShardId, std::vector<Version>> history_;
+};
+
+}  // namespace ss
+
+#endif  // SS_MODEL_MODELS_H_

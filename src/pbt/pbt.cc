@@ -1,0 +1,41 @@
+#include "src/pbt/pbt.h"
+
+#include <algorithm>
+
+namespace ss {
+
+size_t BiasedValueSize(Rng& rng, uint32_t page_size, size_t frame_overhead, size_t max_size) {
+  const size_t pick = rng.Below(100);
+  if (pick < 45) {
+    // Small values.
+    return rng.Below(64);
+  }
+  if (pick < 80) {
+    // Near a page boundary once framed. Two anchor families matter (the paper's
+    // "read/write sizes close to the disk page size"):
+    //   * k*page_size - frame_overhead: the whole frame ends exactly on a page boundary
+    //     (the corner behind reclamation off-by-ones, issue #1),
+    //   * k*page_size - (frame_overhead - 16): the 16-byte trailing UUID starts exactly
+    //     on a page boundary, i.e. it spills onto the next page (the corner behind the
+    //     UUID-collision issue #10).
+    const uint64_t k = rng.Range(1, 3);
+    const size_t anchor =
+        rng.Chance(0.5) ? frame_overhead : (frame_overhead >= 16 ? frame_overhead - 16 : 0);
+    const int64_t base = static_cast<int64_t>(k) * page_size - static_cast<int64_t>(anchor);
+    const int64_t jitter = rng.RangeSigned(-3, 3);
+    const int64_t size = std::max<int64_t>(0, base + jitter);
+    return std::min<size_t>(static_cast<size_t>(size), max_size);
+  }
+  // Anything up to the maximum.
+  return rng.Below(max_size + 1);
+}
+
+uint64_t BiasedKey(Rng& rng, const std::vector<uint64_t>& used, double reuse_p,
+                   uint64_t fresh_bound) {
+  if (!used.empty() && rng.Chance(reuse_p)) {
+    return used[rng.Below(used.size())];
+  }
+  return rng.Below(fresh_bound);
+}
+
+}  // namespace ss

@@ -1,0 +1,276 @@
+#include "src/rpc/node_server.h"
+
+#include "src/common/cover.h"
+#include "src/faults/faults.h"
+
+namespace ss {
+
+NodeServer::NodeServer(NodeServerOptions options) : options_(options) {}
+
+Result<std::unique_ptr<NodeServer>> NodeServer::Create(NodeServerOptions options) {
+  if (options.disk_count < 1) {
+    return Status::InvalidArgument("need at least one disk");
+  }
+  std::unique_ptr<NodeServer> node(new NodeServer(options));
+  for (int d = 0; d < options.disk_count; ++d) {
+    node->disks_.push_back(std::make_unique<InMemoryDisk>(options.geometry));
+    auto store_or = ShardStore::Open(node->disks_.back().get(), options.store);
+    if (!store_or.ok()) {
+      return store_or.status();
+    }
+    node->stores_.push_back(std::shared_ptr<ShardStore>(std::move(store_or).value()));
+    node->in_service_.push_back(true);
+  }
+  return node;
+}
+
+int NodeServer::DiskFor(ShardId id) const {
+  LockGuard lock(mu_);
+  auto it = directory_.find(id);
+  if (it != directory_.end()) {
+    return it->second;  // migrated / known placement
+  }
+  // Stable hash placement for shards without a directory entry.
+  return static_cast<int>((id * 0x9e3779b97f4a7c15ULL >> 32) % disks_.size());
+}
+
+bool NodeServer::InService(int disk) const {
+  LockGuard lock(mu_);
+  return disk >= 0 && disk < static_cast<int>(in_service_.size()) && in_service_[disk];
+}
+
+std::shared_ptr<ShardStore> NodeServer::store(int disk) const {
+  LockGuard lock(mu_);
+  if (disk < 0 || disk >= static_cast<int>(stores_.size())) {
+    return nullptr;
+  }
+  return stores_[disk];
+}
+
+Result<std::shared_ptr<ShardStore>> NodeServer::Route(ShardId id) const {
+  const int disk = DiskFor(id);
+  LockGuard lock(mu_);
+  if (!in_service_[disk]) {
+    return Status::Unavailable("disk out of service");
+  }
+  return stores_[disk];
+}
+
+Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
+  const int disk = DiskFor(id);
+  std::shared_ptr<ShardStore> target;
+  {
+    LockGuard lock(mu_);
+    if (!in_service_[disk]) {
+      return Status::Unavailable("disk out of service");
+    }
+    target = stores_[disk];
+  }
+  SS_ASSIGN_OR_RETURN(Dependency dep, target->Put(id, value));
+  {
+    LockGuard lock(mu_);
+    directory_[id] = disk;
+  }
+  return dep;
+}
+
+Result<Bytes> NodeServer::Get(ShardId id) {
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id));
+  return target->Get(id);
+}
+
+Result<Dependency> NodeServer::Delete(ShardId id) {
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id));
+  SS_ASSIGN_OR_RETURN(Dependency dep, target->Delete(id));
+  {
+    LockGuard lock(mu_);
+    directory_.erase(id);
+  }
+  return dep;
+}
+
+Result<std::vector<ShardId>> NodeServer::ListShards() {
+  if (BugEnabled(SeededBug::kListRemoveRace)) {
+    // Buggy path: the listing copies the directory in two batches, releasing the lock
+    // in between and resuming *by element count*. A concurrent removal that deletes an
+    // already-copied element shifts everything left, so the resume skips a live shard
+    // (the paper's issue #13: list ∥ removal race).
+    SS_COVER("rpc.bug13_chunked_list");
+    std::vector<ShardId> out;
+    size_t copied = 0;
+    {
+      LockGuard lock(mu_);
+      const size_t half = directory_.size() / 2;
+      for (const auto& [id, disk] : directory_) {
+        if (copied >= half) {
+          break;
+        }
+        if (in_service_[disk]) {
+          out.push_back(id);
+        }
+        ++copied;
+      }
+    }
+    YieldThread();  // the preemption window
+    {
+      LockGuard lock(mu_);
+      size_t index = 0;
+      for (const auto& [id, disk] : directory_) {
+        if (index++ < copied) {
+          continue;  // "already copied" — wrong if the map shifted underneath
+        }
+        if (in_service_[disk]) {
+          out.push_back(id);
+        }
+      }
+    }
+    return out;
+  }
+  LockGuard lock(mu_);
+  std::vector<ShardId> out;
+  out.reserve(directory_.size());
+  for (const auto& [id, disk] : directory_) {
+    if (in_service_[disk]) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Status NodeServer::RemoveDiskFromService(int disk) {
+  if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  std::shared_ptr<ShardStore> target;
+  {
+    LockGuard lock(mu_);
+    if (!in_service_[disk]) {
+      return Status::Unavailable("already out of service");
+    }
+    target = stores_[disk];
+  }
+  if (BugEnabled(SeededBug::kDiskRemovalLosesShards)) {
+    // Buggy path: the store is discarded without a clean shutdown, dropping the
+    // unflushed memtable and pending writebacks — "shards could be lost if a disk was
+    // removed from service and then later returned" (paper issue #4).
+    SS_COVER("rpc.bug4_remove_without_flush");
+  } else {
+    SS_RETURN_IF_ERROR(target->FlushAll());
+  }
+  LockGuard lock(mu_);
+  in_service_[disk] = false;
+  stores_[disk].reset();
+  return Status::Ok();
+}
+
+Status NodeServer::RestoreDisk(int disk) {
+  if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  {
+    LockGuard lock(mu_);
+    if (in_service_[disk]) {
+      return Status::Unavailable("already in service");
+    }
+  }
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<ShardStore> reopened,
+                      ShardStore::Open(disks_[disk].get(), options_.store));
+  std::shared_ptr<ShardStore> shared(std::move(reopened));
+  SS_ASSIGN_OR_RETURN(std::vector<ShardId> ids, shared->List());
+  LockGuard lock(mu_);
+  stores_[disk] = shared;
+  in_service_[disk] = true;
+  // Rebuild the directory entries this disk owns.
+  for (ShardId id : ids) {
+    directory_[id] = disk;
+  }
+  return Status::Ok();
+}
+
+Status NodeServer::MigrateShard(ShardId id, int to_disk) {
+  if (to_disk < 0 || to_disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  LockGuard control(control_mu_);
+  const int from_disk = DiskFor(id);
+  std::shared_ptr<ShardStore> source;
+  std::shared_ptr<ShardStore> target;
+  {
+    LockGuard lock(mu_);
+    if (!in_service_[from_disk] || !in_service_[to_disk]) {
+      return Status::Unavailable("source or target disk out of service");
+    }
+    source = stores_[from_disk];
+    target = stores_[to_disk];
+  }
+  if (from_disk == to_disk) {
+    return Status::Ok();
+  }
+  SS_ASSIGN_OR_RETURN(Bytes value, source->Get(id));
+  // Copy first, commit the routing change, then tombstone the source — in that order a
+  // crash of this control-plane step never loses the shard (at worst both copies
+  // exist, and the directory decides which one serves).
+  SS_ASSIGN_OR_RETURN(Dependency copied, target->Put(id, value));
+  (void)copied;
+  {
+    LockGuard lock(mu_);
+    if (!in_service_[to_disk]) {
+      return Status::Unavailable("target removed during migration");
+    }
+    directory_[id] = to_disk;
+  }
+  SS_ASSIGN_OR_RETURN(Dependency dropped, source->Delete(id));
+  (void)dropped;
+  SS_COVER("rpc.migrate_shard");
+  return Status::Ok();
+}
+
+Status NodeServer::BulkCreate(const std::vector<std::pair<ShardId, Bytes>>& items) {
+  const bool atomic = !BugEnabled(SeededBug::kBulkCreateRemoveRace);
+  if (!atomic) {
+    SS_COVER("rpc.bug16_unlocked_bulk");
+  }
+  std::optional<LockGuard> guard;
+  if (atomic) {
+    guard.emplace(control_mu_);
+  }
+  for (const auto& [id, value] : items) {
+    auto dep_or = Put(id, value);
+    if (!dep_or.ok()) {
+      return dep_or.status();
+    }
+    YieldThread();
+  }
+  return Status::Ok();
+}
+
+Status NodeServer::BulkRemove(const std::vector<ShardId>& ids) {
+  const bool atomic = !BugEnabled(SeededBug::kBulkCreateRemoveRace);
+  if (!atomic) {
+    SS_COVER("rpc.bug16_unlocked_bulk");
+  }
+  std::optional<LockGuard> guard;
+  if (atomic) {
+    guard.emplace(control_mu_);
+  }
+  for (ShardId id : ids) {
+    auto dep_or = Delete(id);
+    if (!dep_or.ok()) {
+      return dep_or.status();
+    }
+    YieldThread();
+  }
+  return Status::Ok();
+}
+
+Status NodeServer::FlushAllDisks() {
+  for (int d = 0; d < disk_count(); ++d) {
+    std::shared_ptr<ShardStore> target = store(d);
+    if (target != nullptr) {
+      SS_RETURN_IF_ERROR(target->FlushAll());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ss

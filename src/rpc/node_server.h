@@ -1,0 +1,91 @@
+// NodeServer: the storage host's RPC surface (paper section 2.1).
+//
+// A storage host runs one independent ShardStore per disk; the shared RPC layer steers
+// request-plane calls (put/get/delete) to the owning disk by shard id and offers the
+// control-plane operations S3 uses for migration and repair: listing shards, taking a
+// disk out of service / returning it, and bulk create/remove.
+//
+// Seeded bugs hosted here: #4 (removal skips the clean shutdown, so a removed-and-
+// returned disk loses recent shards), #13 (the shard listing releases its lock midway
+// and resumes by element count, missing entries that a concurrent removal shifted), and
+// #16 (bulk create/remove skip the control-plane lock that makes them atomic units).
+
+#ifndef SS_RPC_NODE_SERVER_H_
+#define SS_RPC_NODE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/kv/shard_store.h"
+
+namespace ss {
+
+struct NodeServerOptions {
+  int disk_count = 4;
+  DiskGeometry geometry;
+  ShardStoreOptions store;
+};
+
+class NodeServer {
+ public:
+  // Creates `disk_count` fresh disks and opens a store on each.
+  static Result<std::unique_ptr<NodeServer>> Create(NodeServerOptions options = {});
+
+  // --- Request plane -------------------------------------------------------------------
+  Result<Dependency> Put(ShardId id, ByteSpan value);
+  Result<Bytes> Get(ShardId id);
+  Result<Dependency> Delete(ShardId id);
+
+  // --- Control plane -------------------------------------------------------------------
+  // All shards currently stored on in-service disks.
+  Result<std::vector<ShardId>> ListShards();
+
+  // Cleanly shuts the disk's store down and takes it out of service; requests for its
+  // shards fail with kUnavailable until RestoreDisk.
+  Status RemoveDiskFromService(int disk);
+
+  // Reopens the store from the disk's persistent image and puts it back in service.
+  Status RestoreDisk(int disk);
+
+  // Migrates one shard to another in-service disk (the control plane's repair /
+  // rebalance primitive): copy to the target, commit the routing change, tombstone the
+  // source. Both disks must be in service; migrating to the current owner is a no-op.
+  Status MigrateShard(ShardId id, int to_disk);
+
+  // Atomic bulk operations: observers see either none or all of the batch applied
+  // (relative to other bulk operations).
+  Status BulkCreate(const std::vector<std::pair<ShardId, Bytes>>& items);
+  Status BulkRemove(const std::vector<ShardId>& ids);
+
+  // Clean shutdown of every in-service disk; afterwards all dependencies persist.
+  Status FlushAllDisks();
+
+  // The disk currently owning `id`: its directory entry if present (which migration
+  // moves), otherwise the stable hash placement used for new shards.
+  int DiskFor(ShardId id) const;
+  int disk_count() const { return static_cast<int>(disks_.size()); }
+  bool InService(int disk) const;
+  // Per-disk access for tests/examples (nullptr when out of service).
+  std::shared_ptr<ShardStore> store(int disk) const;
+
+ private:
+  explicit NodeServer(NodeServerOptions options);
+
+  // Snapshot the store for a shard, checking service state.
+  Result<std::shared_ptr<ShardStore>> Route(ShardId id) const;
+
+  NodeServerOptions options_;
+  std::vector<std::unique_ptr<InMemoryDisk>> disks_;
+
+  mutable Mutex mu_;  // service state + directory
+  std::vector<std::shared_ptr<ShardStore>> stores_;
+  std::vector<bool> in_service_;
+  std::map<ShardId, int> directory_;  // live shards -> owning disk
+
+  Mutex control_mu_;  // serializes bulk control-plane operations
+};
+
+}  // namespace ss
+
+#endif  // SS_RPC_NODE_SERVER_H_

@@ -1,0 +1,236 @@
+#include "src/superblock/extent_manager.h"
+
+#include "src/common/cover.h"
+#include "src/faults/faults.h"
+
+namespace ss {
+
+ExtentManager::ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler, uint32_t buffer_permits)
+    : disk_(disk), scheduler_(scheduler), buffer_pool_(buffer_permits) {
+  const DiskGeometry& geo = disk_->geometry();
+  extents_.resize(geo.extent_count);
+  for (ExtentId e = 0; e < geo.extent_count; ++e) {
+    ExtentState& state = extents_[e];
+    state.wp = disk_->ReadSoftWp(e);
+    state.enqueued_soft_wp = state.wp;
+    state.owner = disk_->ReadOwnership(e);
+    state.ownership_dep = Dependency();  // persisted state needs no further ordering
+    // Copy the full persistent image, including pages beyond the write pointer: a real
+    // disk retains stale bytes there too, which is what makes write-pointer bugs
+    // (e.g. #7) observable as resurrected data.
+    state.image.resize(geo.pages_per_extent);
+    for (uint32_t p = 0; p < geo.pages_per_extent; ++p) {
+      auto page = disk_->PeekPage(e, p);
+      state.image[p] = page.ok() ? std::move(page).value() : Bytes(geo.page_size, 0);
+    }
+  }
+}
+
+Status ExtentManager::CheckExtent(ExtentId extent) const {
+  if (extent == 0 || extent >= disk_->geometry().extent_count) {
+    return Status::InvalidArgument("extent out of range (extent 0 is the superblock)");
+  }
+  return Status::Ok();
+}
+
+uint32_t ExtentManager::PagesNeeded(size_t bytes) const {
+  const uint32_t page_size = disk_->geometry().page_size;
+  return static_cast<uint32_t>((bytes + page_size - 1) / page_size);
+}
+
+Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Dependency input) {
+  SS_RETURN_IF_ERROR(CheckExtent(extent));
+  if (data.empty()) {
+    return Status::InvalidArgument("append of zero bytes");
+  }
+  const DiskGeometry& geo = disk_->geometry();
+  const uint32_t pages_needed = PagesNeeded(data.size());
+
+  // Stage buffers for the data pages and the superblock update. The correct code takes
+  // both permits atomically; seeded bug #12 splits the acquisition, which deadlocks
+  // when two appends race on a nearly-exhausted pool.
+  if (BugEnabled(SeededBug::kBufferPoolDeadlock)) {
+    buffer_pool_.Acquire(1);
+    YieldThread();  // the preemption window the model checker exploits
+    buffer_pool_.Acquire(1);
+  } else {
+    buffer_pool_.Acquire(2);
+  }
+
+  LockGuard lock(mu_);
+  ExtentState& state = extents_[extent];
+  if (state.owner == ExtentOwner::kFree) {
+    buffer_pool_.Release(2);
+    return Status::InvalidArgument("append to unowned extent");
+  }
+  if (uint64_t{state.wp} + pages_needed > geo.pages_per_extent) {
+    buffer_pool_.Release(2);
+    return Status::ResourceExhausted("extent full");
+  }
+  // Synchronous write-failure surface: a failed append reports kIoError to the caller
+  // and stages nothing (section 4.4 failure injection).
+  if (disk_->fault_injector().ShouldFailWrite(extent)) {
+    buffer_pool_.Release(2);
+    return Status::IoError("append: injected write failure");
+  }
+
+  AppendResult result;
+  result.first_page = state.wp;
+  result.page_count = pages_needed;
+
+  std::vector<Dependency> data_deps;
+  std::vector<Dependency> soft_wp_deps;
+  for (uint32_t i = 0; i < pages_needed; ++i) {
+    const size_t off = size_t{i} * geo.page_size;
+    const size_t len = std::min<size_t>(geo.page_size, data.size() - off);
+    Bytes page(data.begin() + static_cast<ptrdiff_t>(off),
+               data.begin() + static_cast<ptrdiff_t>(off + len));
+    page.resize(geo.page_size, 0);
+
+    // Stage into the volatile image so the write is immediately readable.
+    state.image[state.wp + i] = page;
+
+    std::vector<Dependency> inputs = {input};
+    if (!BugEnabled(SeededBug::kSuperblockWrongOwnershipDep)) {
+      // Data on a freshly claimed extent must not persist before its ownership record.
+      inputs.push_back(state.ownership_dep);
+    }
+    Dependency page_dep =
+        scheduler_->EnqueueDataPage(extent, state.wp + i, std::move(page), std::move(inputs));
+    data_deps.push_back(page_dep);
+
+    // Soft-write-pointer update covering this page. Two rules:
+    //  * it is *gated on the data write it covers*: a pointer that reached the disk
+    //    ahead of its data would make recovery expose stale (possibly stale-but-valid)
+    //    bytes below the write pointer — the core soft-updates ordering;
+    //  * it is skipped when an update with an equal or higher value is already
+    //    enqueued — which never happens in correct execution because appends advance
+    //    monotonically and Reset() rewinds the tracker. Seeded bug #7 breaks the
+    //    rewind, making this skip fire and leaving the persisted pointer stale
+    //    relative to the data.
+    const uint32_t covered = state.wp + i + 1;
+    if (covered > state.enqueued_soft_wp) {
+      soft_wp_deps.push_back(scheduler_->EnqueueSoftWp(extent, covered, {page_dep}));
+      state.enqueued_soft_wp = covered;
+    } else {
+      SS_COVER("extent_manager.soft_wp_skip");
+    }
+  }
+  state.wp += pages_needed;
+
+  result.dep = Dependency::AndAll(data_deps);
+  if (!BugEnabled(SeededBug::kWriteMissingSoftPointerDep)) {
+    result.dep = result.dep.And(Dependency::AndAll(soft_wp_deps));
+  }
+  buffer_pool_.Release(2);
+  return result;
+}
+
+Result<Bytes> ExtentManager::Read(ExtentId extent, uint32_t first_page,
+                                  uint32_t page_count) const {
+  SS_RETURN_IF_ERROR(CheckExtent(extent));
+  if (disk_->fault_injector().ShouldFailRead(extent)) {
+    return Status::IoError("read: injected read failure");
+  }
+  LockGuard lock(mu_);
+  const ExtentState& state = extents_[extent];
+  if (uint64_t{first_page} + page_count > state.wp) {
+    // Reads beyond the write pointer are forbidden (paper section 2.1).
+    return Status::InvalidArgument("read beyond write pointer");
+  }
+  const DiskGeometry& geo = disk_->geometry();
+  Bytes out;
+  out.reserve(uint64_t{page_count} * geo.page_size);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    const Bytes& page = state.image[first_page + i];
+    out.insert(out.end(), page.begin(), page.end());
+  }
+  return out;
+}
+
+Dependency ExtentManager::Reset(ExtentId extent, Dependency input) {
+  if (!CheckExtent(extent).ok()) {
+    return Dependency();
+  }
+  LockGuard lock(mu_);
+  return ResetLocked(extent, std::move(input));
+}
+
+Dependency ExtentManager::ResetLocked(ExtentId extent, Dependency input) {
+  ExtentState& state = extents_[extent];
+  Dependency marker = scheduler_->EnqueueReset(extent, {input});
+  Dependency zero = scheduler_->EnqueueSoftWp(extent, 0, {input});
+  state.wp = 0;
+  if (!BugEnabled(SeededBug::kSoftPointerNotResetPersisted)) {
+    state.enqueued_soft_wp = 0;
+  } else {
+    SS_COVER("extent_manager.bug7_stale_tracker");
+  }
+  // The volatile image retains old contents, as a physical reset would.
+  Dependency dep = marker.And(zero);
+  state.last_reset_dep = dep;
+  return dep;
+}
+
+bool ExtentManager::ResetSettled(ExtentId extent) const {
+  LockGuard lock(mu_);
+  if (extent >= extents_.size()) {
+    return false;
+  }
+  return extents_[extent].last_reset_dep.IsPersistent();
+}
+
+Result<ExtentId> ExtentManager::ClaimExtent(ExtentOwner owner) {
+  LockGuard lock(mu_);
+  const DiskGeometry& geo = disk_->geometry();
+  for (ExtentId e = 1; e < geo.extent_count; ++e) {
+    ExtentState& state = extents_[e];
+    if (state.owner == ExtentOwner::kFree) {
+      if (state.wp != 0) {
+        // A free extent with a nonzero write pointer holds stale data from a previous
+        // life (unreachable in correct execution: data never persists before its
+        // ownership record, so a crash cannot leave owned data on an unowned extent).
+        // Claiming resets it — which is what destroys persisted-but-unowned data when
+        // the ownership dependency was wrong (seeded bug #6).
+        SS_COVER("extent_manager.claim_resets_stale_extent");
+        ResetLocked(e, Dependency());
+      }
+      state.owner = owner;
+      Dependency dep = scheduler_->EnqueueOwnership(e, owner, {});
+      state.ownership_dep = dep;
+      return e;
+    }
+  }
+  return Status::ResourceExhausted("no free extents");
+}
+
+uint32_t ExtentManager::WritePointer(ExtentId extent) const {
+  LockGuard lock(mu_);
+  return extent < extents_.size() ? extents_[extent].wp : 0;
+}
+
+ExtentOwner ExtentManager::Owner(ExtentId extent) const {
+  LockGuard lock(mu_);
+  return extent < extents_.size() ? extents_[extent].owner : ExtentOwner::kFree;
+}
+
+uint32_t ExtentManager::PagesFree(ExtentId extent) const {
+  LockGuard lock(mu_);
+  if (extent == 0 || extent >= extents_.size()) {
+    return 0;
+  }
+  return disk_->geometry().pages_per_extent - extents_[extent].wp;
+}
+
+std::vector<ExtentId> ExtentManager::ExtentsOwnedBy(ExtentOwner owner) const {
+  LockGuard lock(mu_);
+  std::vector<ExtentId> out;
+  for (ExtentId e = 1; e < extents_.size(); ++e) {
+    if (extents_[e].owner == owner) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace ss

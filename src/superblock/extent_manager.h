@@ -1,0 +1,119 @@
+// ExtentManager: append-only extent IO with soft write pointers (paper sections 2.1-2.2).
+//
+// This is the only layer that writes to the IoScheduler. It implements the paper's
+// extent contract:
+//   * writes within an extent are sequential at the write pointer; an extent must be
+//     reset before its space is reused,
+//   * reads beyond the (volatile) write pointer are forbidden,
+//   * every append also updates the extent's *soft write pointer* in the superblock,
+//     and the append's returned Dependency covers both the data pages and the soft
+//     pointer update (Figure 2) — recovery only trusts data below the persisted soft
+//     pointer, so an append may not report persistent before the pointer covering it is,
+//   * resetting an extent persists a zero soft pointer, ordered after the caller's
+//     input dependency (evacuations, index updates).
+//
+// The manager keeps a volatile image of all extents: reads during normal operation are
+// served from it (the disk's persistent image only matters across a crash). A new
+// ExtentManager constructed over a recovered disk rebuilds its image and write pointers
+// from the superblock, which is exactly ShardStore recovery at this layer.
+//
+// Seeded bugs hosted here: #6 (ownership dependency omitted), #7 (soft-pointer tracking
+// not reset), #8 (append dependency missing the soft-pointer update), #12 (split buffer
+// pool acquisition that can deadlock).
+
+#ifndef SS_SUPERBLOCK_EXTENT_MANAGER_H_
+#define SS_SUPERBLOCK_EXTENT_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/dep/dependency.h"
+#include "src/dep/io_scheduler.h"
+#include "src/disk/disk.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+
+struct AppendResult {
+  uint32_t first_page = 0;
+  uint32_t page_count = 0;
+  // Persistent once the data pages and the covering soft-write-pointer update are
+  // durable (and, for a freshly claimed extent, its ownership record).
+  Dependency dep;
+};
+
+class ExtentManager {
+ public:
+  // Buffer-pool permits available for in-flight superblock/data staging. Two permits are
+  // needed per append; the default leaves headroom, while concurrency tests shrink it to
+  // surface bug #12.
+  static constexpr uint32_t kDefaultBufferPermits = 64;
+
+  // Builds the manager over (possibly freshly recovered) disk state: write pointers come
+  // from the persisted superblock soft pointers, extent images from the disk pages.
+  ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler,
+                uint32_t buffer_permits = kDefaultBufferPermits);
+
+  // --- Data path ----------------------------------------------------------------------
+  // Appends `data` (1..extent-size bytes) at the write pointer. The write is staged
+  // immediately (readable through Read) and scheduled for writeback; it will not be
+  // issued to disk before `input` persists.
+  Result<AppendResult> Append(ExtentId extent, ByteSpan data, Dependency input);
+
+  // Reads `page_count` pages starting at `first_page`. Fails with kInvalidArgument if
+  // the range extends past the write pointer, kIoError under fault injection.
+  Result<Bytes> Read(ExtentId extent, uint32_t first_page, uint32_t page_count) const;
+
+  // Returns the write pointer (pages) to the start of the extent, making existing data
+  // unreachable. The reset (and its zero soft pointer) is issued only after `input`
+  // persists. Returns the reset's dependency.
+  Dependency Reset(ExtentId extent, Dependency input);
+
+  // --- Ownership ----------------------------------------------------------------------
+  // Claims a free extent for `owner`, persisting the ownership record in the superblock.
+  // Data appended to the extent will not persist before the ownership record does.
+  Result<ExtentId> ClaimExtent(ExtentOwner owner);
+
+  // True once the extent's most recent reset (if any) has reached the disk. Space freed
+  // by a reset may only be reused for new allocations after this point: otherwise a
+  // write on the reused extent is queued behind a reset whose input dependency can
+  // reach *forward* to that very write's flush (a scheduling cycle, i.e. a
+  // forward-progress violation).
+  bool ResetSettled(ExtentId extent) const;
+
+  // --- Introspection ------------------------------------------------------------------
+  uint32_t WritePointer(ExtentId extent) const;
+  ExtentOwner Owner(ExtentId extent) const;
+  uint32_t PagesFree(ExtentId extent) const;
+  std::vector<ExtentId> ExtentsOwnedBy(ExtentOwner owner) const;
+  const DiskGeometry& geometry() const { return disk_->geometry(); }
+  uint32_t PagesNeeded(size_t bytes) const;
+
+  IoScheduler& scheduler() { return *scheduler_; }
+  InMemoryDisk& disk() { return *disk_; }
+
+ private:
+  struct ExtentState {
+    uint32_t wp = 0;                 // volatile write pointer (pages)
+    uint32_t enqueued_soft_wp = 0;   // highest soft-wp value already enqueued
+    ExtentOwner owner = ExtentOwner::kFree;
+    Dependency ownership_dep;        // trivially persistent unless freshly claimed
+    Dependency last_reset_dep;       // trivially persistent unless a reset is in flight
+    std::vector<Bytes> image;        // volatile page contents
+  };
+
+  Status CheckExtent(ExtentId extent) const;
+  Dependency ResetLocked(ExtentId extent, Dependency input);
+
+  InMemoryDisk* disk_;
+  IoScheduler* scheduler_;
+  mutable Mutex mu_;
+  std::vector<ExtentState> extents_;
+  Semaphore buffer_pool_;
+};
+
+}  // namespace ss
+
+#endif  // SS_SUPERBLOCK_EXTENT_MANAGER_H_

@@ -1,0 +1,115 @@
+#include "src/sync/sync.h"
+
+namespace ss {
+namespace {
+// Plain global, not thread_local: exactly one model-checking run may be active in a
+// process at a time, and it owns all threads it spawns. Native threads created outside
+// the checker must not touch checker-instrumented objects while a run is active.
+std::atomic<SchedHooks*> g_hooks{nullptr};
+}  // namespace
+
+SchedHooks* ActiveSchedHooks() { return g_hooks.load(std::memory_order_acquire); }
+
+void SetActiveSchedHooks(SchedHooks* hooks) { g_hooks.store(hooks, std::memory_order_release); }
+
+void Mutex::Lock() {
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    hooks->MutexLock(id());
+    return;
+  }
+  native_.lock();
+}
+
+void Mutex::Unlock() {
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    hooks->MutexUnlock(id());
+    return;
+  }
+  native_.unlock();
+}
+
+void CondVar::Wait(Mutex& mu) {
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    hooks->CondWait(id(), mu.id());
+    return;
+  }
+  native_.wait(mu.native_);
+}
+
+void CondVar::NotifyOne() {
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    hooks->CondNotifyOne(id());
+    return;
+  }
+  native_.notify_one();
+}
+
+void CondVar::NotifyAll() {
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    hooks->CondNotifyAll(id());
+    return;
+  }
+  native_.notify_all();
+}
+
+Thread Thread::Spawn(std::function<void()> body) {
+  Thread t;
+  t.joined_ = false;
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    t.managed_ = true;
+    t.token_ = hooks->Spawn(std::move(body));
+  } else {
+    t.native_ = std::make_unique<std::thread>(std::move(body));
+  }
+  return t;
+}
+
+void Thread::Join() {
+  if (joined_) {
+    return;
+  }
+  joined_ = true;
+  if (managed_) {
+    // The run that spawned this thread must still be active.
+    ActiveSchedHooks()->Join(token_);
+    return;
+  }
+  if (native_ != nullptr && native_->joinable()) {  // null after a move-from
+    native_->join();
+  }
+}
+
+Thread::~Thread() { Join(); }
+
+void Semaphore::Acquire(uint32_t n) {
+  LockGuard lock(mu_);
+  while (available_ < n) {
+    cv_.Wait(mu_);
+  }
+  available_ -= n;
+}
+
+void Semaphore::Release(uint32_t n) {
+  LockGuard lock(mu_);
+  available_ += n;
+  cv_.NotifyAll();
+}
+
+bool Semaphore::TryAcquire(uint32_t n) {
+  LockGuard lock(mu_);
+  if (available_ < n) {
+    return false;
+  }
+  available_ -= n;
+  return true;
+}
+
+void YieldThread() {
+  if (SchedHooks* hooks = ActiveSchedHooks()) {
+    hooks->Yield();
+    return;
+  }
+  std::this_thread::yield();
+}
+
+}  // namespace ss

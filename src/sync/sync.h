@@ -1,0 +1,185 @@
+// Scheduler-aware synchronization primitives.
+//
+// ShardStore implementation code never uses std::mutex / std::thread directly; it uses
+// the primitives in this header. In normal execution they delegate to the standard
+// library. When a stateless model checker run is active (ss::mc installs SchedHooks),
+// every primitive instead becomes a *scheduling point* routed through the checker, which
+// serializes threads and systematically explores interleavings — the same trick Loom and
+// Shuttle use in Rust (paper section 6).
+
+#ifndef SS_SYNC_SYNC_H_
+#define SS_SYNC_SYNC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace ss {
+
+// Interface the model checker implements. Ids are the addresses of the primitives —
+// stable for the lifetime of an execution, reused across executions only after free.
+class SchedHooks {
+ public:
+  virtual ~SchedHooks() = default;
+
+  // Blocks until the mutex is granted to the calling thread.
+  virtual void MutexLock(uintptr_t mutex_id) = 0;
+  virtual void MutexUnlock(uintptr_t mutex_id) = 0;
+  // Atomically: release `mutex_id`, sleep until notified on `cv_id`, reacquire.
+  virtual void CondWait(uintptr_t cv_id, uintptr_t mutex_id) = 0;
+  virtual void CondNotifyOne(uintptr_t cv_id) = 0;
+  virtual void CondNotifyAll(uintptr_t cv_id) = 0;
+  // Scheduling point before a shared-memory access (Atomic<T> load/store/rmw).
+  virtual void SharedAccess(uintptr_t cell_id) = 0;
+  virtual void Yield() = 0;
+  // Spawns a checker-managed thread running `body`; returns a join token.
+  virtual uint64_t Spawn(std::function<void()> body) = 0;
+  virtual void Join(uint64_t token) = 0;
+};
+
+// The active hooks, or nullptr when running natively. Set only by ss::mc.
+SchedHooks* ActiveSchedHooks();
+void SetActiveSchedHooks(SchedHooks* hooks);
+
+// Mutual exclusion. Non-recursive.
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock();
+  void Unlock();
+
+ private:
+  friend class CondVar;
+  uintptr_t id() const { return reinterpret_cast<uintptr_t>(this); }
+  std::mutex native_;
+};
+
+// RAII lock holder.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) : mu_(mu) { mu_.Lock(); }
+  ~LockGuard() { mu_.Unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable. As with std::condition_variable, always wait in a predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Caller must hold `mu`.
+  void Wait(Mutex& mu);
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  uintptr_t id() const { return reinterpret_cast<uintptr_t>(this); }
+  std::condition_variable_any native_;
+};
+
+// Shared cell whose accesses are visible to the model checker. Use for lock-free flags
+// and counters shared between threads.
+template <typename T>
+class Atomic {
+ public:
+  Atomic() : value_(T{}) {}
+  explicit Atomic(T v) : value_(v) {}
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T Load() const {
+    SchedPoint();
+    return value_.load(std::memory_order_seq_cst);
+  }
+  void Store(T v) {
+    SchedPoint();
+    value_.store(v, std::memory_order_seq_cst);
+  }
+  T FetchAdd(T delta) {
+    SchedPoint();
+    return value_.fetch_add(delta, std::memory_order_seq_cst);
+  }
+  // Returns true and installs `desired` iff the current value equals `expected`.
+  bool CompareExchange(T expected, T desired) {
+    SchedPoint();
+    return value_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+  }
+
+ private:
+  void SchedPoint() const {
+    if (SchedHooks* hooks = ActiveSchedHooks()) {
+      hooks->SharedAccess(reinterpret_cast<uintptr_t>(this));
+    }
+  }
+  mutable std::atomic<T> value_;
+};
+
+// A joinable thread. Under the model checker the body runs on a checker-managed thread.
+class Thread {
+ public:
+  Thread() = default;
+  static Thread Spawn(std::function<void()> body);
+
+  Thread(Thread&& other) noexcept { *this = std::move(other); }
+  Thread& operator=(Thread&& other) noexcept {
+    native_ = std::move(other.native_);
+    token_ = other.token_;
+    managed_ = other.managed_;
+    joined_ = other.joined_;
+    other.joined_ = true;  // the moved-from handle owns nothing to join
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void Join();
+  ~Thread();
+
+ private:
+  std::unique_ptr<std::thread> native_;
+  uint64_t token_ = 0;
+  bool managed_ = false;  // true when owned by the model checker
+  bool joined_ = true;
+};
+
+// Counting semaphore built on Mutex/CondVar so it inherits model-checker awareness.
+// Acquire(n) is atomic in n: it waits until n permits are available and takes them all,
+// which is the idiom that avoids the classic split-acquire deadlock (seeded bug #12
+// exercises the broken variant).
+class Semaphore {
+ public:
+  explicit Semaphore(uint32_t permits) : available_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void Acquire(uint32_t n = 1);
+  void Release(uint32_t n = 1);
+  bool TryAcquire(uint32_t n = 1);
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  uint32_t available_;
+};
+
+// Give other threads a chance to run (scheduling point under the checker, no-op /
+// std::this_thread::yield natively).
+void YieldThread();
+
+}  // namespace ss
+
+#endif  // SS_SYNC_SYNC_H_

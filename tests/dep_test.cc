@@ -1,0 +1,234 @@
+// Unit + property tests for the dependency graph and the IO scheduler: ordering
+// guarantees, crash-state legality, forward progress.
+
+#include <gtest/gtest.h>
+
+#include "src/dep/dependency.h"
+#include "src/dep/io_scheduler.h"
+
+namespace ss {
+namespace {
+
+TEST(Dependency, DefaultIsPersistent) {
+  Dependency dep;
+  EXPECT_TRUE(dep.IsPersistent());
+  EXPECT_FALSE(dep.Failed());
+}
+
+TEST(Dependency, LeafLifecycle) {
+  Dependency leaf = Dependency::MakeLeaf();
+  EXPECT_FALSE(leaf.IsPersistent());
+  leaf.MarkLeafPersistent();
+  EXPECT_TRUE(leaf.IsPersistent());
+}
+
+TEST(Dependency, FailedLeafNeverPersists) {
+  Dependency leaf = Dependency::MakeLeaf();
+  leaf.MarkLeafFailed();
+  EXPECT_FALSE(leaf.IsPersistent());
+  EXPECT_TRUE(leaf.Failed());
+}
+
+TEST(Dependency, AndRequiresBoth) {
+  Dependency a = Dependency::MakeLeaf();
+  Dependency b = Dependency::MakeLeaf();
+  Dependency both = a.And(b);
+  EXPECT_FALSE(both.IsPersistent());
+  a.MarkLeafPersistent();
+  EXPECT_FALSE(both.IsPersistent());
+  b.MarkLeafPersistent();
+  EXPECT_TRUE(both.IsPersistent());
+}
+
+TEST(Dependency, AndWithTrivialIsIdentity) {
+  Dependency a = Dependency::MakeLeaf();
+  Dependency combined = a.And(Dependency());
+  a.MarkLeafPersistent();
+  EXPECT_TRUE(combined.IsPersistent());
+}
+
+TEST(Dependency, AndAllEmptyIsPersistent) {
+  EXPECT_TRUE(Dependency::AndAll({}).IsPersistent());
+}
+
+TEST(Dependency, FailurePropagatesThroughAnd) {
+  Dependency a = Dependency::MakeLeaf();
+  Dependency b = Dependency::MakeLeaf();
+  Dependency both = a.And(b);
+  a.MarkLeafPersistent();
+  b.MarkLeafFailed();
+  EXPECT_TRUE(both.Failed());
+  EXPECT_FALSE(both.IsPersistent());
+}
+
+TEST(Dependency, PromiseUnresolvedIsNotPersistent) {
+  Dependency promise = Dependency::MakePromise();
+  EXPECT_FALSE(promise.IsPersistent());
+}
+
+TEST(Dependency, PromiseResolvesToTarget) {
+  Dependency promise = Dependency::MakePromise();
+  Dependency target = Dependency::MakeLeaf();
+  promise.ResolvePromise(target);
+  EXPECT_FALSE(promise.IsPersistent());
+  target.MarkLeafPersistent();
+  EXPECT_TRUE(promise.IsPersistent());
+}
+
+TEST(Dependency, PromiseResolvedToNothingIsPersistent) {
+  Dependency promise = Dependency::MakePromise();
+  promise.ResolvePromise(Dependency());
+  EXPECT_TRUE(promise.IsPersistent());
+}
+
+class IoSchedulerTest : public testing::Test {
+ protected:
+  InMemoryDisk disk_{DiskGeometry{.extent_count = 8, .pages_per_extent = 8, .page_size = 64}};
+  IoScheduler scheduler_{&disk_};
+};
+
+TEST_F(IoSchedulerTest, PumpIssuesInOrder) {
+  Dependency d0 = scheduler_.EnqueueDataPage(1, 0, Bytes(64, 0xaa), {});
+  Dependency d1 = scheduler_.EnqueueDataPage(1, 1, Bytes(64, 0xbb), {});
+  EXPECT_EQ(scheduler_.PendingCount(), 2u);
+  EXPECT_EQ(scheduler_.Pump(1), 1u);
+  EXPECT_TRUE(d0.IsPersistent());
+  EXPECT_FALSE(d1.IsPersistent());
+  EXPECT_EQ(scheduler_.Pump(10), 1u);
+  EXPECT_TRUE(d1.IsPersistent());
+  EXPECT_EQ(disk_.ReadPage(1, 1).value()[0], 0xbb);
+}
+
+TEST_F(IoSchedulerTest, InputDependencyGatesIssue) {
+  Dependency gate = Dependency::MakeLeaf();
+  Dependency write = scheduler_.EnqueueDataPage(1, 0, Bytes(64, 1), {gate});
+  EXPECT_EQ(scheduler_.Pump(10), 0u);  // blocked on gate
+  EXPECT_FALSE(write.IsPersistent());
+  gate.MarkLeafPersistent();
+  EXPECT_EQ(scheduler_.Pump(10), 1u);
+  EXPECT_TRUE(write.IsPersistent());
+}
+
+TEST_F(IoSchedulerTest, CrossExtentWritesAreIndependent) {
+  Dependency gate = Dependency::MakeLeaf();
+  scheduler_.EnqueueDataPage(1, 0, Bytes(64, 1), {gate});
+  Dependency other = scheduler_.EnqueueDataPage(2, 0, Bytes(64, 2), {});
+  EXPECT_EQ(scheduler_.Pump(10), 1u);  // extent 2's write is not blocked by extent 1's
+  EXPECT_TRUE(other.IsPersistent());
+}
+
+TEST_F(IoSchedulerTest, SoftWpDomainIsFifo) {
+  Dependency gate = Dependency::MakeLeaf();
+  Dependency first = scheduler_.EnqueueSoftWp(1, 1, {gate});
+  Dependency second = scheduler_.EnqueueSoftWp(1, 2, {});
+  // The second update may not overtake the first even though its inputs are ready.
+  EXPECT_EQ(scheduler_.Pump(10), 0u);
+  gate.MarkLeafPersistent();
+  EXPECT_EQ(scheduler_.Pump(10), 2u);
+  EXPECT_TRUE(first.IsPersistent());
+  EXPECT_TRUE(second.IsPersistent());
+  EXPECT_EQ(disk_.ReadSoftWp(1), 2u);
+}
+
+TEST_F(IoSchedulerTest, ResetOrdersWithinExtentDataDomain) {
+  Dependency data_before = scheduler_.EnqueueDataPage(1, 0, Bytes(64, 1), {});
+  Dependency gate = Dependency::MakeLeaf();
+  Dependency reset = scheduler_.EnqueueReset(1, {gate});
+  Dependency data_after = scheduler_.EnqueueDataPage(1, 0, Bytes(64, 2), {});
+  EXPECT_EQ(scheduler_.Pump(10), 1u);  // only the pre-reset write can issue
+  EXPECT_TRUE(data_before.IsPersistent());
+  EXPECT_FALSE(data_after.IsPersistent());
+  gate.MarkLeafPersistent();
+  EXPECT_EQ(scheduler_.Pump(10), 2u);
+  EXPECT_TRUE(reset.IsPersistent());
+  EXPECT_TRUE(data_after.IsPersistent());
+}
+
+TEST_F(IoSchedulerTest, FlushAllDrainsEverything) {
+  for (uint32_t p = 0; p < 4; ++p) {
+    scheduler_.EnqueueDataPage(1, p, Bytes(64, static_cast<uint8_t>(p)), {});
+    scheduler_.EnqueueSoftWp(1, p + 1, {});
+  }
+  ASSERT_TRUE(scheduler_.FlushAll().ok());
+  EXPECT_EQ(scheduler_.PendingCount(), 0u);
+  EXPECT_EQ(disk_.ReadSoftWp(1), 4u);
+}
+
+TEST_F(IoSchedulerTest, FlushAllDetectsStuckQueue) {
+  Dependency never = Dependency::MakePromise();  // unresolved forever
+  scheduler_.EnqueueDataPage(1, 0, Bytes(64, 1), {never});
+  Status status = scheduler_.FlushAll();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("stuck"), std::string::npos);
+}
+
+TEST_F(IoSchedulerTest, CrashDropAllLeavesNothingPersistent) {
+  Dependency d = scheduler_.EnqueueDataPage(1, 0, Bytes(64, 1), {});
+  scheduler_.CrashDropAll();
+  EXPECT_EQ(scheduler_.PendingCount(), 0u);
+  EXPECT_FALSE(d.IsPersistent());
+  EXPECT_EQ(disk_.ReadPage(1, 0).value()[0], 0);
+}
+
+TEST_F(IoSchedulerTest, StatsAccumulate) {
+  scheduler_.EnqueueDataPage(1, 0, Bytes(64, 1), {});
+  scheduler_.EnqueueDataPage(1, 1, Bytes(64, 2), {});
+  scheduler_.Pump(1);
+  Rng rng(1);
+  scheduler_.Crash(rng, 0.0);
+  IoSchedulerStats stats = scheduler_.stats();
+  EXPECT_EQ(stats.records_enqueued, 2u);
+  EXPECT_EQ(stats.records_issued, 1u);
+  EXPECT_EQ(stats.records_dropped_by_crash, 1u);
+  EXPECT_EQ(stats.crashes, 1u);
+}
+
+// Property: every crash state respects (a) per-domain FIFO prefixes and (b) input
+// dependencies. We enqueue a chain data(p0) <- softwp(1) <- [input] data2 on another
+// extent and check all observed crash states are among the legal ones.
+class CrashStateProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashStateProperty, OnlyLegalStates) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    InMemoryDisk disk(DiskGeometry{.extent_count = 4, .pages_per_extent = 4, .page_size = 32});
+    IoScheduler scheduler(&disk);
+    Dependency p0 = scheduler.EnqueueDataPage(1, 0, Bytes(32, 0xa1), {});
+    Dependency wp1 = scheduler.EnqueueSoftWp(1, 1, {p0});
+    Dependency dependent = scheduler.EnqueueDataPage(2, 0, Bytes(32, 0xb2), {wp1});
+    scheduler.Crash(rng, 0.5);
+
+    const bool have_p0 = disk.ReadPage(1, 0).value()[0] == 0xa1;
+    const bool have_wp1 = disk.ReadSoftWp(1) == 1;
+    const bool have_dep = disk.ReadPage(2, 0).value()[0] == 0xb2;
+    // softwp(1) requires p0; dependent requires softwp(1).
+    if (have_wp1) {
+      EXPECT_TRUE(have_p0);
+    }
+    if (have_dep) {
+      EXPECT_TRUE(have_wp1);
+    }
+    // Dependency polling agrees with the disk.
+    EXPECT_EQ(p0.IsPersistent(), have_p0);
+    EXPECT_EQ(wp1.IsPersistent(), have_wp1);
+    EXPECT_EQ(dependent.IsPersistent(), have_dep);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashStateProperty, testing::Values(1, 22, 333, 4444));
+
+// Property: a crash with bias 1.0 behaves like FlushAll for records whose inputs are
+// already persistent.
+TEST(CrashBias, FullBiasPersistsEverythingEligible) {
+  InMemoryDisk disk(DiskGeometry{.extent_count = 4, .pages_per_extent = 4, .page_size = 32});
+  IoScheduler scheduler(&disk);
+  Dependency a = scheduler.EnqueueDataPage(1, 0, Bytes(32, 1), {});
+  Dependency b = scheduler.EnqueueSoftWp(1, 1, {a});
+  Rng rng(9);
+  scheduler.Crash(rng, 1.0);
+  EXPECT_TRUE(a.IsPersistent());
+  EXPECT_TRUE(b.IsPersistent());
+}
+
+}  // namespace
+}  // namespace ss

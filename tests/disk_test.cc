@@ -1,0 +1,168 @@
+// Unit tests for the in-memory disk and fault injector.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/disk.h"
+
+namespace ss {
+namespace {
+
+TEST(Disk, GeometryDefaults) {
+  InMemoryDisk disk;
+  EXPECT_EQ(disk.geometry().extent_count, 32u);
+  EXPECT_EQ(disk.geometry().ExtentBytes(), 64u * 256u);
+}
+
+TEST(Disk, WriteReadPage) {
+  InMemoryDisk disk;
+  Bytes data = BytesOf("page contents");
+  ASSERT_TRUE(disk.WritePage(3, 0, data).ok());
+  Bytes read = disk.ReadPage(3, 0).value();
+  ASSERT_EQ(read.size(), disk.geometry().page_size);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), read.begin()));
+  // Zero padding beyond the written bytes.
+  EXPECT_EQ(read[data.size()], 0);
+}
+
+TEST(Disk, UnwrittenPagesReadAsZeros) {
+  InMemoryDisk disk;
+  Bytes read = disk.ReadPage(5, 7).value();
+  EXPECT_EQ(read, Bytes(disk.geometry().page_size, 0));
+}
+
+TEST(Disk, OutOfRangeIsInvalidArgument) {
+  InMemoryDisk disk;
+  EXPECT_EQ(disk.WritePage(99, 0, BytesOf("x")).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.ReadPage(0, 9999).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.WriteSoftWp(99, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Disk, OversizedWriteRejected) {
+  InMemoryDisk disk;
+  Bytes big(disk.geometry().page_size + 1, 0xff);
+  EXPECT_EQ(disk.WritePage(1, 0, big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Disk, SoftWpRoundTrip) {
+  InMemoryDisk disk;
+  EXPECT_EQ(disk.ReadSoftWp(4), 0u);
+  ASSERT_TRUE(disk.WriteSoftWp(4, 17).ok());
+  EXPECT_EQ(disk.ReadSoftWp(4), 17u);
+  EXPECT_EQ(disk.WriteSoftWp(4, disk.geometry().pages_per_extent + 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Disk, OwnershipRoundTrip) {
+  InMemoryDisk disk;
+  EXPECT_EQ(disk.ReadOwnership(6), ExtentOwner::kFree);
+  ASSERT_TRUE(disk.WriteOwnership(6, ExtentOwner::kChunkData).ok());
+  EXPECT_EQ(disk.ReadOwnership(6), ExtentOwner::kChunkData);
+}
+
+TEST(Disk, ResetRetainsPageContents) {
+  // A reset must not physically erase data: stale bytes remain readable, which is what
+  // makes write-pointer bugs observable (header comment in disk.h).
+  InMemoryDisk disk;
+  ASSERT_TRUE(disk.WritePage(2, 0, BytesOf("stale")).ok());
+  ASSERT_TRUE(disk.ResetExtentRegion(2).ok());
+  Bytes read = disk.ReadPage(2, 0).value();
+  EXPECT_EQ(read[0], 's');
+}
+
+TEST(Disk, ReadPagesConcatenates) {
+  InMemoryDisk disk;
+  ASSERT_TRUE(disk.WritePage(1, 0, BytesOf("aa")).ok());
+  ASSERT_TRUE(disk.WritePage(1, 1, BytesOf("bb")).ok());
+  Bytes read = disk.ReadPages(1, 0, 2).value();
+  EXPECT_EQ(read.size(), 2u * disk.geometry().page_size);
+  EXPECT_EQ(read[0], 'a');
+  EXPECT_EQ(read[disk.geometry().page_size], 'b');
+}
+
+TEST(Disk, EpochBumps) {
+  InMemoryDisk disk;
+  EXPECT_EQ(disk.epoch(), 0u);
+  disk.BumpEpoch();
+  disk.BumpEpoch();
+  EXPECT_EQ(disk.epoch(), 2u);
+}
+
+TEST(Disk, LivePagesSumsSoftPointers) {
+  InMemoryDisk disk;
+  ASSERT_TRUE(disk.WriteSoftWp(1, 3).ok());
+  ASSERT_TRUE(disk.WriteSoftWp(2, 4).ok());
+  EXPECT_EQ(disk.LivePages(), 7u);
+}
+
+TEST(FaultInjector, ReadOnceFiresExactlyOnce) {
+  DiskFaultInjector injector;
+  injector.FailReadOnce(5);
+  EXPECT_FALSE(injector.ShouldFailRead(4));  // different extent unaffected
+  EXPECT_TRUE(injector.ShouldFailRead(5));
+  EXPECT_FALSE(injector.ShouldFailRead(5));
+}
+
+TEST(FaultInjector, WriteOnceIndependentOfReads) {
+  DiskFaultInjector injector;
+  injector.FailWriteOnce(3);
+  EXPECT_FALSE(injector.ShouldFailRead(3));
+  EXPECT_TRUE(injector.ShouldFailWrite(3));
+  EXPECT_FALSE(injector.ShouldFailWrite(3));
+}
+
+TEST(FaultInjector, FailAlwaysUntilCleared) {
+  DiskFaultInjector injector;
+  injector.FailAlways(2, true);
+  EXPECT_TRUE(injector.ShouldFailRead(2));
+  EXPECT_TRUE(injector.ShouldFailRead(2));
+  EXPECT_TRUE(injector.ShouldFailWrite(2));
+  injector.FailAlways(2, false);
+  EXPECT_FALSE(injector.ShouldFailRead(2));
+}
+
+TEST(FaultInjector, ClearDropsEverything) {
+  DiskFaultInjector injector;
+  injector.FailReadOnce(1);
+  injector.FailWriteOnce(1);
+  injector.FailAlways(1, true);
+  injector.Clear();
+  EXPECT_FALSE(injector.ShouldFailRead(1));
+  EXPECT_FALSE(injector.ShouldFailWrite(1));
+}
+
+TEST(FaultInjector, MultipleOneShotsQueue) {
+  DiskFaultInjector injector;
+  injector.FailReadOnce(7);
+  injector.FailReadOnce(7);
+  EXPECT_TRUE(injector.ShouldFailRead(7));
+  EXPECT_TRUE(injector.ShouldFailRead(7));
+  EXPECT_FALSE(injector.ShouldFailRead(7));
+}
+
+// Geometry sweep: writes land and read back across configurations.
+class DiskGeometrySweep : public testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>> {};
+
+TEST_P(DiskGeometrySweep, FillAndReadBack) {
+  auto [extents, pages, page_size] = GetParam();
+  InMemoryDisk disk(DiskGeometry{extents, pages, page_size});
+  for (ExtentId e = 0; e < extents; ++e) {
+    for (uint32_t p = 0; p < pages; ++p) {
+      Bytes data = {static_cast<uint8_t>(e), static_cast<uint8_t>(p)};
+      ASSERT_TRUE(disk.WritePage(e, p, data).ok());
+    }
+  }
+  for (ExtentId e = 0; e < extents; ++e) {
+    for (uint32_t p = 0; p < pages; ++p) {
+      Bytes read = disk.ReadPage(e, p).value();
+      EXPECT_EQ(read[0], static_cast<uint8_t>(e));
+      EXPECT_EQ(read[1], static_cast<uint8_t>(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DiskGeometrySweep,
+                         testing::Values(std::tuple{4u, 4u, 64u}, std::tuple{8u, 16u, 128u},
+                                         std::tuple{16u, 8u, 512u}, std::tuple{2u, 64u, 256u}));
+
+}  // namespace
+}  // namespace ss

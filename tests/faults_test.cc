@@ -1,0 +1,63 @@
+// Unit tests for the seeded-bug registry.
+
+#include <gtest/gtest.h>
+
+#include "src/faults/faults.h"
+
+namespace ss {
+namespace {
+
+TEST(Faults, AllDisabledByDefault) {
+  FaultRegistry::Global().DisableAll();
+  for (int b = 0; b < kSeededBugCount; ++b) {
+    EXPECT_FALSE(BugEnabled(static_cast<SeededBug>(b)));
+  }
+}
+
+TEST(Faults, EnableDisableRoundTrip) {
+  FaultRegistry::Global().Enable(SeededBug::kReclaimUuidCollision);
+  EXPECT_TRUE(BugEnabled(SeededBug::kReclaimUuidCollision));
+  EXPECT_FALSE(BugEnabled(SeededBug::kCacheNotDrainedOnReset));
+  FaultRegistry::Global().Disable(SeededBug::kReclaimUuidCollision);
+  EXPECT_FALSE(BugEnabled(SeededBug::kReclaimUuidCollision));
+}
+
+TEST(Faults, ScopedBugRestoresState) {
+  {
+    ScopedBug scope(SeededBug::kBufferPoolDeadlock);
+    EXPECT_TRUE(BugEnabled(SeededBug::kBufferPoolDeadlock));
+  }
+  EXPECT_FALSE(BugEnabled(SeededBug::kBufferPoolDeadlock));
+}
+
+TEST(Faults, MetadataTablesComplete) {
+  for (int b = 0; b < kSeededBugCount; ++b) {
+    const auto bug = static_cast<SeededBug>(b);
+    EXPECT_FALSE(SeededBugName(bug).empty());
+    EXPECT_FALSE(SeededBugDescription(bug).empty());
+    EXPECT_FALSE(SeededBugComponent(bug).empty());
+    // Names carry the Figure 5 row number.
+    EXPECT_EQ(SeededBugName(bug)[0], '#');
+  }
+}
+
+TEST(Faults, ComponentsMatchFigure5) {
+  EXPECT_EQ(SeededBugComponent(SeededBug::kReclaimOffByOnePageSize), "Chunk store");
+  EXPECT_EQ(SeededBugComponent(SeededBug::kCacheNotDrainedOnReset), "Buffer cache");
+  EXPECT_EQ(SeededBugComponent(SeededBug::kShutdownMetadataSkipAfterReset), "Index");
+  EXPECT_EQ(SeededBugComponent(SeededBug::kDiskRemovalLosesShards), "API");
+  EXPECT_EQ(SeededBugComponent(SeededBug::kSuperblockWrongOwnershipDep), "Superblock");
+}
+
+TEST(Faults, DisableAllClearsEverything) {
+  for (int b = 0; b < kSeededBugCount; ++b) {
+    FaultRegistry::Global().Enable(static_cast<SeededBug>(b));
+  }
+  FaultRegistry::Global().DisableAll();
+  for (int b = 0; b < kSeededBugCount; ++b) {
+    EXPECT_FALSE(BugEnabled(static_cast<SeededBug>(b)));
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,262 @@
+// Unit + integration tests for ShardStore: API semantics, multi-chunk values,
+// maintenance, dependency/durability behaviour, crash & recovery scenarios.
+
+#include <gtest/gtest.h>
+
+#include "src/faults/faults.h"
+#include "src/kv/shard_store.h"
+
+namespace ss {
+namespace {
+
+Bytes ValueOf(uint8_t tag, size_t size) {
+  Bytes out(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>(tag ^ (i & 0xff));
+  }
+  return out;
+}
+
+class ShardStoreTest : public testing::Test {
+ protected:
+  ShardStoreTest() {
+    FaultRegistry::Global().DisableAll();
+    options_.chunk.max_payload_bytes = 256;
+    store_ = std::move(ShardStore::Open(&disk_, options_).value());
+  }
+
+  void Reboot(bool clean) {
+    if (clean) {
+      ASSERT_TRUE(store_->FlushAll().ok());
+    } else {
+      store_->scheduler().CrashDropAll();
+    }
+    store_.reset();
+    store_ = std::move(ShardStore::Open(&disk_, options_).value());
+  }
+
+  InMemoryDisk disk_{DiskGeometry{.extent_count = 20, .pages_per_extent = 16, .page_size = 256}};
+  ShardStoreOptions options_;
+  std::unique_ptr<ShardStore> store_;
+};
+
+TEST_F(ShardStoreTest, GetMissingIsNotFound) {
+  EXPECT_EQ(store_->Get(99).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardStoreTest, PutOverwriteDelete) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 100)).ok());
+  EXPECT_EQ(store_->Get(1).value(), ValueOf(1, 100));
+  ASSERT_TRUE(store_->Put(1, ValueOf(2, 50)).ok());
+  EXPECT_EQ(store_->Get(1).value(), ValueOf(2, 50));
+  ASSERT_TRUE(store_->Delete(1).ok());
+  EXPECT_EQ(store_->Get(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardStoreTest, EmptyValueRoundTrips) {
+  ASSERT_TRUE(store_->Put(5, {}).ok());
+  EXPECT_EQ(store_->Get(5).value(), Bytes{});
+}
+
+TEST_F(ShardStoreTest, MultiChunkValueSplitsAndReassembles) {
+  // max chunk payload 256 -> 1000 bytes = 4 chunks.
+  Bytes value = ValueOf(7, 1000);
+  ASSERT_TRUE(store_->Put(2, value).ok());
+  auto record = store_->index().Get(2).value();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->chunks.size(), 4u);
+  EXPECT_EQ(store_->Get(2).value(), value);
+}
+
+TEST_F(ShardStoreTest, OversizedValueRejected) {
+  Bytes huge(256 * 16 + 1, 1);
+  EXPECT_EQ(store_->Put(3, huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardStoreTest, ListReflectsLiveShards) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
+  ASSERT_TRUE(store_->Put(2, ValueOf(2, 10)).ok());
+  ASSERT_TRUE(store_->Delete(1).ok());
+  EXPECT_EQ(store_->List().value(), (std::vector<ShardId>{2}));
+}
+
+TEST_F(ShardStoreTest, DependencyLifecycle) {
+  Dependency dep = store_->Put(1, ValueOf(1, 100)).value();
+  EXPECT_FALSE(dep.IsPersistent());
+  ASSERT_TRUE(store_->FlushIndex().ok());
+  EXPECT_FALSE(dep.IsPersistent());  // writebacks still queued
+  ASSERT_TRUE(store_->FlushAll().ok());
+  EXPECT_TRUE(dep.IsPersistent());
+}
+
+TEST_F(ShardStoreTest, PumpIoMakesIncrementalProgress) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 100)).ok());
+  ASSERT_TRUE(store_->FlushIndex().ok());
+  const size_t pending = store_->scheduler().PendingCount();
+  ASSERT_GT(pending, 0u);
+  EXPECT_EQ(store_->PumpIo(1), 1u);
+  EXPECT_EQ(store_->scheduler().PendingCount(), pending - 1);
+}
+
+TEST_F(ShardStoreTest, CleanRebootPreservesEverything) {
+  for (ShardId id = 0; id < 8; ++id) {
+    ASSERT_TRUE(store_->Put(id, ValueOf(static_cast<uint8_t>(id), 64 * id)).ok());
+  }
+  ASSERT_TRUE(store_->Delete(3).ok());
+  Reboot(/*clean=*/true);
+  for (ShardId id = 0; id < 8; ++id) {
+    if (id == 3) {
+      EXPECT_EQ(store_->Get(id).code(), StatusCode::kNotFound);
+    } else {
+      EXPECT_EQ(store_->Get(id).value(), ValueOf(static_cast<uint8_t>(id), 64 * id));
+    }
+  }
+}
+
+TEST_F(ShardStoreTest, CrashLosesOnlyUnflushedData) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 64)).ok());
+  ASSERT_TRUE(store_->FlushAll().ok());
+  ASSERT_TRUE(store_->Put(2, ValueOf(2, 64)).ok());
+  Reboot(/*clean=*/false);
+  EXPECT_TRUE(store_->Get(1).ok());
+  EXPECT_EQ(store_->Get(2).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardStoreTest, PersistedDeleteSurvivesCrash) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 64)).ok());
+  ASSERT_TRUE(store_->FlushAll().ok());
+  ASSERT_TRUE(store_->Delete(1).ok());
+  ASSERT_TRUE(store_->FlushAll().ok());
+  Reboot(/*clean=*/false);
+  EXPECT_EQ(store_->Get(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardStoreTest, ReclaimRecoversSpaceFromDeletedShards) {
+  // Fill a few extents, delete everything, reclaim, and verify space returns.
+  for (ShardId id = 0; id < 6; ++id) {
+    ASSERT_TRUE(store_->Put(id, ValueOf(static_cast<uint8_t>(id), 500)).ok());
+  }
+  for (ShardId id = 0; id < 6; ++id) {
+    ASSERT_TRUE(store_->Delete(id).ok());
+  }
+  ASSERT_TRUE(store_->FlushAll().ok());
+  const uint64_t live_before = disk_.LivePages();
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_TRUE(store_->ReclaimAny().ok());
+  }
+  ASSERT_TRUE(store_->FlushAll().ok());
+  EXPECT_LT(disk_.LivePages(), live_before);
+  EXPECT_GE(store_->chunks().stats().chunks_dropped, 6u);
+}
+
+TEST_F(ShardStoreTest, ReclaimPreservesLiveData) {
+  for (ShardId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(store_->Put(id, ValueOf(static_cast<uint8_t>(id), 300)).ok());
+  }
+  ASSERT_TRUE(store_->Delete(0).ok());
+  ASSERT_TRUE(store_->FlushIndex().ok());
+  // Reclaim every data extent.
+  for (ExtentId e : store_->extents().ExtentsOwnedBy(ExtentOwner::kChunkData)) {
+    Status status = store_->ReclaimExtent(e);
+    ASSERT_TRUE(status.ok() || status.code() == StatusCode::kUnavailable)
+        << status.ToString();
+  }
+  ASSERT_TRUE(store_->FlushAll().ok());
+  for (ShardId id = 1; id < 4; ++id) {
+    EXPECT_EQ(store_->Get(id).value(), ValueOf(static_cast<uint8_t>(id), 300));
+  }
+  Reboot(/*clean=*/true);
+  for (ShardId id = 1; id < 4; ++id) {
+    EXPECT_EQ(store_->Get(id).value(), ValueOf(static_cast<uint8_t>(id), 300));
+  }
+}
+
+TEST_F(ShardStoreTest, CompactionPreservesData) {
+  for (int round = 0; round < 4; ++round) {
+    for (ShardId id = 0; id < 3; ++id) {
+      ASSERT_TRUE(store_->Put(id, ValueOf(static_cast<uint8_t>(round), 100)).ok());
+    }
+    ASSERT_TRUE(store_->FlushIndex().ok());
+  }
+  EXPECT_GT(store_->index().RunCount(), 1u);
+  ASSERT_TRUE(store_->CompactIndex().ok());
+  EXPECT_EQ(store_->index().RunCount(), 1u);
+  for (ShardId id = 0; id < 3; ++id) {
+    EXPECT_EQ(store_->Get(id).value(), ValueOf(3, 100));
+  }
+}
+
+TEST_F(ShardStoreTest, InjectedWriteFailureIsAtomicNoOp) {
+  // Arm a write failure against the extent the next put will use.
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
+  auto record = store_->index().Get(1).value();
+  const ExtentId target = record->chunks[0].extent;
+  disk_.fault_injector().FailWriteOnce(target);
+  EXPECT_EQ(store_->Put(2, ValueOf(2, 10)).code(), StatusCode::kIoError);
+  EXPECT_EQ(store_->Get(2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_->Get(1).value(), ValueOf(1, 10));  // old data unaffected
+}
+
+TEST_F(ShardStoreTest, DiskFullSurfacesResourceExhausted) {
+  InMemoryDisk tiny(DiskGeometry{.extent_count = 4, .pages_per_extent = 4, .page_size = 128});
+  auto store = std::move(ShardStore::Open(&tiny, options_).value());
+  Status last = Status::Ok();
+  for (ShardId id = 0; id < 64 && last.ok(); ++id) {
+    auto dep = store->Put(id, ValueOf(1, 200));
+    last = dep.ok() ? Status::Ok() : dep.status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ShardStoreTest, StatsAccumulate) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
+  (void)store_->Get(1);
+  (void)store_->Delete(1);
+  ShardStoreStats stats = store_->stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+}
+
+TEST_F(ShardStoreTest, EpochBumpsOnEveryOpen) {
+  const uint64_t before = disk_.epoch();
+  Reboot(/*clean=*/true);
+  EXPECT_EQ(disk_.epoch(), before + 1);
+}
+
+// Crash between every pair of pump steps: put a shard, flush the index, then for each
+// prefix length of issued writebacks verify recovery is consistent (the shard is
+// either fully present or cleanly absent — never corrupt).
+class CrashPrefixSweep : public testing::TestWithParam<int> {};
+
+TEST_P(CrashPrefixSweep, EveryIssuePrefixRecoversConsistently) {
+  const int prefix = GetParam();
+  InMemoryDisk disk(DiskGeometry{.extent_count = 12, .pages_per_extent = 16, .page_size = 256});
+  ShardStoreOptions options;
+  auto store = std::move(ShardStore::Open(&disk, options).value());
+  Bytes value(300, 0x42);
+  Dependency dep = store->Put(7, value).value();
+  ASSERT_TRUE(store->FlushIndex().ok());
+  store->PumpIo(static_cast<size_t>(prefix));
+  store->scheduler().CrashDropAll();
+  store.reset();
+
+  auto recovered = std::move(ShardStore::Open(&disk, options).value());
+  auto got = recovered->Get(7);
+  if (dep.IsPersistent()) {
+    ASSERT_TRUE(got.ok()) << "persisted shard lost at prefix " << prefix;
+    EXPECT_EQ(got.value(), value);
+  } else {
+    // Not persisted: must be fully present (lucky prefix) or cleanly absent.
+    if (got.ok()) {
+      EXPECT_EQ(got.value(), value);
+    } else {
+      EXPECT_EQ(got.code(), StatusCode::kNotFound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, CrashPrefixSweep, testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ss

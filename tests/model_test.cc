@@ -1,0 +1,230 @@
+// Unit tests for the reference models, including the crash-allowed-set semantics and
+// the models' use as mocks (paper section 3.2).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/faults/faults.h"
+#include "src/model/models.h"
+
+namespace ss {
+namespace {
+
+TEST(IndexModel, BasicMapSemantics) {
+  IndexModel model;
+  ShardRecord record;
+  record.total_bytes = 9;
+  model.Put(1, record);
+  ASSERT_TRUE(model.Get(1).has_value());
+  EXPECT_EQ(model.Get(1)->total_bytes, 9u);
+  EXPECT_FALSE(model.Get(2).has_value());
+  model.Delete(1);
+  EXPECT_FALSE(model.Get(1).has_value());
+  EXPECT_EQ(model.size(), 0u);
+}
+
+TEST(IndexModel, KeysSorted) {
+  IndexModel model;
+  model.Put(5, {});
+  model.Put(1, {});
+  model.Put(3, {});
+  EXPECT_EQ(model.Keys(), (std::vector<ShardId>{1, 3, 5}));
+}
+
+// The reference model doubles as a mock (paper: "we also use them as mocks during unit
+// testing"): this test exercises API-layer logic against IndexModel instead of the
+// real LSM tree.
+TEST(IndexModel, UsableAsMock) {
+  IndexModel mock_index;
+  auto put_through_api = [&mock_index](ShardId id, uint64_t size) {
+    ShardRecord record;
+    record.total_bytes = size;
+    mock_index.Put(id, record);
+  };
+  put_through_api(1, 100);
+  put_through_api(2, 200);
+  uint64_t total = 0;
+  for (ShardId id : mock_index.Keys()) {
+    total += mock_index.Get(id)->total_bytes;
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+// Section 3.2 "model verification": the paper experiments with Prusti proofs that the
+// reference model itself is right — e.g. "the LSM-tree reference model removes a
+// key-value mapping if and only if it receives a delete operation for that key". The
+// dynamic substitution: a randomized property sweep over model histories.
+class IndexModelVerification : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexModelVerification, MappingRemovedIffDeleted) {
+  Rng rng(GetParam());
+  IndexModel model;
+  std::map<ShardId, bool> oracle;  // live?
+  for (int step = 0; step < 2000; ++step) {
+    const ShardId id = rng.Below(12);
+    if (rng.Chance(0.6)) {
+      ShardRecord record;
+      record.total_bytes = rng.Next();
+      model.Put(id, record);
+      oracle[id] = true;
+    } else {
+      model.Delete(id);
+      oracle[id] = false;
+    }
+    // The mapping exists iff the last operation on the key was not a delete, and a
+    // key never touched is never present.
+    for (ShardId k = 0; k < 12; ++k) {
+      const bool expected = oracle.count(k) != 0 && oracle[k];
+      EXPECT_EQ(model.Get(k).has_value(), expected) << "key " << k << " step " << step;
+    }
+  }
+  // Keys() agrees with the membership predicate.
+  size_t live = 0;
+  for (const auto& [k, alive] : oracle) {
+    live += alive ? 1 : 0;
+  }
+  EXPECT_EQ(model.Keys().size(), live);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexModelVerification, testing::Values(3, 5, 8, 13));
+
+TEST(ChunkStoreModel, PutGetForget) {
+  ChunkStoreModel model;
+  auto loc = model.Put(BytesOf("data"));
+  EXPECT_EQ(model.Get(loc), BytesOf("data"));
+  model.Forget(loc);
+  EXPECT_EQ(model.Get(loc), std::nullopt);
+}
+
+TEST(ChunkStoreModel, LocatorsUniqueForever) {
+  FaultRegistry::Global().DisableAll();
+  ChunkStoreModel model;
+  std::set<ChunkStoreModel::ModelLocator> seen;
+  for (int i = 0; i < 50; ++i) {
+    auto loc = model.Put(BytesOf("x"));
+    EXPECT_TRUE(seen.insert(loc).second);
+    if (i % 3 == 0) {
+      model.Forget(loc);
+    }
+  }
+}
+
+TEST(ChunkStoreModel, Bug15ReusesLocators) {
+  ScopedBug bug(SeededBug::kModelLocatorReuse);
+  ChunkStoreModel model;
+  auto first = model.Put(BytesOf("a"));
+  model.Forget(first);
+  auto second = model.Put(BytesOf("b"));
+  EXPECT_EQ(first, second);  // the seeded model bug
+}
+
+class KvModelTest : public testing::Test {
+ protected:
+  KvModelTest() { FaultRegistry::Global().DisableAll(); }
+
+  Dependency Persistent() {
+    Dependency leaf = Dependency::MakeLeaf();
+    leaf.MarkLeafPersistent();
+    return leaf;
+  }
+  Dependency Pending() { return Dependency::MakeLeaf(); }
+
+  KvStoreModel model_;
+};
+
+TEST_F(KvModelTest, CrashFreeSemantics) {
+  model_.Put(1, BytesOf("a"), Pending());
+  EXPECT_EQ(model_.Get(1), BytesOf("a"));
+  model_.Put(1, BytesOf("b"), Pending());
+  EXPECT_EQ(model_.Get(1), BytesOf("b"));
+  model_.Delete(1, Pending());
+  EXPECT_EQ(model_.Get(1), std::nullopt);
+  EXPECT_TRUE(model_.List().empty());
+}
+
+TEST_F(KvModelTest, AllowedAfterCrashKeepsPersistedValue) {
+  model_.Put(1, BytesOf("durable"), Persistent());
+  model_.Put(1, BytesOf("inflight"), Pending());
+  auto allowed = model_.AllowedAfterCrash(1);
+  EXPECT_FALSE(allowed.allow_absent);  // the durable put must not be lost
+  EXPECT_TRUE(allowed.Permits(Bytes(BytesOf("durable"))));
+  EXPECT_TRUE(allowed.Permits(Bytes(BytesOf("inflight"))));  // lucky survival is legal
+  EXPECT_FALSE(allowed.Permits(Bytes(BytesOf("other"))));
+  EXPECT_FALSE(allowed.Permits(std::nullopt));
+}
+
+TEST_F(KvModelTest, AllowedAfterCrashForbidsResurrection) {
+  model_.Put(1, BytesOf("old"), Persistent());
+  model_.Put(1, BytesOf("new"), Persistent());
+  auto allowed = model_.AllowedAfterCrash(1);
+  EXPECT_TRUE(allowed.Permits(Bytes(BytesOf("new"))));
+  EXPECT_FALSE(allowed.Permits(Bytes(BytesOf("old"))));  // superseded by a persisted op
+}
+
+TEST_F(KvModelTest, AllowedAfterCrashWithNothingPersisted) {
+  model_.Put(1, BytesOf("a"), Pending());
+  model_.Put(1, BytesOf("b"), Pending());
+  auto allowed = model_.AllowedAfterCrash(1);
+  EXPECT_TRUE(allowed.allow_absent);
+  EXPECT_TRUE(allowed.Permits(Bytes(BytesOf("a"))));
+  EXPECT_TRUE(allowed.Permits(Bytes(BytesOf("b"))));
+}
+
+TEST_F(KvModelTest, PersistedDeleteAllowsAbsent) {
+  model_.Put(1, BytesOf("a"), Persistent());
+  model_.Delete(1, Persistent());
+  auto allowed = model_.AllowedAfterCrash(1);
+  EXPECT_TRUE(allowed.allow_absent);
+  EXPECT_FALSE(allowed.Permits(Bytes(BytesOf("a"))));
+}
+
+TEST_F(KvModelTest, UnpersistedDeleteMayBeLost) {
+  model_.Put(1, BytesOf("a"), Persistent());
+  model_.Delete(1, Pending());
+  auto allowed = model_.AllowedAfterCrash(1);
+  EXPECT_TRUE(allowed.allow_absent);                     // the delete may have made it
+  EXPECT_TRUE(allowed.Permits(Bytes(BytesOf("a"))));     // or been lost
+}
+
+TEST_F(KvModelTest, UntouchedKeyAllowsOnlyAbsent) {
+  auto allowed = model_.AllowedAfterCrash(42);
+  EXPECT_TRUE(allowed.allow_absent);
+  EXPECT_TRUE(allowed.values.empty());
+}
+
+TEST_F(KvModelTest, AdoptCollapsesHistory) {
+  model_.Put(1, BytesOf("a"), Persistent());
+  model_.Put(1, BytesOf("b"), Pending());
+  EXPECT_TRUE(model_.AdoptPostCrash(1, Bytes(BytesOf("a"))));
+  EXPECT_EQ(model_.Get(1), BytesOf("a"));
+  // Adopted state is durable: a second crash cannot roll it back further.
+  auto allowed = model_.AllowedAfterCrash(1);
+  EXPECT_FALSE(allowed.allow_absent);
+}
+
+TEST_F(KvModelTest, AdoptRejectsIllegalObservation) {
+  model_.Put(1, BytesOf("durable"), Persistent());
+  EXPECT_FALSE(model_.AdoptPostCrash(1, std::nullopt));              // data loss
+  EXPECT_FALSE(model_.AdoptPostCrash(1, Bytes(BytesOf("garbage"))));  // wrong bytes
+}
+
+TEST_F(KvModelTest, Bug9ForgetsThatDeletesCanBeLost) {
+  ScopedBug bug(SeededBug::kRecoveryWritePointerPastCrash);
+  model_.Put(1, BytesOf("a"), Persistent());
+  model_.Delete(1, Pending());
+  auto allowed = model_.AllowedAfterCrash(1);
+  // The buggy model insists the key is gone; a correct implementation that kept the
+  // persisted value then fails the check — how the paper's model bug surfaced.
+  EXPECT_FALSE(allowed.Permits(Bytes(BytesOf("a"))));
+}
+
+TEST_F(KvModelTest, TouchedKeysIncludesDeleted) {
+  model_.Put(1, BytesOf("a"), Pending());
+  model_.Delete(1, Pending());
+  model_.Put(2, BytesOf("b"), Pending());
+  EXPECT_EQ(model_.TouchedKeys().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ss

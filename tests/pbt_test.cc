@@ -1,0 +1,181 @@
+// Unit tests for the property-based testing engine: determinism, replay, failure
+// detection, minimization quality, biasing helpers (paper sections 4.1-4.3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/pbt/pbt.h"
+
+namespace ss {
+namespace {
+
+// A toy op type: integers. The "system under test" fails when the sequence contains a
+// value >= 50 after a value >= 20 — requiring the minimizer to keep two ops.
+struct ToyOp {
+  int value = 0;
+};
+
+PbtRunner<ToyOp> MakeToyRunner(PbtConfig config, int* runs = nullptr) {
+  return PbtRunner<ToyOp>(
+      config,
+      [](Rng& rng, const std::vector<ToyOp>&) {
+        return ToyOp{static_cast<int>(rng.Below(100))};
+      },
+      [runs](const std::vector<ToyOp>& ops) -> std::optional<std::string> {
+        if (runs != nullptr) {
+          ++*runs;
+        }
+        bool armed = false;
+        for (const ToyOp& op : ops) {
+          if (armed && op.value >= 50) {
+            return "armed failure";
+          }
+          if (op.value >= 20) {
+            armed = true;
+          }
+        }
+        return std::nullopt;
+      },
+      [](const ToyOp& op) {
+        std::vector<ToyOp> out;
+        if (op.value > 0) {
+          out.push_back(ToyOp{op.value / 2});
+        }
+        return out;
+      });
+}
+
+TEST(Pbt, FindsSeededFailure) {
+  auto runner = MakeToyRunner({.seed = 1, .num_cases = 200, .max_ops = 30});
+  auto failure = runner.Run();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_FALSE(failure->minimized.empty());
+  EXPECT_EQ(failure->message, "armed failure");
+}
+
+TEST(Pbt, MinimizesToTwoEssentialOps) {
+  auto runner = MakeToyRunner({.seed = 1, .num_cases = 200, .max_ops = 30});
+  auto failure = runner.Run();
+  ASSERT_TRUE(failure.has_value());
+  // The property needs exactly two ops: one >= 20 (arming) and one >= 50.
+  ASSERT_EQ(failure->minimized.size(), 2u);
+  EXPECT_GE(failure->minimized[0].value, 20);
+  EXPECT_GE(failure->minimized[1].value, 50);
+  // Argument shrinking drove both toward the thresholds.
+  EXPECT_LT(failure->minimized[0].value, 40);
+  EXPECT_LT(failure->minimized[1].value, 100);
+  EXPECT_LE(failure->minimized.size(), failure->original.size());
+}
+
+TEST(Pbt, DeterministicAcrossRuns) {
+  auto first = MakeToyRunner({.seed = 77, .num_cases = 100, .max_ops = 20}).Run();
+  auto second = MakeToyRunner({.seed = 77, .num_cases = 100, .max_ops = 20}).Run();
+  ASSERT_EQ(first.has_value(), second.has_value());
+  if (first.has_value()) {
+    EXPECT_EQ(first->case_index, second->case_index);
+    EXPECT_EQ(first->case_seed, second->case_seed);
+    EXPECT_EQ(first->minimized.size(), second->minimized.size());
+  }
+}
+
+TEST(Pbt, GenerateReplaysFromCaseSeed) {
+  auto runner = MakeToyRunner({.seed = 5, .num_cases = 10, .max_ops = 20});
+  auto ops_a = runner.Generate(12345);
+  auto ops_b = runner.Generate(12345);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].value, ops_b[i].value);
+  }
+}
+
+TEST(Pbt, PassingPropertyRunsAllCases) {
+  PbtConfig config{.seed = 3, .num_cases = 50, .max_ops = 10};
+  PbtRunner<ToyOp> runner(
+      config, [](Rng& rng, const std::vector<ToyOp>&) { return ToyOp{1}; },
+      [](const std::vector<ToyOp>&) { return std::nullopt; });
+  EXPECT_FALSE(runner.Run().has_value());
+  EXPECT_EQ(runner.stats().cases_run, 50u);
+  EXPECT_GT(runner.stats().ops_run, 0u);
+}
+
+TEST(Pbt, ShrinkBudgetRespected) {
+  int runs = 0;
+  PbtConfig config{.seed = 1, .num_cases = 200, .max_ops = 30, .max_shrink_runs = 10};
+  auto runner = MakeToyRunner(config, &runs);
+  auto failure = runner.Run();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_LE(failure->shrink_runs, 10u);
+}
+
+TEST(Pbt, SequenceLengthWithinBounds) {
+  PbtConfig config{.seed = 9, .num_cases = 1, .min_ops = 5, .max_ops = 8};
+  PbtRunner<ToyOp> runner(
+      config, [](Rng& rng, const std::vector<ToyOp>&) { return ToyOp{0}; },
+      [](const std::vector<ToyOp>&) { return std::nullopt; });
+  for (uint64_t seed = 1; seed < 40; ++seed) {
+    const size_t len = runner.Generate(seed).size();
+    EXPECT_GE(len, 5u);
+    EXPECT_LE(len, 8u);
+  }
+}
+
+TEST(Pbt, GeneratorSeesPrefix) {
+  // A generator that echoes the prefix length lets us verify incremental generation.
+  PbtConfig config{.seed = 2, .num_cases = 1, .min_ops = 6, .max_ops = 6};
+  PbtRunner<ToyOp> runner(
+      config,
+      [](Rng&, const std::vector<ToyOp>& prefix) {
+        return ToyOp{static_cast<int>(prefix.size())};
+      },
+      [](const std::vector<ToyOp>&) { return std::nullopt; });
+  auto ops = runner.Generate(99);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].value, static_cast<int>(i));
+  }
+}
+
+TEST(BiasedKey, ReusesUsedKeys) {
+  Rng rng(4);
+  std::vector<uint64_t> used = {7, 9};
+  int reused = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t key = BiasedKey(rng, used, 0.8, 1000);
+    if (key == 7 || key == 9) {
+      ++reused;
+    }
+  }
+  EXPECT_GT(reused, 700);
+  EXPECT_LT(reused, 900);
+}
+
+TEST(BiasedKey, EmptyUsedFallsBackToFresh) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BiasedKey(rng, {}, 0.9, 10), 10u);
+  }
+}
+
+TEST(BiasedValueSize, HitsPageCorners) {
+  Rng rng(6);
+  const uint32_t page = 256;
+  const size_t overhead = 43;
+  int frame_aligned = 0;
+  int trailer_aligned = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const size_t size = BiasedValueSize(rng, page, overhead, 1500);
+    EXPECT_LE(size, 1500u);
+    if ((size + overhead) % page == 0) {
+      ++frame_aligned;
+    }
+    if ((size + overhead - 16) % page == 0) {
+      ++trailer_aligned;
+    }
+  }
+  // Both corner families must be hit regularly (the biasing that finds issues #1/#10).
+  EXPECT_GT(frame_aligned, 100);
+  EXPECT_GT(trailer_aligned, 100);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,192 @@
+// Unit tests for the NodeServer RPC layer: routing, control plane, bulk operations.
+
+#include <gtest/gtest.h>
+
+#include "src/faults/faults.h"
+#include "src/rpc/node_server.h"
+
+namespace ss {
+namespace {
+
+class NodeServerTest : public testing::Test {
+ protected:
+  NodeServerTest() {
+    FaultRegistry::Global().DisableAll();
+    NodeServerOptions options;
+    options.disk_count = 3;
+    options.geometry = DiskGeometry{.extent_count = 16, .pages_per_extent = 16,
+                                    .page_size = 256};
+    node_ = std::move(NodeServer::Create(options).value());
+  }
+
+  std::unique_ptr<NodeServer> node_;
+};
+
+TEST_F(NodeServerTest, PutGetDeleteRoundTrip) {
+  ASSERT_TRUE(node_->Put(1, BytesOf("one")).ok());
+  EXPECT_EQ(node_->Get(1).value(), BytesOf("one"));
+  ASSERT_TRUE(node_->Delete(1).ok());
+  EXPECT_EQ(node_->Get(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NodeServerTest, RoutingIsStable) {
+  for (ShardId id = 0; id < 50; ++id) {
+    EXPECT_EQ(node_->DiskFor(id), node_->DiskFor(id));
+    EXPECT_LT(node_->DiskFor(id), 3);
+  }
+}
+
+TEST_F(NodeServerTest, ShardsSpreadAcrossDisks) {
+  std::set<int> used;
+  for (ShardId id = 0; id < 50; ++id) {
+    used.insert(node_->DiskFor(id));
+  }
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST_F(NodeServerTest, ListShardsMergesDisks) {
+  for (ShardId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(node_->Put(id, BytesOf("v")).ok());
+  }
+  ASSERT_TRUE(node_->Delete(4).ok());
+  auto listed = node_->ListShards().value();
+  EXPECT_EQ(listed.size(), 9u);
+}
+
+TEST_F(NodeServerTest, RemovedDiskIsUnavailable) {
+  // Find a shard on disk 0.
+  ShardId victim = 0;
+  while (node_->DiskFor(victim) != 0) {
+    ++victim;
+  }
+  ASSERT_TRUE(node_->Put(victim, BytesOf("v")).ok());
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  EXPECT_FALSE(node_->InService(0));
+  EXPECT_EQ(node_->Get(victim).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(node_->Put(victim, BytesOf("w")).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(node_->Delete(victim).code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NodeServerTest, RemoveRestoreCyclePreservesShards) {
+  std::vector<ShardId> on_disk0;
+  for (ShardId id = 0; id < 40; ++id) {
+    if (node_->DiskFor(id) == 0) {
+      on_disk0.push_back(id);
+      ASSERT_TRUE(node_->Put(id, BytesOf("payload")).ok());
+    }
+  }
+  ASSERT_FALSE(on_disk0.empty());
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  ASSERT_TRUE(node_->RestoreDisk(0).ok());
+  for (ShardId id : on_disk0) {
+    EXPECT_EQ(node_->Get(id).value(), BytesOf("payload")) << "shard " << id;
+  }
+}
+
+TEST_F(NodeServerTest, Bug4RemovalLosesUnflushedShards) {
+  ScopedBug bug(SeededBug::kDiskRemovalLosesShards);
+  ShardId victim = 0;
+  while (node_->DiskFor(victim) != 0) {
+    ++victim;
+  }
+  ASSERT_TRUE(node_->Put(victim, BytesOf("will be lost")).ok());
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  ASSERT_TRUE(node_->RestoreDisk(0).ok());
+  EXPECT_EQ(node_->Get(victim).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NodeServerTest, DoubleRemoveAndDoubleRestoreRejected) {
+  ASSERT_TRUE(node_->RemoveDiskFromService(1).ok());
+  EXPECT_EQ(node_->RemoveDiskFromService(1).code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(node_->RestoreDisk(1).ok());
+  EXPECT_EQ(node_->RestoreDisk(1).code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NodeServerTest, InvalidDiskIndexRejected) {
+  EXPECT_EQ(node_->RemoveDiskFromService(9).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(node_->RestoreDisk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NodeServerTest, ListSkipsOutOfServiceDisks) {
+  ShardId on0 = 0;
+  while (node_->DiskFor(on0) != 0) {
+    ++on0;
+  }
+  ShardId on1 = 0;
+  while (node_->DiskFor(on1) != 1) {
+    ++on1;
+  }
+  ASSERT_TRUE(node_->Put(on0, BytesOf("a")).ok());
+  ASSERT_TRUE(node_->Put(on1, BytesOf("b")).ok());
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  auto listed = node_->ListShards().value();
+  EXPECT_EQ(listed, (std::vector<ShardId>{on1}));
+}
+
+TEST_F(NodeServerTest, BulkCreateThenRemove) {
+  std::vector<std::pair<ShardId, Bytes>> batch = {{1, BytesOf("a")}, {2, BytesOf("b")}};
+  ASSERT_TRUE(node_->BulkCreate(batch).ok());
+  EXPECT_TRUE(node_->Get(1).ok());
+  EXPECT_TRUE(node_->Get(2).ok());
+  ASSERT_TRUE(node_->BulkRemove({1, 2}).ok());
+  EXPECT_EQ(node_->Get(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(node_->Get(2).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NodeServerTest, FlushAllPersistsDependencies) {
+  Dependency dep = node_->Put(1, BytesOf("v")).value();
+  EXPECT_FALSE(dep.IsPersistent());
+  ASSERT_TRUE(node_->FlushAllDisks().ok());
+  EXPECT_TRUE(dep.IsPersistent());
+}
+
+TEST_F(NodeServerTest, MigrateMovesShardAndPreservesValue) {
+  ASSERT_TRUE(node_->Put(5, BytesOf("cargo")).ok());
+  const int from = node_->DiskFor(5);
+  const int to = (from + 1) % node_->disk_count();
+  ASSERT_TRUE(node_->MigrateShard(5, to).ok());
+  EXPECT_EQ(node_->DiskFor(5), to);
+  EXPECT_EQ(node_->Get(5).value(), BytesOf("cargo"));
+  // The source no longer holds it.
+  EXPECT_EQ(node_->store(from)->Get(5).code(), StatusCode::kNotFound);
+  EXPECT_EQ(node_->store(to)->Get(5).value(), BytesOf("cargo"));
+}
+
+TEST_F(NodeServerTest, MigrateToSameDiskIsNoOp) {
+  ASSERT_TRUE(node_->Put(5, BytesOf("v")).ok());
+  ASSERT_TRUE(node_->MigrateShard(5, node_->DiskFor(5)).ok());
+  EXPECT_EQ(node_->Get(5).value(), BytesOf("v"));
+}
+
+TEST_F(NodeServerTest, MigrateMissingShardIsNotFound) {
+  EXPECT_EQ(node_->MigrateShard(404, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NodeServerTest, MigrateToRemovedDiskIsUnavailable) {
+  ASSERT_TRUE(node_->Put(5, BytesOf("v")).ok());
+  const int to = (node_->DiskFor(5) + 1) % node_->disk_count();
+  ASSERT_TRUE(node_->RemoveDiskFromService(to).ok());
+  EXPECT_EQ(node_->MigrateShard(5, to).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(node_->Get(5).value(), BytesOf("v"));
+}
+
+TEST_F(NodeServerTest, MigratedShardSurvivesRemoveRestoreOfNewHome) {
+  ASSERT_TRUE(node_->Put(5, BytesOf("v")).ok());
+  const int to = (node_->DiskFor(5) + 1) % node_->disk_count();
+  ASSERT_TRUE(node_->MigrateShard(5, to).ok());
+  ASSERT_TRUE(node_->RemoveDiskFromService(to).ok());
+  EXPECT_EQ(node_->Get(5).code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(node_->RestoreDisk(to).ok());
+  EXPECT_EQ(node_->Get(5).value(), BytesOf("v"));
+  EXPECT_EQ(node_->DiskFor(5), to);
+}
+
+TEST_F(NodeServerTest, StoreAccessor) {
+  EXPECT_NE(node_->store(0), nullptr);
+  EXPECT_EQ(node_->store(7), nullptr);
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  EXPECT_EQ(node_->store(0), nullptr);
+}
+
+}  // namespace
+}  // namespace ss
