@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bias_ablation.dir/bench_bias_ablation.cc.o"
+  "CMakeFiles/bench_bias_ablation.dir/bench_bias_ablation.cc.o.d"
+  "bench_bias_ablation"
+  "bench_bias_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bias_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

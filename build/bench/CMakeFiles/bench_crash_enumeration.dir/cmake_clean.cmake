@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_enumeration.dir/bench_crash_enumeration.cc.o"
+  "CMakeFiles/bench_crash_enumeration.dir/bench_crash_enumeration.cc.o.d"
+  "bench_crash_enumeration"
+  "bench_crash_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bug_catalog.dir/bench_fig5_bug_catalog.cc.o"
+  "CMakeFiles/bench_fig5_bug_catalog.dir/bench_fig5_bug_catalog.cc.o.d"
+  "bench_fig5_bug_catalog"
+  "bench_fig5_bug_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bug_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

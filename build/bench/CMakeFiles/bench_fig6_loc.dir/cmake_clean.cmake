@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_loc.dir/bench_fig6_loc.cc.o"
+  "CMakeFiles/bench_fig6_loc.dir/bench_fig6_loc.cc.o.d"
+  "bench_fig6_loc"
+  "bench_fig6_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

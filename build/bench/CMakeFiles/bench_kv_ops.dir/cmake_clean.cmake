@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kv_ops.dir/bench_kv_ops.cc.o"
+  "CMakeFiles/bench_kv_ops.dir/bench_kv_ops.cc.o.d"
+  "bench_kv_ops"
+  "bench_kv_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kv_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc_interleavings.dir/bench_mc_interleavings.cc.o"
+  "CMakeFiles/bench_mc_interleavings.dir/bench_mc_interleavings.cc.o.d"
+  "bench_mc_interleavings"
+  "bench_mc_interleavings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc_interleavings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pbt_throughput.dir/bench_pbt_throughput.cc.o"
+  "CMakeFiles/bench_pbt_throughput.dir/bench_pbt_throughput.cc.o.d"
+  "bench_pbt_throughput"
+  "bench_pbt_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pbt_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_stress.dir/concurrent_stress.cpp.o"
+  "CMakeFiles/concurrent_stress.dir/concurrent_stress.cpp.o.d"
+  "concurrent_stress"
+  "concurrent_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

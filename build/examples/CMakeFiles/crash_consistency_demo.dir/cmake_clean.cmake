@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_consistency_demo.dir/crash_consistency_demo.cpp.o"
+  "CMakeFiles/crash_consistency_demo.dir/crash_consistency_demo.cpp.o.d"
+  "crash_consistency_demo"
+  "crash_consistency_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_consistency_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

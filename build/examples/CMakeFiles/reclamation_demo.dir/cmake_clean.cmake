@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclamation_demo.dir/reclamation_demo.cpp.o"
+  "CMakeFiles/reclamation_demo.dir/reclamation_demo.cpp.o.d"
+  "reclamation_demo"
+  "reclamation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclamation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cache.dir/cache/buffer_cache.cc.o"
+  "CMakeFiles/ss_cache.dir/cache/buffer_cache.cc.o.d"
+  "libss_cache.a"
+  "libss_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_chunk.dir/chunk/chunk_format.cc.o"
+  "CMakeFiles/ss_chunk.dir/chunk/chunk_format.cc.o.d"
+  "CMakeFiles/ss_chunk.dir/chunk/chunk_store.cc.o"
+  "CMakeFiles/ss_chunk.dir/chunk/chunk_store.cc.o.d"
+  "libss_chunk.a"
+  "libss_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

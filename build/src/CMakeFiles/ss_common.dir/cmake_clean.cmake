@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_common.dir/common/bytes.cc.o"
+  "CMakeFiles/ss_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/ss_common.dir/common/cover.cc.o"
+  "CMakeFiles/ss_common.dir/common/cover.cc.o.d"
+  "CMakeFiles/ss_common.dir/common/crc32c.cc.o"
+  "CMakeFiles/ss_common.dir/common/crc32c.cc.o.d"
+  "CMakeFiles/ss_common.dir/common/rng.cc.o"
+  "CMakeFiles/ss_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ss_common.dir/common/serde.cc.o"
+  "CMakeFiles/ss_common.dir/common/serde.cc.o.d"
+  "CMakeFiles/ss_common.dir/common/status.cc.o"
+  "CMakeFiles/ss_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ss_common.dir/common/uuid.cc.o"
+  "CMakeFiles/ss_common.dir/common/uuid.cc.o.d"
+  "libss_common.a"
+  "libss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

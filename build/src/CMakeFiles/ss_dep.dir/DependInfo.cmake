@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dep/dependency.cc" "src/CMakeFiles/ss_dep.dir/dep/dependency.cc.o" "gcc" "src/CMakeFiles/ss_dep.dir/dep/dependency.cc.o.d"
+  "/root/repo/src/dep/io_scheduler.cc" "src/CMakeFiles/ss_dep.dir/dep/io_scheduler.cc.o" "gcc" "src/CMakeFiles/ss_dep.dir/dep/io_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

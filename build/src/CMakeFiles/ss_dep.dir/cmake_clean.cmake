@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_dep.dir/dep/dependency.cc.o"
+  "CMakeFiles/ss_dep.dir/dep/dependency.cc.o.d"
+  "CMakeFiles/ss_dep.dir/dep/io_scheduler.cc.o"
+  "CMakeFiles/ss_dep.dir/dep/io_scheduler.cc.o.d"
+  "libss_dep.a"
+  "libss_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_disk.dir/disk/disk.cc.o"
+  "CMakeFiles/ss_disk.dir/disk/disk.cc.o.d"
+  "libss_disk.a"
+  "libss_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

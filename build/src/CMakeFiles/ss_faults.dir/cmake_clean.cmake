@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_faults.dir/faults/faults.cc.o"
+  "CMakeFiles/ss_faults.dir/faults/faults.cc.o.d"
+  "libss_faults.a"
+  "libss_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_harness.dir/harness/component_harness.cc.o"
+  "CMakeFiles/ss_harness.dir/harness/component_harness.cc.o.d"
+  "CMakeFiles/ss_harness.dir/harness/concurrency.cc.o"
+  "CMakeFiles/ss_harness.dir/harness/concurrency.cc.o.d"
+  "CMakeFiles/ss_harness.dir/harness/crash_enum.cc.o"
+  "CMakeFiles/ss_harness.dir/harness/crash_enum.cc.o.d"
+  "CMakeFiles/ss_harness.dir/harness/fig5.cc.o"
+  "CMakeFiles/ss_harness.dir/harness/fig5.cc.o.d"
+  "CMakeFiles/ss_harness.dir/harness/kv_harness.cc.o"
+  "CMakeFiles/ss_harness.dir/harness/kv_harness.cc.o.d"
+  "CMakeFiles/ss_harness.dir/harness/rpc_harness.cc.o"
+  "CMakeFiles/ss_harness.dir/harness/rpc_harness.cc.o.d"
+  "libss_harness.a"
+  "libss_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

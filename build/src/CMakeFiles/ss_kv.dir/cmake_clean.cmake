@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_kv.dir/kv/shard_store.cc.o"
+  "CMakeFiles/ss_kv.dir/kv/shard_store.cc.o.d"
+  "libss_kv.a"
+  "libss_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_lsm.dir/lsm/lsm_index.cc.o"
+  "CMakeFiles/ss_lsm.dir/lsm/lsm_index.cc.o.d"
+  "libss_lsm.a"
+  "libss_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

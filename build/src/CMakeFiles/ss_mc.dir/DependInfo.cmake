@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/linearizability.cc" "src/CMakeFiles/ss_mc.dir/mc/linearizability.cc.o" "gcc" "src/CMakeFiles/ss_mc.dir/mc/linearizability.cc.o.d"
+  "/root/repo/src/mc/mc.cc" "src/CMakeFiles/ss_mc.dir/mc/mc.cc.o" "gcc" "src/CMakeFiles/ss_mc.dir/mc/mc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

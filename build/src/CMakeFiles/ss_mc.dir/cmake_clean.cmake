@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_mc.dir/mc/linearizability.cc.o"
+  "CMakeFiles/ss_mc.dir/mc/linearizability.cc.o.d"
+  "CMakeFiles/ss_mc.dir/mc/mc.cc.o"
+  "CMakeFiles/ss_mc.dir/mc/mc.cc.o.d"
+  "libss_mc.a"
+  "libss_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_model.dir/model/models.cc.o"
+  "CMakeFiles/ss_model.dir/model/models.cc.o.d"
+  "libss_model.a"
+  "libss_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_pbt.dir/pbt/pbt.cc.o"
+  "CMakeFiles/ss_pbt.dir/pbt/pbt.cc.o.d"
+  "libss_pbt.a"
+  "libss_pbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_pbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

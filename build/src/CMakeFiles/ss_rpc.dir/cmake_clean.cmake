@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_rpc.dir/rpc/node_server.cc.o"
+  "CMakeFiles/ss_rpc.dir/rpc/node_server.cc.o.d"
+  "libss_rpc.a"
+  "libss_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

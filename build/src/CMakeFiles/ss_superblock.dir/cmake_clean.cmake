@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_superblock.dir/superblock/extent_manager.cc.o"
+  "CMakeFiles/ss_superblock.dir/superblock/extent_manager.cc.o.d"
+  "libss_superblock.a"
+  "libss_superblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sync.dir/sync/sync.cc.o"
+  "CMakeFiles/ss_sync.dir/sync/sync.cc.o.d"
+  "libss_sync.a"
+  "libss_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

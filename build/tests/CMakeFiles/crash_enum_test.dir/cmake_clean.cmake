@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_enum_test.dir/crash_enum_test.cc.o"
+  "CMakeFiles/crash_enum_test.dir/crash_enum_test.cc.o.d"
+  "crash_enum_test"
+  "crash_enum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_test.dir/dep_test.cc.o"
+  "CMakeFiles/dep_test.dir/dep_test.cc.o.d"
+  "dep_test"
+  "dep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_test.dir/fig5_test.cc.o"
+  "CMakeFiles/fig5_test.dir/fig5_test.cc.o.d"
+  "fig5_test"
+  "fig5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbt_test.dir/pbt_test.cc.o"
+  "CMakeFiles/pbt_test.dir/pbt_test.cc.o.d"
+  "pbt_test"
+  "pbt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/superblock_test.cc" "tests/CMakeFiles/superblock_test.dir/superblock_test.cc.o" "gcc" "tests/CMakeFiles/superblock_test.dir/superblock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_superblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_pbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
