@@ -1,0 +1,165 @@
+// Disk-failure-domain benchmarks: what the retry/health machinery costs and buys.
+//
+//  * BM_GetThroughFaultStorm / BM_PutThroughFaultStorm — ops/sec through a
+//    probabilistic transient-fault storm (SetFailureRates) at increasing fault rates;
+//    rate 0 is the baseline, so the delta is the retry layer's overhead plus the cost
+//    of absorbed faults.
+//  * BM_RetryBudgetExhaustion — cost of a surfaced failure (burst longer than the
+//    retry budget), the worst case per operation.
+//  * BM_EvacuateDisk — time to drain a degraded disk onto healthy peers, across
+//    shard-count populations (the repair-time side of the health state machine).
+//  * BM_CrashRecoverDisk — time for a whole-disk crash + recovery + routing
+//    reconciliation.
+//
+//   $ ./build/bench/bench_fault_recovery
+
+#include <benchmark/benchmark.h>
+
+#include "src/rpc/node_server.h"
+
+using namespace ss;
+
+namespace {
+
+DiskGeometry BenchGeometry() {
+  return DiskGeometry{.extent_count = 128, .pages_per_extent = 64, .page_size = 256};
+}
+
+Bytes MakeValue(size_t size, uint8_t tag) {
+  Bytes out(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>(tag + i);
+  }
+  return out;
+}
+
+// Fault rate is passed as range(0) in tenths of a percent (0, 10 = 1%, 50 = 5%).
+double RateOf(benchmark::State& state) { return static_cast<double>(state.range(0)) / 1000.0; }
+
+void BM_GetThroughFaultStorm(benchmark::State& state) {
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  for (ShardId id = 0; id < 32; ++id) {
+    (void)store->Put(id, MakeValue(512, static_cast<uint8_t>(id)));
+  }
+  (void)store->FlushAll();
+  disk.fault_injector().SetFailureRates(RateOf(state), 0.0, /*seed=*/7);
+  ShardId id = 0;
+  uint64_t surfaced = 0;
+  for (auto _ : state) {
+    auto got = store->Get(id++ % 32);
+    if (!got.ok()) {
+      ++surfaced;
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  disk.fault_injector().Clear();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["surfaced_errors"] = static_cast<double>(surfaced);
+  state.counters["absorbed_faults"] =
+      static_cast<double>(store->extents().retry_stats().absorbed_faults);
+}
+BENCHMARK(BM_GetThroughFaultStorm)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Iterations(20000);
+
+void BM_PutThroughFaultStorm(benchmark::State& state) {
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  disk.fault_injector().SetFailureRates(0.0, RateOf(state), /*seed=*/11);
+  Bytes value = MakeValue(512, 3);
+  ShardId id = 0;
+  uint64_t surfaced = 0;
+  for (auto _ : state) {
+    auto dep = store->Put(id++ % 64, value);
+    if (!dep.ok()) {
+      if (dep.code() == StatusCode::kResourceExhausted) {
+        state.PauseTiming();
+        (void)store->FlushAll();
+        for (int i = 0; i < 8; ++i) {
+          (void)store->ReclaimAny();
+        }
+        (void)store->FlushAll();
+        state.ResumeTiming();
+      } else {
+        ++surfaced;
+      }
+    }
+  }
+  disk.fault_injector().Clear();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["surfaced_errors"] = static_cast<double>(surfaced);
+  state.counters["absorbed_faults"] =
+      static_cast<double>(store->extents().retry_stats().absorbed_faults);
+}
+BENCHMARK(BM_PutThroughFaultStorm)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Iterations(3000);
+
+void BM_RetryBudgetExhaustion(benchmark::State& state) {
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  (void)store->Put(1, MakeValue(512, 1));
+  const uint32_t budget = ShardStoreOptions{}.retry.max_attempts;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Arm a burst guaranteed to outlast the budget on every data extent.
+    for (ExtentId e = 1; e < BenchGeometry().extent_count; ++e) {
+      disk.fault_injector().FailReadTimes(e, budget);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store->Get(1));
+    state.PauseTiming();
+    disk.fault_injector().Clear();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("surfaced kIoError per op (budget " + std::to_string(budget) + ")");
+}
+BENCHMARK(BM_RetryBudgetExhaustion)->Iterations(2000);
+
+void BM_EvacuateDisk(benchmark::State& state) {
+  const int shard_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    NodeServerOptions options;
+    options.disk_count = 4;
+    options.geometry = BenchGeometry();
+    auto node = std::move(NodeServer::Create(options).value());
+    int populated = 0;
+    for (ShardId id = 0; populated < shard_count; ++id) {
+      if (node->DiskFor(id) == 0) {
+        (void)node->Put(id, MakeValue(256, static_cast<uint8_t>(id)));
+        ++populated;
+      }
+    }
+    (void)node->MarkDiskDegraded(0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(node->EvacuateDisk(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * shard_count));
+  state.SetLabel("shards migrated off a degraded disk");
+}
+BENCHMARK(BM_EvacuateDisk)->Arg(4)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_CrashRecoverDisk(benchmark::State& state) {
+  NodeServerOptions options;
+  options.disk_count = 2;
+  options.geometry = BenchGeometry();
+  auto node = std::move(NodeServer::Create(options).value());
+  int populated = 0;
+  for (ShardId id = 0; populated < 32; ++id) {
+    if (node->DiskFor(id) == 0) {
+      (void)node->Put(id, MakeValue(512, static_cast<uint8_t>(id)));
+      ++populated;
+    }
+  }
+  (void)node->FlushAllDisks();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node->CrashAndRecoverDisk(0, seed++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("whole-disk crash + recovery + routing reconciliation");
+}
+BENCHMARK(BM_CrashRecoverDisk)->Unit(benchmark::kMillisecond)->Iterations(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDiskFailed:
+      return "DiskFailed";
   }
   return "Unknown";
 }

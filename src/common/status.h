@@ -37,7 +37,19 @@ enum class StatusCode : uint8_t {
   kUnavailable = 6,
   // An internal invariant was violated. Seeing this code is itself a bug.
   kInternal = 7,
+  // The disk (or an extent of it) has failed permanently: retries cannot help, the
+  // data must be served from elsewhere. Distinguished from kIoError, which reports a
+  // *transient* environmental failure that a bounded retry may clear.
+  kDiskFailed = 8,
 };
+
+// Transient/permanent axis of the error taxonomy (the disk-failure-domain layer keys
+// its retry and health decisions off this, not off individual codes):
+//   * kIoError is transient — a retry with backoff may succeed,
+//   * kUnavailable is transient at the *caller's* timescale (a degraded disk may be
+//     evacuated and restored) but must not be retried inline, so it is not retryable,
+//   * kDiskFailed and everything else are permanent for the issuing operation.
+inline bool StatusCodeRetryable(StatusCode code) { return code == StatusCode::kIoError; }
 
 // Human-readable name for a status code ("OK", "NotFound", ...).
 std::string_view StatusCodeName(StatusCode code);
@@ -72,8 +84,13 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DiskFailed(std::string msg = "") {
+    return Status(StatusCode::kDiskFailed, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // True if the failure is transient and a bounded retry may clear it.
+  bool retryable() const { return StatusCodeRetryable(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -25,6 +25,27 @@ void DiskFaultInjector::FailWriteOnce(ExtentId extent) {
   write_once_.push_back(extent);
 }
 
+void DiskFaultInjector::FailReadTimes(ExtentId extent, uint32_t times) {
+  LockGuard lock(mu_);
+  for (uint32_t i = 0; i < times; ++i) {
+    read_once_.push_back(extent);
+  }
+}
+
+void DiskFaultInjector::FailWriteTimes(ExtentId extent, uint32_t times) {
+  LockGuard lock(mu_);
+  for (uint32_t i = 0; i < times; ++i) {
+    write_once_.push_back(extent);
+  }
+}
+
+void DiskFaultInjector::SetFailureRates(double read_rate, double write_rate, uint64_t seed) {
+  LockGuard lock(mu_);
+  read_rate_ = std::clamp(read_rate, 0.0, 1.0);
+  write_rate_ = std::clamp(write_rate, 0.0, 1.0);
+  rate_rng_.Seed(seed);
+}
+
 void DiskFaultInjector::FailAlways(ExtentId extent, bool enabled) {
   LockGuard lock(mu_);
   auto it = std::find(always_.begin(), always_.end(), extent);
@@ -40,6 +61,8 @@ void DiskFaultInjector::Clear() {
   read_once_.clear();
   write_once_.clear();
   always_.clear();
+  read_rate_ = 0.0;
+  write_rate_ = 0.0;
 }
 
 bool DiskFaultInjector::ShouldFailRead(ExtentId extent) {
@@ -47,7 +70,10 @@ bool DiskFaultInjector::ShouldFailRead(ExtentId extent) {
   if (std::find(always_.begin(), always_.end(), extent) != always_.end()) {
     return true;
   }
-  return TakeOne(read_once_, extent);
+  if (TakeOne(read_once_, extent)) {
+    return true;
+  }
+  return read_rate_ > 0.0 && rate_rng_.Chance(read_rate_);
 }
 
 bool DiskFaultInjector::ShouldFailWrite(ExtentId extent) {
@@ -55,7 +81,21 @@ bool DiskFaultInjector::ShouldFailWrite(ExtentId extent) {
   if (std::find(always_.begin(), always_.end(), extent) != always_.end()) {
     return true;
   }
-  return TakeOne(write_once_, extent);
+  if (TakeOne(write_once_, extent)) {
+    return true;
+  }
+  return write_rate_ > 0.0 && rate_rng_.Chance(write_rate_);
+}
+
+bool DiskFaultInjector::IsPermanentlyFailed(ExtentId extent) const {
+  LockGuard lock(mu_);
+  return std::find(always_.begin(), always_.end(), extent) != always_.end();
+}
+
+bool DiskFaultInjector::AnyArmed() const {
+  LockGuard lock(mu_);
+  return !read_once_.empty() || !write_once_.empty() || !always_.empty() ||
+         read_rate_ > 0.0 || write_rate_ > 0.0;
 }
 
 InMemoryDisk::InMemoryDisk(DiskGeometry geometry) : geometry_(geometry) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/sync/sync.h"
 
@@ -43,26 +44,60 @@ struct DiskGeometry {
 };
 
 // Deterministic IO failure injection. The property-based failure tests (section 4.4)
-// arm these from their operation alphabet.
+// arm these from their operation alphabet. Three fault families:
+//   * counted transients ("fail the next N attempts, then recover") — what a retry
+//     layer is meant to absorb when N is below its attempt budget,
+//   * probabilistic transients (each attempt fails with probability p, drawn from a
+//     seeded generator so runs stay replayable),
+//   * permanent failures (FailAlways) — the extent is gone; retries cannot help and
+//     the error classification layer reports kDiskFailed instead of kIoError.
 class DiskFaultInjector {
  public:
   // The next read touching `extent` fails once, then behaviour returns to normal.
   void FailReadOnce(ExtentId extent);
   // The next write touching `extent` fails once.
   void FailWriteOnce(ExtentId extent);
+  // The next `times` reads/writes touching `extent` fail, then behaviour recovers.
+  void FailReadTimes(ExtentId extent, uint32_t times);
+  void FailWriteTimes(ExtentId extent, uint32_t times);
   // All IO to `extent` fails until cleared (permanent failure).
   void FailAlways(ExtentId extent, bool enabled);
+  // Every read/write attempt (on any extent) additionally fails with the given
+  // probability, drawn deterministically from `seed`. Rates are clamped to [0,1];
+  // zero rates disable the mode. Replaces any previously armed rates.
+  void SetFailureRates(double read_rate, double write_rate, uint64_t seed);
   void Clear();
 
   // Consume-and-report: true if this read/write should fail.
   bool ShouldFailRead(ExtentId extent);
   bool ShouldFailWrite(ExtentId extent);
 
+  // Non-consuming: true if `extent` is armed to fail permanently (FailAlways).
+  bool IsPermanentlyFailed(ExtentId extent) const;
+  // Non-consuming: true if any fault (counted, probabilistic, or permanent) is armed.
+  bool AnyArmed() const;
+
  private:
-  Mutex mu_;
+  mutable Mutex mu_;
   std::vector<ExtentId> read_once_;
   std::vector<ExtentId> write_once_;
   std::vector<ExtentId> always_;
+  double read_rate_ = 0.0;
+  double write_rate_ = 0.0;
+  Rng rate_rng_{0};
+};
+
+// RAII guard: clears every fault armed on the injector when the scope exits, so a test
+// cannot leak armed faults (or failure rates) into later tests sharing the disk.
+class ScopedFault {
+ public:
+  explicit ScopedFault(DiskFaultInjector& injector) : injector_(injector) {}
+  ~ScopedFault() { injector_.Clear(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  DiskFaultInjector& injector_;
 };
 
 // The persistent image of one disk. All mutators are invoked by the IO scheduler when a

@@ -1,0 +1,94 @@
+#include "src/disk/disk_health.h"
+
+namespace ss {
+
+std::string_view DiskHealthName(DiskHealth health) {
+  switch (health) {
+    case DiskHealth::kHealthy:
+      return "healthy";
+    case DiskHealth::kDegraded:
+      return "degraded";
+    case DiskHealth::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+void DiskHealthTracker::RecordTransientLocked() {
+  ++transient_total_;
+  success_streak_ = 0;
+  ++windowed_errors_;
+  if (health_ == DiskHealth::kHealthy && windowed_errors_ >= options_.degrade_after) {
+    health_ = DiskHealth::kDegraded;
+  } else if (health_ == DiskHealth::kDegraded && windowed_errors_ >= options_.fail_after) {
+    health_ = DiskHealth::kFailed;
+  }
+}
+
+void DiskHealthTracker::RecordTransientError() {
+  LockGuard lock(mu_);
+  RecordTransientLocked();
+}
+
+void DiskHealthTracker::RecordPermanentError() {
+  LockGuard lock(mu_);
+  ++permanent_total_;
+  success_streak_ = 0;
+  health_ = DiskHealth::kFailed;
+}
+
+void DiskHealthTracker::RecordSuccess() {
+  LockGuard lock(mu_);
+  if (windowed_errors_ == 0) {
+    return;
+  }
+  if (++success_streak_ >= options_.success_decay) {
+    success_streak_ = 0;
+    --windowed_errors_;
+  }
+}
+
+DiskHealth DiskHealthTracker::health() const {
+  LockGuard lock(mu_);
+  return health_;
+}
+
+uint32_t DiskHealthTracker::windowed_errors() const {
+  LockGuard lock(mu_);
+  return windowed_errors_;
+}
+
+uint32_t DiskHealthTracker::budget_remaining() const {
+  LockGuard lock(mu_);
+  switch (health_) {
+    case DiskHealth::kHealthy:
+      return windowed_errors_ >= options_.degrade_after
+                 ? 0
+                 : options_.degrade_after - windowed_errors_;
+    case DiskHealth::kDegraded:
+      return windowed_errors_ >= options_.fail_after ? 0
+                                                     : options_.fail_after - windowed_errors_;
+    case DiskHealth::kFailed:
+      return 0;
+  }
+  return 0;
+}
+
+uint64_t DiskHealthTracker::transient_total() const {
+  LockGuard lock(mu_);
+  return transient_total_;
+}
+
+uint64_t DiskHealthTracker::permanent_total() const {
+  LockGuard lock(mu_);
+  return permanent_total_;
+}
+
+void DiskHealthTracker::Reset() {
+  LockGuard lock(mu_);
+  health_ = DiskHealth::kHealthy;
+  windowed_errors_ = 0;
+  success_streak_ = 0;
+}
+
+}  // namespace ss

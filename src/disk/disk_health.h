@@ -1,0 +1,89 @@
+// Per-disk health state machine and error-budget tracking.
+//
+// The paper's failure-injection testing (section 4.4) checks that ShardStore degrades
+// gracefully under injected IO faults; a production storage host additionally needs to
+// *act* on those faults: classify them (transient vs permanent), spend a bounded error
+// budget on retries, and take a disk that keeps misbehaving out of the write path
+// before it can hurt new data. This module is the bookkeeping half of that machinery:
+//
+//   healthy ──(transient budget exhausted)──► degraded ──(budget exhausted again,
+//       │                                         │        or any permanent error)
+//       └──────────(any permanent error)──────────┴──────► failed
+//
+// Transitions are *sticky*: successes decay the error window (a disk that recovers
+// stops burning budget) but never promote the state back toward healthy — returning a
+// disk to service is an operator/control-plane decision (NodeServer::ResetDiskHealth),
+// exactly like clearing a SMART trip in a real fleet. The tracker is fed by
+// ExtentManager's retry loop and read by NodeServer's routing policy.
+
+#ifndef SS_DISK_DISK_HEALTH_H_
+#define SS_DISK_DISK_HEALTH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sync/sync.h"
+
+namespace ss {
+
+enum class DiskHealth : uint8_t {
+  kHealthy = 0,
+  // Read-only: the disk still serves Get (its data is intact) but new writes are
+  // refused with kUnavailable so the blast radius stops growing; the control plane is
+  // expected to evacuate it.
+  kDegraded = 1,
+  // No request-plane traffic at all.
+  kFailed = 2,
+};
+
+// "healthy", "degraded", "failed".
+std::string_view DiskHealthName(DiskHealth health);
+
+struct DiskHealthOptions {
+  // Transient errors (after decay) that trip healthy -> degraded.
+  uint32_t degrade_after = 8;
+  // Transient errors (after decay) that trip degraded -> failed.
+  uint32_t fail_after = 24;
+  // Consecutive successes that forgive one windowed transient error.
+  uint32_t success_decay = 4;
+};
+
+class DiskHealthTracker {
+ public:
+  explicit DiskHealthTracker(DiskHealthOptions options = {}) : options_(options) {}
+
+  // A transient IO fault was observed (each failed retry attempt counts: a disk that
+  // needs three attempts per read is burning budget three times as fast).
+  void RecordTransientError();
+  // A permanent fault was observed; the disk fails immediately.
+  void RecordPermanentError();
+  // An IO completed successfully; decays the error window.
+  void RecordSuccess();
+
+  DiskHealth health() const;
+  // Windowed (decayed) error count the next transition decision will use.
+  uint32_t windowed_errors() const;
+  // Transient errors remaining before the next state transition (0 once failed).
+  uint32_t budget_remaining() const;
+  // Lifetime counters, for diagnostics and benches.
+  uint64_t transient_total() const;
+  uint64_t permanent_total() const;
+
+  // Operator action: return to healthy with a fresh error budget.
+  void Reset();
+
+ private:
+  void RecordTransientLocked();
+
+  mutable Mutex mu_;
+  DiskHealthOptions options_;
+  DiskHealth health_ = DiskHealth::kHealthy;
+  uint32_t windowed_errors_ = 0;
+  uint32_t success_streak_ = 0;
+  uint64_t transient_total_ = 0;
+  uint64_t permanent_total_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_DISK_DISK_HEALTH_H_

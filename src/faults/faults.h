@@ -85,17 +85,22 @@ class FaultRegistry {
 //   if (BugEnabled(SeededBug::kReclaimOffByOnePageSize)) { ...buggy path... }
 inline bool BugEnabled(SeededBug bug) { return FaultRegistry::Global().IsEnabled(bug); }
 
-// RAII scope that enables a bug for the duration of a test body.
-class ScopedBug {
+// RAII scope that enables a seeded bug for the duration of a test body and guarantees
+// it cannot leak into later tests: the destructor disables the bug even if the test
+// body exits early. Prefer this over raw Enable/Disable pairs in tests.
+class ScopedSeededBug {
  public:
-  explicit ScopedBug(SeededBug bug) : bug_(bug) { FaultRegistry::Global().Enable(bug); }
-  ~ScopedBug() { FaultRegistry::Global().Disable(bug_); }
-  ScopedBug(const ScopedBug&) = delete;
-  ScopedBug& operator=(const ScopedBug&) = delete;
+  explicit ScopedSeededBug(SeededBug bug) : bug_(bug) { FaultRegistry::Global().Enable(bug); }
+  ~ScopedSeededBug() { FaultRegistry::Global().Disable(bug_); }
+  ScopedSeededBug(const ScopedSeededBug&) = delete;
+  ScopedSeededBug& operator=(const ScopedSeededBug&) = delete;
 
  private:
   SeededBug bug_;
 };
+
+// Historic name, kept so existing call sites read naturally.
+using ScopedBug = ScopedSeededBug;
 
 }  // namespace ss
 

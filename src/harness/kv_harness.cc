@@ -389,11 +389,15 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         break;
       }
       case KvOpKind::kFailReadOnce:
-        disk.fault_injector().FailReadOnce(op.arg % options_.geometry.extent_count);
+        // Burst sized to outlast the retry budget: one logical IO's worth of attempts
+        // all fail, so the error surfaces (a smaller burst would be absorbed).
+        disk.fault_injector().FailReadTimes(op.arg % options_.geometry.extent_count,
+                                            options_.store.retry.max_attempts);
         faults_armed = true;
         break;
       case KvOpKind::kFailWriteOnce:
-        disk.fault_injector().FailWriteOnce(op.arg % options_.geometry.extent_count);
+        disk.fault_injector().FailWriteTimes(op.arg % options_.geometry.extent_count,
+                                             options_.store.retry.max_attempts);
         faults_armed = true;
         break;
     }

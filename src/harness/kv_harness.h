@@ -39,8 +39,12 @@ enum class KvOpKind : uint8_t {
   kReclaim,
   kReboot,         // clean shutdown + recovery (forward progress)
   kDirtyReboot,    // crash + recovery (persistence)
-  kFailReadOnce,   // arm a one-shot read failure on an extent
-  kFailWriteOnce,  // arm a one-shot write failure on an extent
+  // Arm a transient read/write fault burst on an extent, sized to outlast the extent
+  // layer's retry budget so the failure is guaranteed to surface to the operation
+  // (single blips are absorbed transparently by the retry layer; the dedicated
+  // failure harness exercises that axis).
+  kFailReadOnce,
+  kFailWriteOnce,
 };
 
 struct KvOp {

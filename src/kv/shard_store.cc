@@ -7,7 +7,8 @@ namespace ss {
 ShardStore::ShardStore(InMemoryDisk* disk, ShardStoreOptions options)
     : disk_(disk), options_(options) {
   scheduler_ = std::make_unique<IoScheduler>(disk_);
-  extents_ = std::make_unique<ExtentManager>(disk_, scheduler_.get(), options_.buffer_permits);
+  extents_ = std::make_unique<ExtentManager>(disk_, scheduler_.get(), options_.buffer_permits,
+                                             options_.retry);
   cache_ = std::make_unique<BufferCache>(extents_.get(), options_.cache_pages);
   chunks_ = std::make_unique<ChunkStore>(extents_.get(), cache_.get(), options_.chunk);
 }
@@ -77,6 +78,11 @@ Result<Bytes> ShardStore::Get(ShardId id) {
     for (const Locator& loc : record->chunks) {
       auto chunk_or = chunks_->Get(loc);
       if (!chunk_or.ok()) {
+        // A permanently failed extent cannot be read by trying again; surface it now
+        // so the caller (and the health machinery above) can act on it.
+        if (chunk_or.code() == StatusCode::kDiskFailed) {
+          return chunk_or.status();
+        }
         // A concurrent reclamation may have moved this chunk between the index lookup
         // and the read; refetch the record and try again. Persistent errors (injected
         // IO failures) surface after the retry budget.

@@ -36,6 +36,8 @@ struct ShardStoreOptions {
   uint32_t buffer_permits = ExtentManager::kDefaultBufferPermits;
   // Largest accepted shard value (split across this many chunks at most).
   size_t max_chunks_per_shard = 16;
+  // Transient-fault retry policy for the extent layer.
+  IoRetryOptions retry;
 };
 
 struct ShardStoreStats {

@@ -1,6 +1,9 @@
 #include "src/rpc/node_server.h"
 
+#include <algorithm>
+
 #include "src/common/cover.h"
+#include "src/common/rng.h"
 #include "src/faults/faults.h"
 
 namespace ss {
@@ -20,6 +23,7 @@ Result<std::unique_ptr<NodeServer>> NodeServer::Create(NodeServerOptions options
     }
     node->stores_.push_back(std::shared_ptr<ShardStore>(std::move(store_or).value()));
     node->in_service_.push_back(true);
+    node->health_.push_back(DiskHealth::kHealthy);
   }
   return node;
 }
@@ -47,46 +51,70 @@ std::shared_ptr<ShardStore> NodeServer::store(int disk) const {
   return stores_[disk];
 }
 
-Result<std::shared_ptr<ShardStore>> NodeServer::Route(ShardId id) const {
+Result<std::shared_ptr<ShardStore>> NodeServer::Route(ShardId id, bool mutating) const {
   const int disk = DiskFor(id);
   LockGuard lock(mu_);
   if (!in_service_[disk]) {
     return Status::Unavailable("disk out of service");
   }
+  if (health_[disk] == DiskHealth::kFailed) {
+    return Status::Unavailable("disk failed");
+  }
+  if (mutating && health_[disk] == DiskHealth::kDegraded) {
+    // Read-only mode: the disk's data is intact and keeps serving, but new writes
+    // would only grow the blast radius of a disk already burning error budget.
+    return Status::Unavailable("disk degraded (read-only)");
+  }
   return stores_[disk];
+}
+
+void NodeServer::AbsorbTrackerHealth(int disk, ShardStore& target) {
+  const DiskHealth observed = target.extents().health().health();
+  if (observed == DiskHealth::kHealthy) {
+    return;
+  }
+  LockGuard lock(mu_);
+  if (static_cast<int>(observed) > static_cast<int>(health_[disk])) {
+    health_[disk] = observed;
+    SS_COVER(observed == DiskHealth::kFailed ? "rpc.health_auto_failed"
+                                             : "rpc.health_auto_degraded");
+  }
 }
 
 Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
   const int disk = DiskFor(id);
-  std::shared_ptr<ShardStore> target;
-  {
-    LockGuard lock(mu_);
-    if (!in_service_[disk]) {
-      return Status::Unavailable("disk out of service");
-    }
-    target = stores_[disk];
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id, /*mutating=*/true));
+  auto dep_or = target->Put(id, value);
+  AbsorbTrackerHealth(disk, *target);
+  if (!dep_or.ok()) {
+    return dep_or.status();
   }
-  SS_ASSIGN_OR_RETURN(Dependency dep, target->Put(id, value));
   {
     LockGuard lock(mu_);
     directory_[id] = disk;
   }
-  return dep;
+  return dep_or;
 }
 
 Result<Bytes> NodeServer::Get(ShardId id) {
-  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id));
-  return target->Get(id);
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id, /*mutating=*/false));
+  auto got = target->Get(id);
+  AbsorbTrackerHealth(DiskFor(id), *target);
+  return got;
 }
 
 Result<Dependency> NodeServer::Delete(ShardId id) {
-  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id));
-  SS_ASSIGN_OR_RETURN(Dependency dep, target->Delete(id));
+  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id, /*mutating=*/true));
+  auto dep_or = target->Delete(id);
+  AbsorbTrackerHealth(DiskFor(id), *target);
+  if (!dep_or.ok()) {
+    return dep_or.status();
+  }
   {
     LockGuard lock(mu_);
     directory_.erase(id);
   }
-  return dep;
+  return dep_or;
 }
 
 Result<std::vector<ShardId>> NodeServer::ListShards() {
@@ -180,6 +208,7 @@ Status NodeServer::RestoreDisk(int disk) {
   LockGuard lock(mu_);
   stores_[disk] = shared;
   in_service_[disk] = true;
+  health_[disk] = DiskHealth::kHealthy;  // operator returned a repaired disk
   // Rebuild the directory entries this disk owns.
   for (ShardId id : ids) {
     directory_[id] = disk;
@@ -192,6 +221,10 @@ Status NodeServer::MigrateShard(ShardId id, int to_disk) {
     return Status::InvalidArgument("no such disk");
   }
   LockGuard control(control_mu_);
+  return MigrateShardLocked(id, to_disk);
+}
+
+Status NodeServer::MigrateShardLocked(ShardId id, int to_disk) {
   const int from_disk = DiskFor(id);
   std::shared_ptr<ShardStore> source;
   std::shared_ptr<ShardStore> target;
@@ -199,6 +232,12 @@ Status NodeServer::MigrateShard(ShardId id, int to_disk) {
     LockGuard lock(mu_);
     if (!in_service_[from_disk] || !in_service_[to_disk]) {
       return Status::Unavailable("source or target disk out of service");
+    }
+    if (health_[from_disk] == DiskHealth::kFailed) {
+      return Status::Unavailable("source disk failed; nothing readable to migrate");
+    }
+    if (from_disk != to_disk && health_[to_disk] != DiskHealth::kHealthy) {
+      return Status::Unavailable("target disk is not healthy");
     }
     source = stores_[from_disk];
     target = stores_[to_disk];
@@ -212,6 +251,9 @@ Status NodeServer::MigrateShard(ShardId id, int to_disk) {
   // exist, and the directory decides which one serves).
   SS_ASSIGN_OR_RETURN(Dependency copied, target->Put(id, value));
   (void)copied;
+  // The copy must be durable before routing commits: otherwise a crash of the target
+  // disk could lose a shard whose original write was already acknowledged persistent.
+  SS_RETURN_IF_ERROR(target->FlushAll());
   {
     LockGuard lock(mu_);
     if (!in_service_[to_disk]) {
@@ -221,7 +263,156 @@ Status NodeServer::MigrateShard(ShardId id, int to_disk) {
   }
   SS_ASSIGN_OR_RETURN(Dependency dropped, source->Delete(id));
   (void)dropped;
+  // The tombstone must be durable too: left memtable-only, a later crash of the source
+  // would resurrect the stale copy and recovery could re-register it.
+  SS_RETURN_IF_ERROR(source->FlushAll());
   SS_COVER("rpc.migrate_shard");
+  return Status::Ok();
+}
+
+DiskHealth NodeServer::Health(int disk) const {
+  LockGuard lock(mu_);
+  if (disk < 0 || disk >= static_cast<int>(health_.size())) {
+    return DiskHealth::kFailed;
+  }
+  return health_[disk];
+}
+
+Status NodeServer::MarkDiskDegraded(int disk) {
+  if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  LockGuard lock(mu_);
+  if (!in_service_[disk]) {
+    return Status::Unavailable("disk out of service");
+  }
+  if (health_[disk] == DiskHealth::kFailed) {
+    return Status::Unavailable("disk already failed");
+  }
+  health_[disk] = DiskHealth::kDegraded;
+  SS_COVER("rpc.mark_degraded");
+  return Status::Ok();
+}
+
+Status NodeServer::ResetDiskHealth(int disk) {
+  if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  LockGuard lock(mu_);
+  if (!in_service_[disk]) {
+    return Status::Unavailable("disk out of service");
+  }
+  health_[disk] = DiskHealth::kHealthy;
+  stores_[disk]->extents().health().Reset();
+  return Status::Ok();
+}
+
+Status NodeServer::EvacuateDisk(int disk) {
+  if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  LockGuard control(control_mu_);
+  std::shared_ptr<ShardStore> source;
+  {
+    LockGuard lock(mu_);
+    if (!in_service_[disk]) {
+      return Status::Unavailable("disk out of service");
+    }
+    if (health_[disk] == DiskHealth::kFailed) {
+      return Status::Unavailable("disk failed; nothing readable to evacuate");
+    }
+    source = stores_[disk];
+  }
+  SS_ASSIGN_OR_RETURN(std::vector<ShardId> ids, source->List());
+  std::vector<int> peers;
+  {
+    LockGuard lock(mu_);
+    for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
+      if (d != disk && in_service_[d] && health_[d] == DiskHealth::kHealthy) {
+        peers.push_back(d);
+      }
+    }
+  }
+  size_t next_peer = 0;
+  for (ShardId id : ids) {
+    if (DiskFor(id) != disk) {
+      continue;  // the directory already routes this shard elsewhere
+    }
+    if (peers.empty()) {
+      return Status::Unavailable("no healthy peer to evacuate onto");
+    }
+    // Round-robin over healthy peers; a full peer is skipped, any other failure
+    // aborts the evacuation (each migrated shard has already committed, so stopping
+    // midway leaves the node consistent — the disk is just not fully drained yet).
+    Status last = Status::Ok();
+    bool moved = false;
+    for (size_t k = 0; k < peers.size(); ++k) {
+      const int target = peers[(next_peer + k) % peers.size()];
+      last = MigrateShardLocked(id, target);
+      if (last.ok()) {
+        next_peer = (next_peer + k + 1) % peers.size();
+        moved = true;
+        break;
+      }
+      if (last.code() != StatusCode::kResourceExhausted) {
+        break;
+      }
+    }
+    if (!moved) {
+      return Status(last.code(), "evacuation stopped at shard " + std::to_string(id) +
+                                     ": " + last.message());
+    }
+  }
+  SS_COVER("rpc.evacuate_disk");
+  return Status::Ok();
+}
+
+Status NodeServer::CrashAndRecoverDisk(int disk, uint64_t crash_seed) {
+  if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
+    return Status::InvalidArgument("no such disk");
+  }
+  std::shared_ptr<ShardStore> target;
+  {
+    LockGuard lock(mu_);
+    if (!in_service_[disk]) {
+      return Status::Unavailable("disk out of service");
+    }
+    target = stores_[disk];
+    stores_[disk].reset();
+    in_service_[disk] = false;
+  }
+  Rng crash_rng(crash_seed);
+  target->scheduler().Crash(crash_rng, /*persist_bias=*/0.6);
+  target.reset();
+  // The reboot clears armed injector faults: they model conditions of the running
+  // controller, and the recovery read path (PeekPage) is not subject to injection.
+  disks_[disk]->fault_injector().Clear();
+  auto reopened = ShardStore::Open(disks_[disk].get(), options_.store);
+  if (!reopened.ok()) {
+    return reopened.status();
+  }
+  std::shared_ptr<ShardStore> shared(std::move(reopened).value());
+  SS_ASSIGN_OR_RETURN(std::vector<ShardId> ids, shared->List());
+  LockGuard lock(mu_);
+  stores_[disk] = shared;
+  in_service_[disk] = true;
+  health_[disk] = DiskHealth::kHealthy;
+  // Directory reconciliation: entries for shards the crash lost are dropped (so later
+  // puts fall back to hash placement), survivors re-registered.
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    if (it->second == disk &&
+        std::find(ids.begin(), ids.end(), it->first) == ids.end()) {
+      it = directory_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Survivors need no re-registration: their entries were kept above, and a survivor
+  // *without* an entry is a deleted shard the crash resurrected (its tombstone lived
+  // in the dropped memtable, with routing either already erased or pointing at the
+  // disk that now owns the delete). Re-adding an entry would hand the stale copy the
+  // routing back.
+  SS_COVER("rpc.crash_recover_disk");
   return Status::Ok();
 }
 

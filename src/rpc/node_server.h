@@ -5,6 +5,13 @@
 // control-plane operations S3 uses for migration and repair: listing shards, taking a
 // disk out of service / returning it, and bulk create/remove.
 //
+// Disk failure domain: each disk additionally carries a health state
+// (healthy -> degraded -> failed) merged from its store's error-budget tracker and
+// from explicit control-plane marks. Degraded disks are read-only — Get still serves,
+// Put/Delete fail with kUnavailable — and EvacuateDisk drains their shards onto
+// healthy peers with the same crash-safe commit order as MigrateShard (copy, commit
+// the routing change, tombstone the source). Failed disks serve nothing.
+//
 // Seeded bugs hosted here: #4 (removal skips the clean shutdown, so a removed-and-
 // returned disk loses recent shards), #13 (the shard listing releases its lock midway
 // and resumes by element count, missing entries that a concurrent removal shifted), and
@@ -50,8 +57,36 @@ class NodeServer {
 
   // Migrates one shard to another in-service disk (the control plane's repair /
   // rebalance primitive): copy to the target, commit the routing change, tombstone the
-  // source. Both disks must be in service; migrating to the current owner is a no-op.
+  // source. Both disks must be in service; the target must additionally be healthy
+  // (never migrate onto a disk already burning error budget), while the source may be
+  // degraded — that is exactly the evacuation path. Migrating to the current owner is
+  // a no-op.
   Status MigrateShard(ShardId id, int to_disk);
+
+  // --- Disk failure domain -------------------------------------------------------------
+  // Current health of a disk (kFailed for out-of-range disks).
+  DiskHealth Health(int disk) const;
+
+  // Control-plane mark: healthy -> degraded (read-only). Idempotent on an already
+  // degraded disk; refuses on a failed one.
+  Status MarkDiskDegraded(int disk);
+
+  // Operator action after repair: back to healthy with a fresh error budget (also
+  // resets the store's tracker). The disk must be in service.
+  Status ResetDiskHealth(int disk);
+
+  // Drains every shard this disk owns onto healthy in-service peers (round-robin,
+  // skipping peers that report full). The source must be readable (in service, not
+  // failed); this is the expected follow-up to a degraded mark. Built on the
+  // MigrateShard commit order, so a crash mid-evacuation never loses a shard.
+  Status EvacuateDisk(int disk);
+
+  // Dirty per-disk reboot: crashes the store's IO scheduler at a dependency-allowed
+  // crash state drawn from `crash_seed`, then recovers from the persistent image.
+  // Armed injector faults are cleared (they model conditions of the running
+  // controller), health returns to healthy, and the routing directory is reconciled:
+  // entries for shards the crash lost are dropped, survivors re-registered.
+  Status CrashAndRecoverDisk(int disk, uint64_t crash_seed);
 
   // Atomic bulk operations: observers see either none or all of the batch applied
   // (relative to other bulk operations).
@@ -68,19 +103,30 @@ class NodeServer {
   bool InService(int disk) const;
   // Per-disk access for tests/examples (nullptr when out of service).
   std::shared_ptr<ShardStore> store(int disk) const;
+  // The disk's persistent image + fault injector (valid even when out of service).
+  InMemoryDisk& disk_image(int disk) { return *disks_[disk]; }
 
  private:
   explicit NodeServer(NodeServerOptions options);
 
-  // Snapshot the store for a shard, checking service state.
-  Result<std::shared_ptr<ShardStore>> Route(ShardId id) const;
+  // Snapshot the store for a shard, checking service state and health (a degraded
+  // disk refuses mutating requests, a failed disk refuses everything).
+  Result<std::shared_ptr<ShardStore>> Route(ShardId id, bool mutating) const;
+
+  // Merge the store's error-budget tracker into the disk's health state (transitions
+  // are sticky: the merge only ever moves health toward failed).
+  void AbsorbTrackerHealth(int disk, ShardStore& target);
+
+  // MigrateShard body; caller holds control_mu_.
+  Status MigrateShardLocked(ShardId id, int to_disk);
 
   NodeServerOptions options_;
   std::vector<std::unique_ptr<InMemoryDisk>> disks_;
 
-  mutable Mutex mu_;  // service state + directory
+  mutable Mutex mu_;  // service state + health + directory
   std::vector<std::shared_ptr<ShardStore>> stores_;
   std::vector<bool> in_service_;
+  std::vector<DiskHealth> health_;
   std::map<ShardId, int> directory_;  // live shards -> owning disk
 
   Mutex control_mu_;  // serializes bulk control-plane operations

@@ -5,8 +5,12 @@
 
 namespace ss {
 
-ExtentManager::ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler, uint32_t buffer_permits)
-    : disk_(disk), scheduler_(scheduler), buffer_pool_(buffer_permits) {
+ExtentManager::ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler, uint32_t buffer_permits,
+                             IoRetryOptions retry)
+    : disk_(disk), scheduler_(scheduler), retry_(retry), buffer_pool_(buffer_permits) {
+  if (retry_.max_attempts == 0) {
+    retry_.max_attempts = 1;
+  }
   const DiskGeometry& geo = disk_->geometry();
   extents_.resize(geo.extent_count);
   for (ExtentId e = 0; e < geo.extent_count; ++e) {
@@ -31,6 +35,66 @@ Status ExtentManager::CheckExtent(ExtentId extent) const {
     return Status::InvalidArgument("extent out of range (extent 0 is the superblock)");
   }
   return Status::Ok();
+}
+
+Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
+  DiskFaultInjector& faults = disk_->fault_injector();
+  // Permanent failures are classified before any attempt: retrying a dead extent only
+  // wastes the error budget that the health machinery spends on real transients.
+  if (faults.IsPermanentlyFailed(extent)) {
+    {
+      LockGuard lock(retry_mu_);
+      ++retry_stats_.attempts;
+      ++retry_stats_.permanent_failures;
+    }
+    health_.RecordPermanentError();
+    return Status::DiskFailed(is_write ? "append: extent failed permanently"
+                                       : "read: extent failed permanently");
+  }
+  for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    const bool failed =
+        is_write ? faults.ShouldFailWrite(extent) : faults.ShouldFailRead(extent);
+    {
+      LockGuard lock(retry_mu_);
+      ++retry_stats_.attempts;
+      if (failed) {
+        ++retry_stats_.transient_faults;
+      } else if (attempt > 0) {
+        ++retry_stats_.absorbed_faults;
+      }
+    }
+    if (!failed) {
+      health_.RecordSuccess();
+      if (attempt > 0) {
+        SS_COVER("extent_manager.retry_absorbed_fault");
+      }
+      return Status::Ok();
+    }
+    health_.RecordTransientError();
+    if (attempt + 1 < retry_.max_attempts) {
+      // Deterministic exponential backoff on the virtual clock: 1, 2, 4, ... base
+      // ticks. No wall-clock sleep — harness runs must stay instantaneous.
+      LockGuard lock(retry_mu_);
+      virtual_clock_ += retry_.backoff_base_ticks << attempt;
+    }
+  }
+  {
+    LockGuard lock(retry_mu_);
+    ++retry_stats_.exhausted_budgets;
+  }
+  SS_COVER("extent_manager.retry_budget_exhausted");
+  return Status::IoError(is_write ? "append: transient write faults outlasted retry budget"
+                                  : "read: transient read faults outlasted retry budget");
+}
+
+IoRetryStats ExtentManager::retry_stats() const {
+  LockGuard lock(retry_mu_);
+  return retry_stats_;
+}
+
+uint64_t ExtentManager::VirtualNow() const {
+  LockGuard lock(retry_mu_);
+  return virtual_clock_;
 }
 
 uint32_t ExtentManager::PagesNeeded(size_t bytes) const {
@@ -67,11 +131,12 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
     buffer_pool_.Release(2);
     return Status::ResourceExhausted("extent full");
   }
-  // Synchronous write-failure surface: a failed append reports kIoError to the caller
+  // Synchronous write-failure surface: a failed append reports the classified error
+  // (kIoError past the retry budget, kDiskFailed for permanent faults) to the caller
   // and stages nothing (section 4.4 failure injection).
-  if (disk_->fault_injector().ShouldFailWrite(extent)) {
+  if (Status io = CheckIo(extent, /*is_write=*/true); !io.ok()) {
     buffer_pool_.Release(2);
-    return Status::IoError("append: injected write failure");
+    return io;
   }
 
   AppendResult result;
@@ -129,9 +194,7 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
 Result<Bytes> ExtentManager::Read(ExtentId extent, uint32_t first_page,
                                   uint32_t page_count) const {
   SS_RETURN_IF_ERROR(CheckExtent(extent));
-  if (disk_->fault_injector().ShouldFailRead(extent)) {
-    return Status::IoError("read: injected read failure");
-  }
+  SS_RETURN_IF_ERROR(CheckIo(extent, /*is_write=*/false));
   LockGuard lock(mu_);
   const ExtentState& state = extents_[extent];
   if (uint64_t{first_page} + page_count > state.wp) {

@@ -32,6 +32,7 @@
 #include "src/dep/dependency.h"
 #include "src/dep/io_scheduler.h"
 #include "src/disk/disk.h"
+#include "src/disk/disk_health.h"
 #include "src/sync/sync.h"
 
 namespace ss {
@@ -44,6 +45,26 @@ struct AppendResult {
   Dependency dep;
 };
 
+// Bounded-retry policy for transient IO faults. Backoff is driven by a *virtual*
+// clock — a monotonic tick counter the manager advances by the backoff amount instead
+// of sleeping — so harness runs stay deterministic and instantaneous while tests can
+// still assert that escalation paid the full exponential schedule.
+struct IoRetryOptions {
+  // Total attempts per IO (1 initial + max_attempts-1 retries). 0 is treated as 1.
+  uint32_t max_attempts = 3;
+  // Virtual ticks charged before the first retry; doubles per subsequent retry.
+  uint64_t backoff_base_ticks = 1;
+};
+
+// Lifetime counters for the retry layer (diagnostics, tests, benches).
+struct IoRetryStats {
+  uint64_t attempts = 0;          // every injector consultation
+  uint64_t transient_faults = 0;  // attempts that failed transiently
+  uint64_t absorbed_faults = 0;   // IOs that succeeded after >= 1 retry
+  uint64_t exhausted_budgets = 0; // IOs that escalated kIoError after all attempts
+  uint64_t permanent_failures = 0;// IOs refused with kDiskFailed
+};
+
 class ExtentManager {
  public:
   // Buffer-pool permits available for in-flight superblock/data staging. Two permits are
@@ -54,7 +75,7 @@ class ExtentManager {
   // Builds the manager over (possibly freshly recovered) disk state: write pointers come
   // from the persisted superblock soft pointers, extent images from the disk pages.
   ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler,
-                uint32_t buffer_permits = kDefaultBufferPermits);
+                uint32_t buffer_permits = kDefaultBufferPermits, IoRetryOptions retry = {});
 
   // --- Data path ----------------------------------------------------------------------
   // Appends `data` (1..extent-size bytes) at the write pointer. The write is staged
@@ -94,6 +115,14 @@ class ExtentManager {
   IoScheduler& scheduler() { return *scheduler_; }
   InMemoryDisk& disk() { return *disk_; }
 
+  // --- Failure domain -----------------------------------------------------------------
+  // Error-budget tracker fed by the retry loop; NodeServer's routing policy reads it.
+  DiskHealthTracker& health() { return health_; }
+  const DiskHealthTracker& health() const { return health_; }
+  IoRetryStats retry_stats() const;
+  // Current virtual time (ticks charged by retry backoff so far).
+  uint64_t VirtualNow() const;
+
  private:
   struct ExtentState {
     uint32_t wp = 0;                 // volatile write pointer (pages)
@@ -106,12 +135,21 @@ class ExtentManager {
 
   Status CheckExtent(ExtentId extent) const;
   Dependency ResetLocked(ExtentId extent, Dependency input);
+  // Consults the fault injector for one logical IO on `extent`, retrying transient
+  // faults up to the attempt budget with exponential virtual-clock backoff. Returns
+  // Ok, kDiskFailed (permanent, no retries), or kIoError (budget exhausted).
+  Status CheckIo(ExtentId extent, bool is_write) const;
 
   InMemoryDisk* disk_;
   IoScheduler* scheduler_;
+  IoRetryOptions retry_;
   mutable Mutex mu_;
   std::vector<ExtentState> extents_;
   Semaphore buffer_pool_;
+  mutable DiskHealthTracker health_;
+  mutable Mutex retry_mu_;  // guards the retry stats + virtual clock
+  mutable IoRetryStats retry_stats_;
+  mutable uint64_t virtual_clock_ = 0;
 };
 
 }  // namespace ss

@@ -75,10 +75,22 @@ TEST_F(BufferCacheTest, DrainExtentRemovesOnlyThatExtent) {
 
 TEST_F(BufferCacheTest, ReadErrorIsNotCached) {
   AppendPages(1, 0x77);
-  disk_.fault_injector().FailReadOnce(extent_);
+  // Burst past the extent layer's retry budget so the error surfaces to the cache.
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailReadTimes(extent_, IoRetryOptions{}.max_attempts);
   EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).code(), StatusCode::kIoError);
   EXPECT_EQ(cache_.CachedPages(), 0u);
   EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).value()[0], 0x77);
+}
+
+TEST_F(BufferCacheTest, AbsorbedBlipStillFillsCache) {
+  AppendPages(1, 0x79);
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailReadOnce(extent_);
+  // A single blip is retried away below the cache; the miss fills normally.
+  EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).value()[0], 0x79);
+  EXPECT_EQ(cache_.CachedPages(), 1u);
+  EXPECT_GE(extents_.retry_stats().absorbed_faults, 1u);
 }
 
 TEST_F(BufferCacheTest, ReadBeyondWritePointerPropagates) {

@@ -225,18 +225,20 @@ TEST_F(ChunkStoreTest, ReclaimAbortsOnReadError) {
   MapReclaimClient client;
   const Locator live = PutAndUnpin(BytesOf("live"));
   client.refs[live] = BytesOf("live");
-  disk_.fault_injector().FailReadOnce(live.extent);
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailReadTimes(live.extent, IoRetryOptions{}.max_attempts);
   EXPECT_EQ(chunks_.Reclaim(live.extent, &client).code(), StatusCode::kIoError);
   // The chunk survived the aborted reclaim.
   EXPECT_EQ(chunks_.Get(live).value(), BytesOf("live"));
 }
 
 TEST_F(ChunkStoreTest, Bug5DropsChunkOnReadError) {
-  ScopedBug bug(SeededBug::kReclaimForgetsChunkOnReadError);
+  ScopedSeededBug bug(SeededBug::kReclaimForgetsChunkOnReadError);
   MapReclaimClient client;
   const Locator live = PutAndUnpin(BytesOf("live"));
   client.refs[live] = BytesOf("live");
-  disk_.fault_injector().FailReadOnce(live.extent);
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailReadTimes(live.extent, IoRetryOptions{}.max_attempts);
   ASSERT_TRUE(chunks_.Reclaim(live.extent, &client).ok());  // "succeeds", wrongly
   // The chunk was forgotten: reference unchanged but the extent was reset.
   EXPECT_EQ(client.refs.begin()->first, live);

@@ -1,0 +1,169 @@
+// Disk-failure-domain tests: the fault-alphabet PBT harness (transient bursts,
+// permanent faults, degrade/evacuate, crash-reboots) plus directed scenarios for the
+// health state machine, read-only degradation, and evacuation.
+
+#include <gtest/gtest.h>
+
+#include "src/common/cover.h"
+#include "src/faults/faults.h"
+#include "src/harness/failure_harness.h"
+
+namespace ss {
+namespace {
+
+// --- Directed scenarios -------------------------------------------------------------
+
+class DiskFailureDomainTest : public testing::Test {
+ protected:
+  DiskFailureDomainTest() {
+    FaultRegistry::Global().DisableAll();
+    NodeServerOptions options;
+    options.disk_count = 3;
+    options.geometry = DiskGeometry{.extent_count = 16, .pages_per_extent = 16,
+                                    .page_size = 256};
+    node_ = std::move(NodeServer::Create(options).value());
+  }
+
+  // A shard id routed to `disk`.
+  ShardId ShardOn(int disk) {
+    ShardId id = 0;
+    while (node_->DiskFor(id) != disk) {
+      ++id;
+    }
+    return id;
+  }
+
+  std::unique_ptr<NodeServer> node_;
+};
+
+TEST_F(DiskFailureDomainTest, DegradedDiskIsReadOnly) {
+  const ShardId id = ShardOn(0);
+  ASSERT_TRUE(node_->Put(id, BytesOf("before")).ok());
+  ASSERT_TRUE(node_->MarkDiskDegraded(0).ok());
+  EXPECT_EQ(node_->Health(0), DiskHealth::kDegraded);
+  // Reads still serve; mutations are refused.
+  EXPECT_EQ(node_->Get(id).value(), BytesOf("before"));
+  EXPECT_EQ(node_->Put(id, BytesOf("after")).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(node_->Delete(id).code(), StatusCode::kUnavailable);
+  // Back to healthy: mutations work again.
+  ASSERT_TRUE(node_->ResetDiskHealth(0).ok());
+  EXPECT_TRUE(node_->Put(id, BytesOf("after")).ok());
+  EXPECT_EQ(node_->Get(id).value(), BytesOf("after"));
+}
+
+TEST_F(DiskFailureDomainTest, EvacuateDegradedDiskKeepsServingEveryShard) {
+  std::map<ShardId, Bytes> contents;
+  for (ShardId id = 0; id < 24; ++id) {
+    Bytes value = BytesOf("value-" + std::to_string(id));
+    ASSERT_TRUE(node_->Put(id, value).ok());
+    contents[id] = value;
+  }
+  ASSERT_TRUE(node_->MarkDiskDegraded(0).ok());
+  ASSERT_TRUE(node_->EvacuateDisk(0).ok());
+  // Nothing routes to the degraded disk any more and every shard still serves.
+  for (const auto& [id, value] : contents) {
+    EXPECT_NE(node_->DiskFor(id), 0) << "shard " << id << " left on the degraded disk";
+    EXPECT_EQ(node_->Get(id).value(), value);
+  }
+  // The drained disk's store is empty.
+  EXPECT_EQ(node_->store(0)->List().value().size(), 0u);
+}
+
+TEST_F(DiskFailureDomainTest, PermanentFaultFailsHealthAndGatesTheDisk) {
+  const ShardId id = ShardOn(1);
+  ASSERT_TRUE(node_->Put(id, BytesOf("v")).ok());
+  // Fail every extent: whichever chunk the shard landed in is dead.
+  ScopedFault guard(node_->disk_image(1).fault_injector());
+  for (ExtentId e = 1; e < 16; ++e) {
+    node_->disk_image(1).fault_injector().FailAlways(e, true);
+  }
+  EXPECT_EQ(node_->Get(id).code(), StatusCode::kDiskFailed);
+  // The error-budget tracker propagated into the node's health state.
+  EXPECT_EQ(node_->Health(1), DiskHealth::kFailed);
+  // A failed disk serves nothing, reads included.
+  EXPECT_EQ(node_->Get(id).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(node_->Put(id, BytesOf("w")).code(), StatusCode::kUnavailable);
+  // Repair: clear the faults, reset health — data was never lost.
+  node_->disk_image(1).fault_injector().Clear();
+  ASSERT_TRUE(node_->ResetDiskHealth(1).ok());
+  EXPECT_EQ(node_->Get(id).value(), BytesOf("v"));
+}
+
+TEST_F(DiskFailureDomainTest, CrashRebootKeepsFlushedDataAndClearsFaults) {
+  const ShardId id = ShardOn(2);
+  ASSERT_TRUE(node_->Put(id, BytesOf("durable")).ok());
+  ASSERT_TRUE(node_->FlushAllDisks().ok());
+  node_->disk_image(2).fault_injector().FailAlways(3, true);
+  ASSERT_TRUE(node_->CrashAndRecoverDisk(2, /*crash_seed=*/7).ok());
+  EXPECT_EQ(node_->Health(2), DiskHealth::kHealthy);
+  EXPECT_FALSE(node_->disk_image(2).fault_injector().AnyArmed());
+  EXPECT_EQ(node_->Get(id).value(), BytesOf("durable"));
+}
+
+TEST_F(DiskFailureDomainTest, MigrationIsDurableAgainstTargetCrash) {
+  const ShardId id = ShardOn(0);
+  ASSERT_TRUE(node_->Put(id, BytesOf("moved")).ok());
+  ASSERT_TRUE(node_->MigrateShard(id, 1).ok());
+  ASSERT_EQ(node_->DiskFor(id), 1);
+  // The migrated copy was flushed before the routing commit: an immediate crash of
+  // the target cannot lose it.
+  ASSERT_TRUE(node_->CrashAndRecoverDisk(1, /*crash_seed=*/11).ok());
+  EXPECT_EQ(node_->DiskFor(id), 1);
+  EXPECT_EQ(node_->Get(id).value(), BytesOf("moved"));
+}
+
+TEST_F(DiskFailureDomainTest, SourceCrashDoesNotResurrectMigratedShard) {
+  const ShardId id = ShardOn(0);
+  ASSERT_TRUE(node_->Put(id, BytesOf("v1")).ok());
+  ASSERT_TRUE(node_->MigrateShard(id, 1).ok());
+  ASSERT_TRUE(node_->Put(id, BytesOf("v2")).ok());  // newer value on the target
+  // Crash the source: its flushed tombstone must keep the stale v1 copy from
+  // stealing routing back.
+  ASSERT_TRUE(node_->CrashAndRecoverDisk(0, /*crash_seed=*/13).ok());
+  EXPECT_EQ(node_->DiskFor(id), 1);
+  EXPECT_EQ(node_->Get(id).value(), BytesOf("v2"));
+}
+
+// --- The fault-alphabet property ----------------------------------------------------
+
+std::string Describe(const PbtFailure<FailureOp>& failure) {
+  std::string out = failure.message + "\n  minimized:";
+  for (const FailureOp& op : failure.minimized) {
+    out += "\n    " + op.ToString();
+  }
+  return out;
+}
+
+class FailureSeeds : public testing::TestWithParam<uint64_t> {
+ protected:
+  FailureSeeds() { FaultRegistry::Global().DisableAll(); }
+};
+
+TEST_P(FailureSeeds, FaultAlphabetHarnessPasses) {
+  FailureConformanceHarness harness{FailureHarnessOptions{}};
+  auto runner = harness.MakeRunner({.seed = GetParam(), .num_cases = 170, .max_ops = 50});
+  auto failure = runner.Run();
+  ASSERT_FALSE(failure.has_value()) << Describe(*failure);
+  // Three seeds x 170 cases = 510 mixed op/fault cases with zero violations.
+  EXPECT_EQ(runner.stats().cases_run, 170u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSeeds, testing::Values(1u, 2u, 3u));
+
+TEST(FailureCoverage, HarnessReachesTheInterestingPaths) {
+  Coverage::Global().Reset();
+  FailureConformanceHarness harness{FailureHarnessOptions{}};
+  auto runner = harness.MakeRunner({.seed = 99, .num_cases = 120, .max_ops = 50});
+  auto failure = runner.Run();
+  ASSERT_FALSE(failure.has_value()) << Describe(*failure);
+  // Retries both absorbed blips and exhausted budgets; health auto-transitions,
+  // evacuations and crash-reboots all actually happened.
+  EXPECT_GT(Coverage::Global().Count("extent_manager.retry_absorbed_fault"), 0u);
+  EXPECT_GT(Coverage::Global().Count("extent_manager.retry_budget_exhausted"), 0u);
+  EXPECT_GT(Coverage::Global().Count("rpc.evacuate_disk"), 0u);
+  EXPECT_GT(Coverage::Global().Count("rpc.crash_recover_disk"), 0u);
+  EXPECT_GT(Coverage::Global().Count("rpc.migrate_shard"), 0u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,7 +1,10 @@
-// Unit tests for the seeded-bug registry.
+// Unit tests for the seeded-bug registry and the disk fault injector.
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "src/disk/disk.h"
 #include "src/faults/faults.h"
 
 namespace ss {
@@ -56,6 +59,114 @@ TEST(Faults, DisableAllClearsEverything) {
   FaultRegistry::Global().DisableAll();
   for (int b = 0; b < kSeededBugCount; ++b) {
     EXPECT_FALSE(BugEnabled(static_cast<SeededBug>(b)));
+  }
+}
+
+TEST(Faults, ScopedSeededBugSurvivesEarlyExit) {
+  // The guard must clean up even when the scope unwinds through a return/throw path.
+  auto body = [] {
+    ScopedSeededBug scope(SeededBug::kListRemoveRace);
+    EXPECT_TRUE(BugEnabled(SeededBug::kListRemoveRace));
+    return;  // early exit; destructor still runs
+  };
+  body();
+  EXPECT_FALSE(BugEnabled(SeededBug::kListRemoveRace));
+}
+
+// --- DiskFaultInjector edge cases ----------------------------------------------------
+
+TEST(FaultInjector, PermanentBeatsOneShotOnSameExtent) {
+  DiskFaultInjector injector;
+  injector.FailReadOnce(3);
+  injector.FailAlways(3, true);
+  // FailAlways wins on every attempt; the one-shot entry is not what gates the extent.
+  EXPECT_TRUE(injector.IsPermanentlyFailed(3));
+  EXPECT_TRUE(injector.ShouldFailRead(3));
+  EXPECT_TRUE(injector.ShouldFailRead(3));
+  EXPECT_TRUE(injector.ShouldFailRead(3));
+  // Disarming the permanent fault exposes the (still armed) one-shot, which then
+  // consumes itself.
+  injector.FailAlways(3, false);
+  EXPECT_FALSE(injector.IsPermanentlyFailed(3));
+  EXPECT_TRUE(injector.ShouldFailRead(3));
+  EXPECT_FALSE(injector.ShouldFailRead(3));
+}
+
+TEST(FaultInjector, ClearMidSequenceDropsRemainingBurst) {
+  DiskFaultInjector injector;
+  injector.FailReadTimes(2, 4);
+  EXPECT_TRUE(injector.ShouldFailRead(2));
+  EXPECT_TRUE(injector.ShouldFailRead(2));
+  injector.Clear();
+  // The two unconsumed entries are gone, as is everything else armed.
+  EXPECT_FALSE(injector.ShouldFailRead(2));
+  EXPECT_FALSE(injector.AnyArmed());
+}
+
+TEST(FaultInjector, ReadAndWriteBurstsAreIndependent) {
+  DiskFaultInjector injector;
+  injector.FailReadTimes(1, 2);
+  injector.FailWriteTimes(1, 1);
+  EXPECT_TRUE(injector.ShouldFailWrite(1));
+  EXPECT_FALSE(injector.ShouldFailWrite(1));  // write burst exhausted
+  EXPECT_TRUE(injector.ShouldFailRead(1));    // read burst untouched by write consumption
+  EXPECT_TRUE(injector.ShouldFailRead(1));
+  EXPECT_FALSE(injector.ShouldFailRead(1));
+}
+
+TEST(FaultInjector, ConcurrentArmingFromTwoThreadsLosesNothing) {
+  DiskFaultInjector injector;
+  constexpr int kPerThread = 200;
+  std::thread a([&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      injector.FailReadOnce(1);
+    }
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      injector.FailReadOnce(1);
+    }
+  });
+  a.join();
+  b.join();
+  // Every armed entry is consumable exactly once.
+  int fired = 0;
+  while (injector.ShouldFailRead(1)) {
+    ++fired;
+  }
+  EXPECT_EQ(fired, 2 * kPerThread);
+  EXPECT_FALSE(injector.AnyArmed());
+}
+
+TEST(FaultInjector, ScopedFaultClearsOnScopeExit) {
+  DiskFaultInjector injector;
+  {
+    ScopedFault guard(injector);
+    injector.FailAlways(5, true);
+    injector.FailWriteTimes(2, 3);
+    EXPECT_TRUE(injector.AnyArmed());
+  }
+  EXPECT_FALSE(injector.AnyArmed());
+  EXPECT_FALSE(injector.IsPermanentlyFailed(5));
+}
+
+TEST(FaultInjector, FailureRatesAreDeterministicPerSeed) {
+  DiskFaultInjector injector;
+  injector.SetFailureRates(/*read_rate=*/0.5, /*write_rate=*/0.0, /*seed=*/42);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(injector.ShouldFailRead(1));
+  }
+  // Same seed, same coin flips.
+  injector.SetFailureRates(0.5, 0.0, 42);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(injector.ShouldFailRead(1), first[i]) << "flip " << i;
+  }
+  // Writes never fail at rate 0; Clear() zeroes the rates.
+  EXPECT_FALSE(injector.ShouldFailWrite(1));
+  injector.Clear();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(injector.ShouldFailRead(1));
   }
 }
 

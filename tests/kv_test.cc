@@ -187,14 +187,40 @@ TEST_F(ShardStoreTest, CompactionPreservesData) {
 }
 
 TEST_F(ShardStoreTest, InjectedWriteFailureIsAtomicNoOp) {
-  // Arm a write failure against the extent the next put will use.
+  // Arm a write-failure burst (outlasting the retry budget) against the extent the
+  // next put will use.
   ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
   auto record = store_->index().Get(1).value();
   const ExtentId target = record->chunks[0].extent;
-  disk_.fault_injector().FailWriteOnce(target);
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailWriteTimes(target, options_.retry.max_attempts);
   EXPECT_EQ(store_->Put(2, ValueOf(2, 10)).code(), StatusCode::kIoError);
   EXPECT_EQ(store_->Get(2).code(), StatusCode::kNotFound);
   EXPECT_EQ(store_->Get(1).value(), ValueOf(1, 10));  // old data unaffected
+}
+
+TEST_F(ShardStoreTest, TransientBlipIsInvisibleToTheApi) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
+  auto record = store_->index().Get(1).value();
+  const ExtentId target = record->chunks[0].extent;
+  ScopedFault guard(disk_.fault_injector());
+  // A blip shorter than the retry budget never reaches the KV API.
+  disk_.fault_injector().FailWriteOnce(target);
+  EXPECT_TRUE(store_->Put(2, ValueOf(2, 10)).ok());
+  disk_.fault_injector().FailReadOnce(target);
+  EXPECT_EQ(store_->Get(1).value(), ValueOf(1, 10));
+  EXPECT_GE(store_->extents().retry_stats().absorbed_faults, 1u);
+}
+
+TEST_F(ShardStoreTest, PermanentFaultSurfacesDiskFailed) {
+  ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
+  auto record = store_->index().Get(1).value();
+  const ExtentId target = record->chunks[0].extent;
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailAlways(target, true);
+  // Reads of the failed extent classify as permanent, not transient.
+  EXPECT_EQ(store_->Get(1).code(), StatusCode::kDiskFailed);
+  EXPECT_EQ(store_->extents().health().health(), DiskHealth::kFailed);
 }
 
 TEST_F(ShardStoreTest, DiskFullSurfacesResourceExhausted) {

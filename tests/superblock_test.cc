@@ -185,20 +185,101 @@ TEST_F(ExtentManagerTest, ClaimResetsStaleFreeExtent) {
 
 TEST_F(ExtentManagerTest, InjectedWriteFailureSurfacesSynchronously) {
   const ExtentId e = Claim();
-  disk_.fault_injector().FailWriteOnce(e);
+  // A burst longer than the retry budget must surface to the caller.
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailWriteTimes(e, IoRetryOptions{}.max_attempts);
   EXPECT_EQ(extents_.Append(e, BytesOf("x"), Dependency()).code(), StatusCode::kIoError);
   // Nothing staged: the write pointer did not move.
   EXPECT_EQ(extents_.WritePointer(e), 0u);
   // Next append succeeds.
   EXPECT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
+  EXPECT_GE(extents_.retry_stats().exhausted_budgets, 1u);
 }
 
 TEST_F(ExtentManagerTest, InjectedReadFailureSurfaces) {
   const ExtentId e = Claim();
   ASSERT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
-  disk_.fault_injector().FailReadOnce(e);
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailReadTimes(e, IoRetryOptions{}.max_attempts);
   EXPECT_EQ(extents_.Read(e, 0, 1).code(), StatusCode::kIoError);
   EXPECT_TRUE(extents_.Read(e, 0, 1).ok());
+}
+
+TEST_F(ExtentManagerTest, SingleBlipIsAbsorbedByRetry) {
+  const ExtentId e = Claim();
+  ScopedFault guard(disk_.fault_injector());
+  // One-shot faults (burst < retry budget) are retried away transparently.
+  disk_.fault_injector().FailWriteOnce(e);
+  EXPECT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
+  disk_.fault_injector().FailReadOnce(e);
+  EXPECT_TRUE(extents_.Read(e, 0, 1).ok());
+  EXPECT_GE(extents_.retry_stats().absorbed_faults, 2u);
+  EXPECT_EQ(extents_.retry_stats().exhausted_budgets, 0u);
+  // Backoff advanced the deterministic virtual clock, not the wall clock.
+  EXPECT_GT(extents_.VirtualNow(), 0u);
+  EXPECT_EQ(extents_.health().health(), DiskHealth::kHealthy);
+}
+
+TEST_F(ExtentManagerTest, PermanentFaultShortCircuitsAsDiskFailed) {
+  const ExtentId e = Claim();
+  ASSERT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
+  ScopedFault guard(disk_.fault_injector());
+  disk_.fault_injector().FailAlways(e, true);
+  const uint64_t attempts_before = extents_.retry_stats().attempts;
+  EXPECT_EQ(extents_.Read(e, 0, 1).code(), StatusCode::kDiskFailed);
+  // Permanent faults are not retried: one classifying attempt, no retry loop.
+  EXPECT_EQ(extents_.retry_stats().attempts, attempts_before + 1);
+  EXPECT_EQ(extents_.health().health(), DiskHealth::kFailed);
+  EXPECT_GE(extents_.retry_stats().permanent_failures, 1u);
+}
+
+TEST_F(ExtentManagerTest, RepeatedBurstsDegradeThenFailHealth) {
+  ExtentManager em(&disk_, &scheduler_, ExtentManager::kDefaultBufferPermits,
+                   IoRetryOptions{.max_attempts = 2, .backoff_base_ticks = 1});
+  const ExtentId e = em.ClaimExtent(ExtentOwner::kChunkData).value();
+  ASSERT_TRUE(em.Append(e, BytesOf("x"), Dependency()).ok());
+  ScopedFault guard(disk_.fault_injector());
+  const DiskHealthOptions budget;  // default thresholds
+  // Each surfaced burst burns `max_attempts` transient errors from the window.
+  while (em.health().health() == DiskHealth::kHealthy) {
+    disk_.fault_injector().FailReadTimes(e, 2);
+    EXPECT_EQ(em.Read(e, 0, 1).code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(em.health().health(), DiskHealth::kDegraded);
+  EXPECT_GE(em.health().windowed_errors(), budget.degrade_after);
+  while (em.health().health() == DiskHealth::kDegraded) {
+    disk_.fault_injector().FailReadTimes(e, 2);
+    EXPECT_EQ(em.Read(e, 0, 1).code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(em.health().health(), DiskHealth::kFailed);
+  EXPECT_EQ(em.health().budget_remaining(), 0u);
+  // Health transitions are sticky: successes never promote back...
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(em.Read(e, 0, 1).ok());
+  }
+  EXPECT_EQ(em.health().health(), DiskHealth::kFailed);
+  // ...only an explicit operator reset does.
+  em.health().Reset();
+  EXPECT_EQ(em.health().health(), DiskHealth::kHealthy);
+  EXPECT_EQ(em.health().windowed_errors(), 0u);
+}
+
+TEST_F(ExtentManagerTest, SuccessesDecayTheErrorWindow) {
+  const ExtentId e = Claim();
+  ASSERT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
+  ScopedFault guard(disk_.fault_injector());
+  // Two absorbed blips put two errors in the window.
+  disk_.fault_injector().FailReadOnce(e);
+  ASSERT_TRUE(extents_.Read(e, 0, 1).ok());
+  disk_.fault_injector().FailReadOnce(e);
+  ASSERT_TRUE(extents_.Read(e, 0, 1).ok());
+  EXPECT_GE(extents_.health().windowed_errors(), 2u);
+  // A long healthy streak decays the window back to empty.
+  for (int i = 0; i < 256 && extents_.health().windowed_errors() > 0; ++i) {
+    ASSERT_TRUE(extents_.Read(e, 0, 1).ok());
+  }
+  EXPECT_EQ(extents_.health().windowed_errors(), 0u);
+  EXPECT_EQ(extents_.health().health(), DiskHealth::kHealthy);
 }
 
 TEST_F(ExtentManagerTest, PagesNeededRounding) {
