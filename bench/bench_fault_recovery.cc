@@ -55,9 +55,13 @@ void BM_GetThroughFaultStorm(benchmark::State& state) {
   }
   disk.fault_injector().Clear();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  // Read from the metric registry rather than ad-hoc struct fields, so the bench
+  // reports the same numbers an operator dashboard would.
+  const MetricsSnapshot snap = store->metrics().Snapshot();
   state.counters["surfaced_errors"] = static_cast<double>(surfaced);
-  state.counters["absorbed_faults"] =
-      static_cast<double>(store->extents().retry_stats().absorbed_faults);
+  state.counters["absorbed_faults"] = static_cast<double>(snap.counter("extent.retry.absorbed"));
+  state.counters["retry_attempts"] = static_cast<double>(snap.counter("extent.retry.attempts"));
+  state.counters["cache_hits"] = static_cast<double>(snap.counter("cache.hits"));
 }
 BENCHMARK(BM_GetThroughFaultStorm)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Iterations(20000);
 
@@ -86,9 +90,10 @@ void BM_PutThroughFaultStorm(benchmark::State& state) {
   }
   disk.fault_injector().Clear();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const MetricsSnapshot snap = store->metrics().Snapshot();
   state.counters["surfaced_errors"] = static_cast<double>(surfaced);
-  state.counters["absorbed_faults"] =
-      static_cast<double>(store->extents().retry_stats().absorbed_faults);
+  state.counters["absorbed_faults"] = static_cast<double>(snap.counter("extent.retry.absorbed"));
+  state.counters["io_enqueued"] = static_cast<double>(snap.counter("io.enqueued"));
 }
 BENCHMARK(BM_PutThroughFaultStorm)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Iterations(3000);
 
@@ -130,8 +135,17 @@ void BM_EvacuateDisk(benchmark::State& state) {
       }
     }
     (void)node->MarkDiskDegraded(0);
+    const MetricsSnapshot before = node->MetricsSnapshot();
     state.ResumeTiming();
     benchmark::DoNotOptimize(node->EvacuateDisk(0));
+    state.PauseTiming();
+    const MetricsSnapshot after = node->MetricsSnapshot();
+    // Metric-delta check: one evacuation, every populated shard migrated.
+    if (CounterDelta(before, after, "rpc.evacuations") != 1 ||
+        CounterDelta(before, after, "rpc.migrations") != static_cast<uint64_t>(shard_count)) {
+      state.SkipWithError("evacuation metric deltas disagree with the populated shard count");
+    }
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * shard_count));
   state.SetLabel("shards migrated off a degraded disk");
@@ -152,8 +166,14 @@ void BM_CrashRecoverDisk(benchmark::State& state) {
   }
   (void)node->FlushAllDisks();
   uint64_t seed = 1;
+  const MetricsSnapshot before = node->MetricsSnapshot();
   for (auto _ : state) {
     benchmark::DoNotOptimize(node->CrashAndRecoverDisk(0, seed++));
+  }
+  const MetricsSnapshot after = node->MetricsSnapshot();
+  if (CounterDelta(before, after, "rpc.crash_recoveries") !=
+      static_cast<uint64_t>(state.iterations())) {
+    state.SkipWithError("crash-recovery metric delta disagrees with iteration count");
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.SetLabel("whole-disk crash + recovery + routing reconciliation");

@@ -53,6 +53,13 @@ void BM_Put(benchmark::State& state) {
     }
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * value_size));
+  // Emit the store's metric snapshot alongside the timing, so a JSON bench run
+  // carries the same observability surface tests assert on.
+  const MetricsSnapshot snap = store->metrics().Snapshot();
+  state.counters["lsm_puts"] = static_cast<double>(snap.counter("lsm.puts"));
+  state.counters["lsm_flushes"] = static_cast<double>(snap.counter("lsm.flushes"));
+  state.counters["chunk_reclaims"] = static_cast<double>(snap.counter("chunk.reclaims"));
+  state.counters["io_enqueued"] = static_cast<double>(snap.counter("io.enqueued"));
 }
 BENCHMARK(BM_Put)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(3000);
 
@@ -69,6 +76,10 @@ void BM_Get(benchmark::State& state) {
     benchmark::DoNotOptimize(store->Get(id++ % 32));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * value_size));
+  const MetricsSnapshot snap = store->metrics().Snapshot();
+  state.counters["cache_hits"] = static_cast<double>(snap.counter("cache.hits"));
+  state.counters["cache_misses"] = static_cast<double>(snap.counter("cache.misses"));
+  state.counters["cache_evictions"] = static_cast<double>(snap.counter("cache.evictions"));
 }
 BENCHMARK(BM_Get)->Arg(64)->Arg(1024)->Arg(4096)->Iterations(20000);
 

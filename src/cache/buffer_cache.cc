@@ -4,8 +4,17 @@
 
 namespace ss {
 
-BufferCache::BufferCache(ExtentManager* extents, size_t capacity_pages)
-    : extents_(extents), capacity_pages_(capacity_pages) {}
+BufferCache::BufferCache(ExtentManager* extents, size_t capacity_pages, MetricRegistry* metrics)
+    : extents_(extents), capacity_pages_(capacity_pages) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = &metrics->counter("cache.hits");
+  misses_ = &metrics->counter("cache.misses");
+  evictions_ = &metrics->counter("cache.evictions");
+  invalidated_pages_ = &metrics->counter("cache.invalidated_pages");
+}
 
 void BufferCache::TouchLocked(Key key) {
   auto it = pages_.find(key);
@@ -19,7 +28,7 @@ void BufferCache::InsertLocked(Key key, Bytes page) {
     const Key victim = lru_.back();
     lru_.pop_back();
     pages_.erase(victim);
-    ++stats_.evictions;
+    evictions_->Increment();
   }
   lru_.push_front(key);
   pages_[key] = {std::move(page), lru_.begin()};
@@ -36,12 +45,12 @@ Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint3
       LockGuard lock(mu_);
       auto it = pages_.find(key);
       if (it != pages_.end()) {
-        ++stats_.hits;
+        hits_->Increment();
         TouchLocked(key);
         out.insert(out.end(), it->second.first.begin(), it->second.first.end());
         continue;
       }
-      ++stats_.misses;
+      misses_->Increment();
     }
     SS_COVER("buffer_cache.miss");
     SS_ASSIGN_OR_RETURN(Bytes data, extents_->Read(extent, page, 1));
@@ -57,24 +66,43 @@ Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint3
 }
 
 void BufferCache::DrainExtent(ExtentId extent) {
-  LockGuard lock(mu_);
-  ++stats_.invalidations;
-  auto it = pages_.lower_bound(MakeKey(extent, 0));
-  while (it != pages_.end() && (it->first >> 32) == extent) {
-    lru_.erase(it->second.second);
-    it = pages_.erase(it);
+  uint64_t dropped = 0;
+  {
+    LockGuard lock(mu_);
+    auto it = pages_.lower_bound(MakeKey(extent, 0));
+    while (it != pages_.end() && (it->first >> 32) == extent) {
+      lru_.erase(it->second.second);
+      it = pages_.erase(it);
+      ++dropped;
+    }
+  }
+  // Count pages actually invalidated: a drain that matched nothing is not an
+  // invalidation event, and conformance oracles diff this counter.
+  if (dropped > 0) {
+    invalidated_pages_->Increment(dropped);
   }
 }
 
 void BufferCache::Clear() {
-  LockGuard lock(mu_);
-  pages_.clear();
-  lru_.clear();
+  uint64_t dropped = 0;
+  {
+    LockGuard lock(mu_);
+    dropped = pages_.size();
+    pages_.clear();
+    lru_.clear();
+  }
+  if (dropped > 0) {
+    invalidated_pages_->Increment(dropped);
+  }
 }
 
 BufferCacheStats BufferCache::stats() const {
-  LockGuard lock(mu_);
-  return stats_;
+  BufferCacheStats stats;
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.evictions = evictions_->Value();
+  stats.invalidations = invalidated_pages_->Value();
+  return stats;
 }
 
 size_t BufferCache::CachedPages() const {

@@ -12,15 +12,21 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/superblock/extent_manager.h"
 #include "src/sync/sync.h"
 
 namespace ss {
 
+// Thin view over the cache.* registry counters; kept so existing call sites that
+// read `cache.stats().misses` etc. keep compiling. `invalidations` counts pages
+// actually invalidated (drains that match nothing contribute 0; Clear() counts
+// every page it drops).
 struct BufferCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -30,7 +36,9 @@ struct BufferCacheStats {
 
 class BufferCache {
  public:
-  BufferCache(ExtentManager* extents, size_t capacity_pages);
+  // Metrics land in `metrics` when provided; otherwise the cache owns a private
+  // registry so direct construction keeps working in tests.
+  BufferCache(ExtentManager* extents, size_t capacity_pages, MetricRegistry* metrics = nullptr);
 
   // Reads `count` pages starting at `first_page`, caching each page. Ranges past the
   // write pointer or injected IO failures propagate the underlying error; failed pages
@@ -55,10 +63,14 @@ class BufferCache {
 
   ExtentManager* extents_;
   size_t capacity_pages_;
+  std::unique_ptr<MetricRegistry> owned_metrics_;  // set only when no registry was passed in
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  Counter* invalidated_pages_;
   mutable Mutex mu_;
   std::map<Key, std::pair<Bytes, std::list<Key>::iterator>> pages_;
   std::list<Key> lru_;  // front = most recently used
-  BufferCacheStats stats_;
 };
 
 }  // namespace ss

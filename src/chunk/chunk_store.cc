@@ -5,8 +5,20 @@
 
 namespace ss {
 
-ChunkStore::ChunkStore(ExtentManager* extents, BufferCache* cache, ChunkStoreOptions options)
-    : extents_(extents), cache_(cache), options_(options), uuid_rng_(options.uuid_seed) {}
+ChunkStore::ChunkStore(ExtentManager* extents, BufferCache* cache, ChunkStoreOptions options,
+                       MetricRegistry* metrics)
+    : extents_(extents), cache_(cache), options_(options), uuid_rng_(options.uuid_seed) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  puts_ = &metrics->counter("chunk.puts");
+  gets_ = &metrics->counter("chunk.gets");
+  reclaims_ = &metrics->counter("chunk.reclaims");
+  chunks_evacuated_ = &metrics->counter("chunk.evacuated");
+  chunks_dropped_ = &metrics->counter("chunk.dropped");
+  corrupt_frames_skipped_ = &metrics->counter("chunk.corrupt_frames_skipped");
+}
 
 Result<ExtentId> ChunkStore::PickTargetLocked(uint32_t pages_needed,
                                               std::optional<ExtentId> exclude) {
@@ -47,7 +59,7 @@ Result<ChunkPutResult> ChunkStore::PutInternal(ByteSpan data, Dependency input,
     LockGuard lock(mu_);
     frame = EncodeChunkFrame(data, Uuid::Random(uuid_rng_));
     pages_needed = extents_->PagesNeeded(frame.size());
-    ++stats_.puts;
+    puts_->Increment();
   }
 
   if (BugEnabled(SeededBug::kLocatorInvalidOnWriteFlushRace)) {
@@ -116,7 +128,7 @@ void ChunkStore::Unpin(ExtentId extent) {
 Result<Bytes> ChunkStore::Get(const Locator& loc) {
   {
     LockGuard lock(mu_);
-    ++stats_.gets;
+    gets_->Increment();
   }
   if (loc.frame_bytes < kChunkOverheadBytes ||
       loc.page_count != extents_->PagesNeeded(loc.frame_bytes)) {
@@ -155,7 +167,7 @@ Result<std::vector<ChunkStore::ScannedChunk>> ChunkStore::ScanExtent(ExtentId ex
     const Bytes& head = head_or.value();
     auto header_or = ParseChunkHeader(head);
     if (!header_or.ok()) {
-      ++stats_.corrupt_frames_skipped;
+      corrupt_frames_skipped_->Increment();
       ++page;
       continue;
     }
@@ -163,7 +175,7 @@ Result<std::vector<ChunkStore::ScannedChunk>> ChunkStore::ScanExtent(ExtentId ex
     const size_t frame_bytes = ChunkFrameBytes(header.payload_len);
     const uint32_t frame_pages = extents_->PagesNeeded(frame_bytes);
     if (uint64_t{page} + frame_pages > wp) {
-      ++stats_.corrupt_frames_skipped;
+      corrupt_frames_skipped_->Increment();
       ++page;
       continue;
     }
@@ -210,7 +222,7 @@ Result<std::vector<ChunkStore::ScannedChunk>> ChunkStore::ScanExtent(ExtentId ex
     }
 
     if (!accepted) {
-      ++stats_.corrupt_frames_skipped;
+      corrupt_frames_skipped_->Increment();
       ++page;
       continue;
     }
@@ -244,7 +256,7 @@ Status ChunkStore::Reclaim(ExtentId extent, ReclaimClient* client) {
       return Status::Unavailable("extent is pinned or already being reclaimed");
     }
     reclaiming_.insert(extent);
-    ++stats_.reclaims;
+    reclaims_->Increment();
   }
   // Ensure the reclamation marker is removed on every exit path. The lock acquisition
   // is fenced: under the model checker a poisoned teardown makes scheduling points
@@ -271,7 +283,7 @@ Status ChunkStore::Reclaim(ExtentId extent, ReclaimClient* client) {
     if (!referenced) {
       dropped_any = true;
       LockGuard lock(mu_);
-      ++stats_.chunks_dropped;
+      chunks_dropped_->Increment();
       continue;
     }
     SS_COVER("chunk_store.evacuate");
@@ -284,7 +296,7 @@ Status ChunkStore::Reclaim(ExtentId extent, ReclaimClient* client) {
     deps.push_back(moved.dep);
     deps.push_back(update_or.value());
     LockGuard lock(mu_);
-    ++stats_.chunks_evacuated;
+    chunks_evacuated_->Increment();
   }
 
   if (dropped_any) {
@@ -318,8 +330,14 @@ std::vector<ExtentId> ChunkStore::ReclaimableExtents() const {
 }
 
 ChunkStoreStats ChunkStore::stats() const {
-  LockGuard lock(mu_);
-  return stats_;
+  ChunkStoreStats stats;
+  stats.puts = puts_->Value();
+  stats.gets = gets_->Value();
+  stats.reclaims = reclaims_->Value();
+  stats.chunks_evacuated = chunks_evacuated_->Value();
+  stats.chunks_dropped = chunks_dropped_->Value();
+  stats.corrupt_frames_skipped = corrupt_frames_skipped_->Value();
+  return stats;
 }
 
 }  // namespace ss

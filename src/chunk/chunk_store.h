@@ -18,6 +18,7 @@
 #define SS_CHUNK_CHUNK_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <map>
 #include <set>
@@ -28,6 +29,7 @@
 #include "src/chunk/locator.h"
 #include "src/common/rng.h"
 #include "src/dep/dependency.h"
+#include "src/obs/metrics.h"
 #include "src/superblock/extent_manager.h"
 #include "src/sync/sync.h"
 
@@ -60,6 +62,7 @@ class ReclaimClient {
   virtual Dependency DropGate() = 0;
 };
 
+// Thin view over the chunk.* registry counters, kept for existing call sites.
 struct ChunkStoreStats {
   uint64_t puts = 0;
   uint64_t gets = 0;
@@ -77,7 +80,10 @@ struct ChunkStoreOptions {
 
 class ChunkStore {
  public:
-  ChunkStore(ExtentManager* extents, BufferCache* cache, ChunkStoreOptions options = {});
+  // Metrics land in `metrics` (chunk.*) when provided; otherwise the store owns a
+  // private registry so direct construction keeps working in tests.
+  ChunkStore(ExtentManager* extents, BufferCache* cache, ChunkStoreOptions options = {},
+             MetricRegistry* metrics = nullptr);
 
   // Stores `data`, framing it and appending to the active extent. The returned
   // dependency covers the frame's pages and soft-pointer updates; it will not be issued
@@ -131,7 +137,13 @@ class ChunkStore {
   std::map<ExtentId, uint32_t> pin_counts_;
   std::set<ExtentId> reclaiming_;  // excluded from allocation while a reclaim runs
   Rng uuid_rng_;
-  ChunkStoreStats stats_;
+  std::unique_ptr<MetricRegistry> owned_metrics_;
+  Counter* puts_;
+  Counter* gets_;
+  Counter* reclaims_;
+  Counter* chunks_evacuated_;
+  Counter* chunks_dropped_;
+  Counter* corrupt_frames_skipped_;
 
   Mutex reclaim_mu_;  // one reclamation at a time
 };

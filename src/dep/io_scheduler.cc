@@ -5,7 +5,17 @@
 
 namespace ss {
 
-IoScheduler::IoScheduler(InMemoryDisk* disk) : disk_(disk) {}
+IoScheduler::IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics) : disk_(disk) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  enqueued_ = &metrics->counter("io.enqueued");
+  issued_ = &metrics->counter("io.issued");
+  dropped_by_crash_ = &metrics->counter("io.dropped_by_crash");
+  failed_io_ = &metrics->counter("io.failed");
+  crashes_ = &metrics->counter("io.crashes");
+}
 
 uint64_t IoScheduler::DomainKey(Kind kind, ExtentId extent) const {
   // Data pages and reset markers share the extent's sequential-append domain; soft-wp
@@ -27,7 +37,7 @@ Dependency IoScheduler::EnqueueLocked(Record record) {
   record.seq = next_seq_++;
   Dependency done = record.done;
   queue_.push_back(std::move(record));
-  ++stats_.records_enqueued;
+  enqueued_->Increment();
   return done;
 }
 
@@ -109,10 +119,10 @@ Status IoScheduler::IssueLocked(Record& record) {
   }
   if (status.ok()) {
     record.done.MarkLeafPersistent();
-    ++stats_.records_issued;
+    issued_->Increment();
   } else {
     record.done.MarkLeafFailed();
-    ++stats_.records_failed_io;
+    failed_io_->Increment();
   }
   return status;
 }
@@ -155,7 +165,7 @@ Status IoScheduler::FlushAll() {
 
 void IoScheduler::Crash(Rng& rng, double persist_bias) {
   LockGuard lock(mu_);
-  ++stats_.crashes;
+  crashes_->Increment();
   std::set<uint64_t> stopped_domains;
   // Repeatedly find the first record that could legally be the next to reach the disk;
   // flip a coin to decide whether the crash happened before or after that IO.
@@ -187,14 +197,14 @@ void IoScheduler::Crash(Rng& rng, double persist_bias) {
       stopped_domains.insert(candidate->domain);
     }
   }
-  stats_.records_dropped_by_crash += queue_.size();
+  dropped_by_crash_->Increment(queue_.size());
   // Dropped records leave their leaves unpersisted forever.
   queue_.clear();
 }
 
 void IoScheduler::CrashScripted(const std::vector<bool>& plan, size_t* decisions_used) {
   LockGuard lock(mu_);
-  ++stats_.crashes;
+  crashes_->Increment();
   std::set<uint64_t> stopped_domains;
   size_t decision = 0;
   while (true) {
@@ -228,14 +238,14 @@ void IoScheduler::CrashScripted(const std::vector<bool>& plan, size_t* decisions
   if (decisions_used != nullptr) {
     *decisions_used = decision;
   }
-  stats_.records_dropped_by_crash += queue_.size();
+  dropped_by_crash_->Increment(queue_.size());
   queue_.clear();
 }
 
 void IoScheduler::CrashDropAll() {
   LockGuard lock(mu_);
-  ++stats_.crashes;
-  stats_.records_dropped_by_crash += queue_.size();
+  crashes_->Increment();
+  dropped_by_crash_->Increment(queue_.size());
   queue_.clear();
 }
 
@@ -245,8 +255,13 @@ size_t IoScheduler::PendingCount() const {
 }
 
 IoSchedulerStats IoScheduler::stats() const {
-  LockGuard lock(mu_);
-  return stats_;
+  IoSchedulerStats stats;
+  stats.records_enqueued = enqueued_->Value();
+  stats.records_issued = issued_->Value();
+  stats.records_dropped_by_crash = dropped_by_crash_->Value();
+  stats.records_failed_io = failed_io_->Value();
+  stats.crashes = crashes_->Value();
+  return stats;
 }
 
 std::string IoScheduler::DescribeStuck() const {

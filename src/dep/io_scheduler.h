@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,11 +28,12 @@
 #include "src/common/status.h"
 #include "src/dep/dependency.h"
 #include "src/disk/disk.h"
+#include "src/obs/metrics.h"
 #include "src/sync/sync.h"
 
 namespace ss {
 
-// Counters exposed for tests and benchmarks.
+// Thin view over the io.* registry counters, kept for existing call sites.
 struct IoSchedulerStats {
   uint64_t records_enqueued = 0;
   uint64_t records_issued = 0;
@@ -42,7 +44,9 @@ struct IoSchedulerStats {
 
 class IoScheduler {
  public:
-  explicit IoScheduler(InMemoryDisk* disk);
+  // Metrics land in `metrics` when provided; otherwise the scheduler owns a private
+  // registry so direct construction keeps working in tests.
+  explicit IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics = nullptr);
 
   // --- Enqueue (called by ExtentManager) ----------------------------------------------
   // Each call returns the leaf dependency of the new record.
@@ -117,7 +121,12 @@ class IoScheduler {
   InMemoryDisk* disk_;
   std::deque<Record> queue_;
   uint64_t next_seq_ = 0;
-  IoSchedulerStats stats_;
+  std::unique_ptr<MetricRegistry> owned_metrics_;
+  Counter* enqueued_;
+  Counter* issued_;
+  Counter* dropped_by_crash_;
+  Counter* failed_io_;
+  Counter* crashes_;
 };
 
 }  // namespace ss

@@ -14,8 +14,20 @@ std::string_view DiskHealthName(DiskHealth health) {
   return "?";
 }
 
+DiskHealthTracker::DiskHealthTracker(DiskHealthOptions options, MetricRegistry* metrics)
+    : options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  transient_total_ = &metrics->counter("disk.health.transient_total");
+  permanent_total_ = &metrics->counter("disk.health.permanent_total");
+  state_ = &metrics->gauge("disk.health.state");
+  state_->Set(static_cast<int64_t>(health_));
+}
+
 void DiskHealthTracker::RecordTransientLocked() {
-  ++transient_total_;
+  transient_total_->Increment();
   success_streak_ = 0;
   ++windowed_errors_;
   if (health_ == DiskHealth::kHealthy && windowed_errors_ >= options_.degrade_after) {
@@ -23,6 +35,7 @@ void DiskHealthTracker::RecordTransientLocked() {
   } else if (health_ == DiskHealth::kDegraded && windowed_errors_ >= options_.fail_after) {
     health_ = DiskHealth::kFailed;
   }
+  state_->Set(static_cast<int64_t>(health_));
 }
 
 void DiskHealthTracker::RecordTransientError() {
@@ -32,9 +45,10 @@ void DiskHealthTracker::RecordTransientError() {
 
 void DiskHealthTracker::RecordPermanentError() {
   LockGuard lock(mu_);
-  ++permanent_total_;
+  permanent_total_->Increment();
   success_streak_ = 0;
   health_ = DiskHealth::kFailed;
+  state_->Set(static_cast<int64_t>(health_));
 }
 
 void DiskHealthTracker::RecordSuccess() {
@@ -74,21 +88,16 @@ uint32_t DiskHealthTracker::budget_remaining() const {
   return 0;
 }
 
-uint64_t DiskHealthTracker::transient_total() const {
-  LockGuard lock(mu_);
-  return transient_total_;
-}
+uint64_t DiskHealthTracker::transient_total() const { return transient_total_->Value(); }
 
-uint64_t DiskHealthTracker::permanent_total() const {
-  LockGuard lock(mu_);
-  return permanent_total_;
-}
+uint64_t DiskHealthTracker::permanent_total() const { return permanent_total_->Value(); }
 
 void DiskHealthTracker::Reset() {
   LockGuard lock(mu_);
   health_ = DiskHealth::kHealthy;
   windowed_errors_ = 0;
   success_streak_ = 0;
+  state_->Set(static_cast<int64_t>(health_));
 }
 
 }  // namespace ss

@@ -20,8 +20,10 @@
 #define SS_DISK_DISK_HEALTH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
+#include "src/obs/metrics.h"
 #include "src/sync/sync.h"
 
 namespace ss {
@@ -50,7 +52,9 @@ struct DiskHealthOptions {
 
 class DiskHealthTracker {
  public:
-  explicit DiskHealthTracker(DiskHealthOptions options = {}) : options_(options) {}
+  // Lifetime counters land in `metrics` (disk.health.*) when provided; otherwise the
+  // tracker owns a private registry so direct construction keeps working.
+  explicit DiskHealthTracker(DiskHealthOptions options = {}, MetricRegistry* metrics = nullptr);
 
   // A transient IO fault was observed (each failed retry attempt counts: a disk that
   // needs three attempts per read is burning budget three times as fast).
@@ -80,8 +84,10 @@ class DiskHealthTracker {
   DiskHealth health_ = DiskHealth::kHealthy;
   uint32_t windowed_errors_ = 0;
   uint32_t success_streak_ = 0;
-  uint64_t transient_total_ = 0;
-  uint64_t permanent_total_ = 0;
+  std::unique_ptr<MetricRegistry> owned_metrics_;
+  Counter* transient_total_;
+  Counter* permanent_total_;
+  Gauge* state_;  // DiskHealth as an integer, updated on every transition
 };
 
 }  // namespace ss

@@ -260,4 +260,74 @@ std::function<void()> MakeLinearizabilityBody() {
   };
 }
 
+std::function<void()> MakePutMigrateBody(bool legacy_route_commit) {
+  return [legacy_route_commit] {
+    NodeServerOptions options;
+    options.disk_count = 2;
+    options.geometry = SmallGeometry();
+    options.legacy_unconditional_route_commit = legacy_route_commit;
+    auto node_or = NodeServer::Create(options);
+    MC_CHECK(node_or.ok(), "node create failed");
+    std::shared_ptr<NodeServer> node(std::move(node_or).value());
+
+    const ShardId id = 1;
+    Bytes v1 = PatternValue(1, 64);
+    Bytes v2 = PatternValue(2, 64);
+    MC_CHECK(node->Put(id, v1).ok(), "setup put");
+    const int source = node->DiskFor(id);
+    const int target = 1 - source;
+
+    // Writer races the migration's copy / routing-commit / tombstone sequence. Both
+    // disks stay healthy and in service, so the Put itself must succeed wherever it
+    // routes.
+    Thread writer = Thread::Spawn([node, id, v2] {
+      auto dep = node->Put(id, v2);
+      MC_CHECK(dep.ok(), "concurrent put failed: " + dep.status().ToString());
+    });
+    Status migrated = node->MigrateShard(id, target);
+    MC_CHECK(migrated.ok(), "migrate failed: " + migrated.ToString());
+    writer.Join();
+
+    // The shard must remain reachable wherever routing now points. The pre-fix commit
+    // can leave the directory at the tombstoned source copy, surfacing kNotFound.
+    auto got = node->Get(id);
+    MC_CHECK(got.ok(), "shard lost after put ∥ migrate: " + got.status().ToString());
+    MC_CHECK(got.value() == v1 || got.value() == v2,
+             "put ∥ migrate returned a value neither write produced");
+  };
+}
+
+std::function<void()> MakePutEvacuateBody(bool legacy_route_commit) {
+  return [legacy_route_commit] {
+    NodeServerOptions options;
+    options.disk_count = 2;
+    options.geometry = SmallGeometry();
+    options.legacy_unconditional_route_commit = legacy_route_commit;
+    auto node_or = NodeServer::Create(options);
+    MC_CHECK(node_or.ok(), "node create failed");
+    std::shared_ptr<NodeServer> node(std::move(node_or).value());
+
+    const ShardId id = 1;
+    Bytes v1 = PatternValue(1, 64);
+    Bytes v2 = PatternValue(2, 64);
+    MC_CHECK(node->Put(id, v1).ok(), "setup put");
+    const int source = node->DiskFor(id);
+
+    Thread writer = Thread::Spawn([node, id, v2] {
+      auto dep = node->Put(id, v2);
+      MC_CHECK(dep.ok(), "concurrent put failed: " + dep.status().ToString());
+    });
+    // Drains `source` through MigrateShardLocked, hitting the same routing-commit
+    // window as MigrateShard.
+    Status evacuated = node->EvacuateDisk(source);
+    MC_CHECK(evacuated.ok(), "evacuate failed: " + evacuated.ToString());
+    writer.Join();
+
+    auto got = node->Get(id);
+    MC_CHECK(got.ok(), "shard lost after put ∥ evacuate: " + got.status().ToString());
+    MC_CHECK(got.value() == v1 || got.value() == v2,
+             "put ∥ evacuate returned a value neither write produced");
+  };
+}
+
 }  // namespace ss

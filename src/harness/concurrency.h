@@ -39,6 +39,17 @@ std::function<void()> MakeBulkAtomicityBody();
 // linearizable with respect to the sequential KV model.
 std::function<void()> MakeLinearizabilityBody();
 
+// Request plane ∥ control plane routing commit: a Put racing a MigrateShard of the
+// same shard. The shard must remain reachable afterwards (with either the old or the
+// new value). With `legacy_route_commit` the node uses the pre-fix unconditional
+// directory commit, whose clobber leaves the directory pointing at the tombstoned
+// source copy — the model checker finds the resulting kNotFound.
+std::function<void()> MakePutMigrateBody(bool legacy_route_commit = false);
+
+// Same race through the evacuation path: a Put racing EvacuateDisk of the shard's
+// owning disk.
+std::function<void()> MakePutEvacuateBody(bool legacy_route_commit = false);
+
 }  // namespace ss
 
 #endif  // SS_HARNESS_CONCURRENCY_H_

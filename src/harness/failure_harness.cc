@@ -143,6 +143,13 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
     return "node create failed: " + node_or.status().ToString();
   }
   std::unique_ptr<NodeServer> node = std::move(node_or).value();
+  // Metric oracle: every request-plane call this harness issues must show up as
+  // exactly one rpc.<op>.{ok,err} increment, and the trace ring must have recorded at
+  // least that many events. Counted locally, checked against snapshot deltas at the end.
+  const MetricsSnapshot metrics_before = node->MetricsSnapshot();
+  uint64_t puts_issued = 0;
+  uint64_t gets_issued = 0;
+  uint64_t deletes_issued = 0;
   KvStoreModel model;
   // Forward-progress log: (owning disk at op time, dependency). Entries for a disk are
   // dropped when that disk crash-reboots — their writebacks died with the scheduler.
@@ -166,6 +173,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
     switch (op.kind) {
       case FailureOpKind::kGet: {
         auto got = node->Get(op.id);
+        ++gets_issued;
         std::optional<Bytes> expected = model.Get(op.id);
         if (got.ok()) {
           if (!expected.has_value() || got.value() != *expected) {
@@ -191,6 +199,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
       }
       case FailureOpKind::kPut: {
         auto dep_or = node->Put(op.id, op.value);
+        ++puts_issued;
         if (dep_or.ok()) {
           model.Put(op.id, op.value, dep_or.value());
           dep_log.emplace_back(routed, dep_or.value());
@@ -212,6 +221,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
       }
       case FailureOpKind::kDelete: {
         auto dep_or = node->Delete(op.id);
+        ++deletes_issued;
         if (dep_or.ok()) {
           model.Delete(op.id, dep_or.value());
           dep_log.emplace_back(routed, dep_or.value());
@@ -318,6 +328,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
         // cleared by the reboot, health is back to healthy: the observation is clean).
         for (ShardId id : owned) {
           auto got = node->Get(id);
+          ++gets_issued;
           std::optional<Bytes> observed;
           if (got.ok()) {
             observed = got.value();
@@ -367,6 +378,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
   for (ShardId id : model.TouchedKeys()) {
     std::optional<Bytes> expected = model.Get(id);
     auto got = node->Get(id);
+    ++gets_issued;
     if (got.ok()) {
       if (!expected.has_value() || got.value() != *expected) {
         return std::optional<std::string>("final sweep: shard " + std::to_string(id) +
@@ -383,6 +395,30 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
       return std::optional<std::string>("final sweep: error on shard " + std::to_string(id) +
                                         " after faults cleared: " + got.status().ToString());
     }
+  }
+
+  // --- Metric oracle: snapshot deltas must agree with the op count. ------------------
+  const MetricsSnapshot metrics_after = node->MetricsSnapshot();
+  const uint64_t put_delta = CounterDelta(metrics_before, metrics_after, "rpc.put.ok") +
+                             CounterDelta(metrics_before, metrics_after, "rpc.put.err");
+  const uint64_t get_delta = CounterDelta(metrics_before, metrics_after, "rpc.get.ok") +
+                             CounterDelta(metrics_before, metrics_after, "rpc.get.err");
+  const uint64_t delete_delta =
+      CounterDelta(metrics_before, metrics_after, "rpc.delete.ok") +
+      CounterDelta(metrics_before, metrics_after, "rpc.delete.err");
+  if (put_delta != puts_issued || get_delta != gets_issued || delete_delta != deletes_issued) {
+    return std::optional<std::string>(
+        "metric oracle: rpc counter deltas put=" + std::to_string(put_delta) + "/" +
+        std::to_string(puts_issued) + " get=" + std::to_string(get_delta) + "/" +
+        std::to_string(gets_issued) + " delete=" + std::to_string(delete_delta) + "/" +
+        std::to_string(deletes_issued) + " disagree with ops issued");
+  }
+  // Every request-plane op records exactly one trace event; control-plane ops add more.
+  const uint64_t request_events = puts_issued + gets_issued + deletes_issued;
+  if (node->trace().total_recorded() < request_events) {
+    return std::optional<std::string>(
+        "metric oracle: trace ring recorded " + std::to_string(node->trace().total_recorded()) +
+        " events, fewer than the " + std::to_string(request_events) + " request-plane ops");
   }
   return std::nullopt;
 }

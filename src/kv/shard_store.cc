@@ -6,27 +6,31 @@ namespace ss {
 
 ShardStore::ShardStore(InMemoryDisk* disk, ShardStoreOptions options)
     : disk_(disk), options_(options) {
-  scheduler_ = std::make_unique<IoScheduler>(disk_);
+  metrics_ = std::make_unique<MetricRegistry>();
+  scheduler_ = std::make_unique<IoScheduler>(disk_, metrics_.get());
   extents_ = std::make_unique<ExtentManager>(disk_, scheduler_.get(), options_.buffer_permits,
-                                             options_.retry);
-  cache_ = std::make_unique<BufferCache>(extents_.get(), options_.cache_pages);
-  chunks_ = std::make_unique<ChunkStore>(extents_.get(), cache_.get(), options_.chunk);
+                                             options_.retry, metrics_.get());
+  cache_ = std::make_unique<BufferCache>(extents_.get(), options_.cache_pages, metrics_.get());
+  chunks_ = std::make_unique<ChunkStore>(extents_.get(), cache_.get(), options_.chunk,
+                                         metrics_.get());
+  puts_ = &metrics_->counter("store.puts");
+  gets_ = &metrics_->counter("store.gets");
+  deletes_ = &metrics_->counter("store.deletes");
+  reclaims_ = &metrics_->counter("store.reclaims");
 }
 
 Result<std::unique_ptr<ShardStore>> ShardStore::Open(InMemoryDisk* disk,
                                                      ShardStoreOptions options) {
   std::unique_ptr<ShardStore> store(new ShardStore(disk, options));
   SS_ASSIGN_OR_RETURN(store->index_,
-                      LsmIndex::Open(store->extents_.get(), store->chunks_.get(), options.lsm));
+                      LsmIndex::Open(store->extents_.get(), store->chunks_.get(), options.lsm,
+                                     store->metrics_.get()));
   disk->BumpEpoch();
   return store;
 }
 
 Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
-  {
-    LockGuard lock(stats_mu_);
-    ++stats_.puts;
-  }
+  puts_->Increment();
   const size_t max_payload = chunks_->max_payload_bytes();
   if (value.size() > max_payload * options_.max_chunks_per_shard) {
     return Status::InvalidArgument("shard value too large");
@@ -62,10 +66,7 @@ Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
 }
 
 Result<Bytes> ShardStore::Get(ShardId id) {
-  {
-    LockGuard lock(stats_mu_);
-    ++stats_.gets;
-  }
+  gets_->Increment();
   Status last_error = Status::Ok();
   for (int attempt = 0; attempt < 4; ++attempt) {
     SS_ASSIGN_OR_RETURN(std::optional<ShardRecord> record, index_->Get(id));
@@ -106,10 +107,7 @@ Result<Bytes> ShardStore::Get(ShardId id) {
 }
 
 Result<Dependency> ShardStore::Delete(ShardId id) {
-  {
-    LockGuard lock(stats_mu_);
-    ++stats_.deletes;
-  }
+  deletes_->Increment();
   // Tombstone regardless of current existence: deleting a missing shard is a no-op
   // with a dependency that persists with the next metadata flush.
   return index_->Delete(id);
@@ -118,10 +116,7 @@ Result<Dependency> ShardStore::Delete(ShardId id) {
 Result<std::vector<ShardId>> ShardStore::List() { return index_->Keys(); }
 
 Status ShardStore::ReclaimExtent(ExtentId extent) {
-  {
-    LockGuard lock(stats_mu_);
-    ++stats_.reclaims;
-  }
+  reclaims_->Increment();
   return chunks_->Reclaim(extent, this);
 }
 
@@ -163,8 +158,12 @@ Result<Dependency> ShardStore::UpdateReference(const Locator& old_loc, const Loc
 Dependency ShardStore::DropGate() { return index_->StateDurableGate(); }
 
 ShardStoreStats ShardStore::stats() const {
-  LockGuard lock(stats_mu_);
-  return stats_;
+  ShardStoreStats stats;
+  stats.puts = puts_->Value();
+  stats.gets = gets_->Value();
+  stats.deletes = deletes_->Value();
+  stats.reclaims = reclaims_->Value();
+  return stats;
 }
 
 }  // namespace ss

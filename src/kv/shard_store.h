@@ -25,6 +25,7 @@
 #include "src/dep/io_scheduler.h"
 #include "src/disk/disk.h"
 #include "src/lsm/lsm_index.h"
+#include "src/obs/metrics.h"
 #include "src/superblock/extent_manager.h"
 
 namespace ss {
@@ -40,6 +41,7 @@ struct ShardStoreOptions {
   IoRetryOptions retry;
 };
 
+// Thin view over the store.* registry counters, kept for existing call sites.
 struct ShardStoreStats {
   uint64_t puts = 0;
   uint64_t gets = 0;
@@ -98,19 +100,27 @@ class ShardStore : public ReclaimClient {
   LsmIndex& index() { return *index_; }
   InMemoryDisk& disk() { return *disk_; }
   ShardStoreStats stats() const;
+  // The store-wide registry: every component of this store (cache, scheduler, extent
+  // retry, LSM, chunk store, disk health) registers its metrics here, so one snapshot
+  // covers the whole per-disk stack.
+  MetricRegistry& metrics() { return *metrics_; }
+  const MetricRegistry& metrics() const { return *metrics_; }
 
  private:
   ShardStore(InMemoryDisk* disk, ShardStoreOptions options);
 
   InMemoryDisk* disk_;
   ShardStoreOptions options_;
+  std::unique_ptr<MetricRegistry> metrics_;  // declared before components so they can register
   std::unique_ptr<IoScheduler> scheduler_;
   std::unique_ptr<ExtentManager> extents_;
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<ChunkStore> chunks_;
   std::unique_ptr<LsmIndex> index_;
-  mutable Mutex stats_mu_;
-  ShardStoreStats stats_;
+  Counter* puts_;
+  Counter* gets_;
+  Counter* deletes_;
+  Counter* reclaims_;
 };
 
 }  // namespace ss

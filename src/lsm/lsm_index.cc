@@ -32,12 +32,24 @@ Result<ShardRecord> DeserializeShardRecord(Reader& r) {
   return record;
 }
 
-LsmIndex::LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options)
-    : extents_(extents), chunks_(chunks), options_(options), meta_rng_(options.meta_uuid_seed) {}
+LsmIndex::LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options,
+                   MetricRegistry* metrics)
+    : extents_(extents), chunks_(chunks), options_(options), meta_rng_(options.meta_uuid_seed) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  puts_ = &metrics->counter("lsm.puts");
+  deletes_ = &metrics->counter("lsm.deletes");
+  gets_ = &metrics->counter("lsm.gets");
+  flushes_ = &metrics->counter("lsm.flushes");
+  compactions_ = &metrics->counter("lsm.compactions");
+  metadata_writes_ = &metrics->counter("lsm.metadata_writes");
+}
 
 Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkStore* chunks,
-                                                 LsmOptions options) {
-  std::unique_ptr<LsmIndex> index(new LsmIndex(extents, chunks, options));
+                                                 LsmOptions options, MetricRegistry* metrics) {
+  std::unique_ptr<LsmIndex> index(new LsmIndex(extents, chunks, options, metrics));
   std::vector<ExtentId> meta = extents->ExtentsOwnedBy(ExtentOwner::kLsmMetadata);
   if (meta.size() > 2) {
     return Status::Corruption("more than two LSM metadata extents");
@@ -128,7 +140,7 @@ Dependency LsmIndex::Put(ShardId id, ShardRecord record, Dependency data_dep) {
   bool want_flush = false;
   {
     LockGuard lock(mu_);
-    ++stats_.puts;
+    puts_->Increment();
     Entry entry;
     entry.value = std::move(record);
     entry.data_dep = data_dep;
@@ -149,7 +161,7 @@ Dependency LsmIndex::Delete(ShardId id) {
   Dependency promise = Dependency::MakePromise();
   {
     LockGuard lock(mu_);
-    ++stats_.deletes;
+    deletes_->Increment();
     Entry entry;
     entry.value = std::nullopt;
     entry.seq = next_seq_++;
@@ -204,7 +216,7 @@ Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id) {
     std::vector<Locator> runs_snapshot;
     {
       LockGuard lock(mu_);
-      ++stats_.gets;
+      gets_->Increment();
       auto it = memtable_.find(id);
       if (it != memtable_.end()) {
         return it->second.value;
@@ -303,14 +315,14 @@ Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input) {
     SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input));
     extents_->Reset(full, appended.dep);
     active_meta_ = 1 - active_meta_;
-    ++stats_.metadata_writes;
+    metadata_writes_->Increment();
     last_meta_dep_ = appended.dep;
     api_dirty_ = false;
     internal_dirty_ = false;
     return appended.dep;
   }
   SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input));
-  ++stats_.metadata_writes;
+  metadata_writes_->Increment();
   last_meta_dep_ = appended.dep;
   api_dirty_ = false;
   internal_dirty_ = false;
@@ -421,7 +433,7 @@ Status LsmIndex::FlushLocked() {
       }
       status = meta_or.status();
     } else {
-      ++stats_.flushes;
+      flushes_->Increment();
       ResolvePromisesLocked(max_seq, meta_or.value());
       // Drop only the entries the run covers; concurrent overwrites stay.
       auto it = memtable_.begin();
@@ -523,7 +535,7 @@ Status LsmIndex::Compact() {
       if (!meta_or.ok()) {
         status = meta_or.status();
       } else {
-        ++stats_.compactions;
+        compactions_->Increment();
       }
     }
     if (!BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
@@ -688,8 +700,14 @@ uint64_t LsmIndex::MetadataVersion() const {
 }
 
 LsmStats LsmIndex::stats() const {
-  LockGuard lock(mu_);
-  return stats_;
+  LsmStats stats;
+  stats.puts = puts_->Value();
+  stats.deletes = deletes_->Value();
+  stats.gets = gets_->Value();
+  stats.flushes = flushes_->Value();
+  stats.compactions = compactions_->Value();
+  stats.metadata_writes = metadata_writes_->Value();
+  return stats;
 }
 
 std::vector<Locator> LsmIndex::RunLocators() const {

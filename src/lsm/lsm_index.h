@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/chunk/chunk_store.h"
+#include "src/obs/metrics.h"
 #include "src/chunk/locator.h"
 #include "src/common/rng.h"
 #include "src/dep/dependency.h"
@@ -60,6 +61,7 @@ struct LsmOptions {
   uint64_t meta_uuid_seed = 0x1e7a;
 };
 
+// Thin view over the lsm.* registry counters, kept for existing call sites.
 struct LsmStats {
   uint64_t puts = 0;
   uint64_t deletes = 0;
@@ -74,8 +76,11 @@ class LsmIndex {
   // Opens over existing on-disk state (recovering the metadata record with the highest
   // version from the reserved metadata extents) or formats a fresh index: claims two
   // metadata extents and starts empty.
+  // Metrics land in `metrics` (lsm.*) when provided; otherwise the index owns a
+  // private registry so direct construction keeps working in tests.
   static Result<std::unique_ptr<LsmIndex>> Open(ExtentManager* extents, ChunkStore* chunks,
-                                                LsmOptions options = {});
+                                                LsmOptions options = {},
+                                                MetricRegistry* metrics = nullptr);
 
   // --- API ------------------------------------------------------------------------------
   // Inserts/overwrites. `data_dep` is the dependency of the shard data the record points
@@ -142,7 +147,8 @@ class LsmIndex {
   // A run's decoded content.
   using RunMap = std::map<ShardId, std::optional<ShardRecord>>;
 
-  LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options);
+  LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options,
+           MetricRegistry* metrics);
 
   static Bytes SerializeRun(const RunMap& entries);
   static Result<RunMap> DeserializeRun(ByteSpan payload);
@@ -185,7 +191,13 @@ class LsmIndex {
   int active_meta_ = 0;
   bool api_dirty_ = false;       // set by Put/Delete only (the flag bug #3 trusts)
   bool internal_dirty_ = false;  // set by relocations and other internal mutations
-  LsmStats stats_;
+  std::unique_ptr<MetricRegistry> owned_metrics_;
+  Counter* puts_;
+  Counter* deletes_;
+  Counter* gets_;
+  Counter* flushes_;
+  Counter* compactions_;
+  Counter* metadata_writes_;
 };
 
 }  // namespace ss

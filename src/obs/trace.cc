@@ -1,0 +1,95 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ss {
+
+std::string_view TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPut:
+      return "Put";
+    case TraceKind::kGet:
+      return "Get";
+    case TraceKind::kDelete:
+      return "Delete";
+    case TraceKind::kListShards:
+      return "ListShards";
+    case TraceKind::kFlush:
+      return "Flush";
+    case TraceKind::kMigrateShard:
+      return "MigrateShard";
+    case TraceKind::kEvacuateDisk:
+      return "EvacuateDisk";
+    case TraceKind::kCrashRecoverDisk:
+      return "CrashRecoverDisk";
+    case TraceKind::kRemoveDisk:
+      return "RemoveDisk";
+    case TraceKind::kRestoreDisk:
+      return "RestoreDisk";
+    case TraceKind::kMarkDegraded:
+      return "MarkDegraded";
+    case TraceKind::kResetHealth:
+      return "ResetHealth";
+  }
+  return "Unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream out;
+  out << "#" << seq << " " << TraceKindName(kind) << " shard=" << shard << " disk=" << disk
+      << " status=" << StatusCodeName(status);
+  if (duration_ticks > 0) {
+    out << " ticks=" << duration_ticks;
+  }
+  return out.str();
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
+                       uint64_t duration_ticks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event{next_seq_, kind, shard, disk, status, duration_ticks};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[static_cast<size_t>(next_seq_ % capacity_)] = event;
+  }
+  ++next_seq_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    const size_t head = static_cast<size_t>(next_seq_ % capacity_);
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(head), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(head));
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::string TraceRing::ToString(size_t max_events) const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out << "== trace (last " << std::min(max_events, events.size()) << " of " << total_recorded()
+      << ") ==\n";
+  const size_t start = events.size() > max_events ? events.size() - max_events : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    out << "  " << events[i].ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ss

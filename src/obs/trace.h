@@ -1,0 +1,83 @@
+// Bounded ring of structured trace events — the "what just happened" side of the
+// observability layer, complementing the "how much" side in metrics.h.
+//
+// The node server records one event per request-plane and control-plane operation:
+// kind, shard, disk, resulting status, and the virtual-clock ticks the operation
+// consumed. The ring is bounded (old events are overwritten) so it is safe to leave
+// recording on inside PBT harnesses that run hundreds of thousands of operations;
+// `total_recorded()` keeps the lifetime count so oracles can still assert on exact
+// event totals after wraparound.
+//
+// Like MetricRegistry, the ring uses a plain std::mutex: recording an event must not
+// become a model-checker scheduling point.
+
+#ifndef SS_OBS_TRACE_H_
+#define SS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ss {
+
+enum class TraceKind : uint8_t {
+  kPut = 0,
+  kGet,
+  kDelete,
+  kListShards,
+  kFlush,
+  kMigrateShard,
+  kEvacuateDisk,
+  kCrashRecoverDisk,
+  kRemoveDisk,
+  kRestoreDisk,
+  kMarkDegraded,
+  kResetHealth,
+};
+
+std::string_view TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  uint64_t seq = 0;  // monotonically increasing across the ring's lifetime
+  TraceKind kind = TraceKind::kGet;
+  uint64_t shard = 0;  // shard id, or 0 for whole-disk operations
+  int32_t disk = -1;   // disk index the operation touched / routed to, -1 if unknown
+  StatusCode status = StatusCode::kOk;
+  uint64_t duration_ticks = 0;  // virtual-clock ticks consumed, 0 if not measured
+
+  std::string ToString() const;
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
+              uint64_t duration_ticks = 0);
+
+  // The retained events, oldest first. At most capacity() entries.
+  std::vector<TraceEvent> Events() const;
+  // Lifetime event count, unaffected by wraparound.
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+  std::string ToString(size_t max_events = 16) const;
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::vector<TraceEvent> ring_;  // indexed by seq % capacity_ once full
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_OBS_TRACE_H_

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace ss {
 
@@ -34,6 +35,9 @@ struct PbtConfig {
   size_t max_ops = 60;
   // Cap on minimization executions (each shrink attempt re-runs the property).
   size_t max_shrink_runs = 4000;
+  // Optional registry to mirror pbt.* progress counters into (cases, ops, failures,
+  // shrink runs), so harness totals show up in the same snapshot as system metrics.
+  MetricRegistry* metrics = nullptr;
 };
 
 template <typename Op>
@@ -72,6 +76,10 @@ class PbtRunner {
       std::vector<Op> ops = Generate(case_seed);
       ++stats_.cases_run;
       stats_.ops_run += ops.size();
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("pbt.cases_run").Increment();
+        config_.metrics->counter("pbt.ops_run").Increment(ops.size());
+      }
       std::optional<std::string> error = run_(ops);
       if (error.has_value()) {
         PbtFailure<Op> failure;
@@ -80,6 +88,10 @@ class PbtRunner {
         failure.case_seed = case_seed;
         failure.case_index = i;
         Minimize(ops, *error, failure);
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("pbt.failures").Increment();
+          config_.metrics->counter("pbt.shrink_runs").Increment(failure.shrink_runs);
+        }
         return failure;
       }
     }

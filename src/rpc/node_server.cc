@@ -8,7 +8,22 @@
 
 namespace ss {
 
-NodeServer::NodeServer(NodeServerOptions options) : options_(options) {}
+NodeServer::NodeServer(NodeServerOptions options)
+    : options_(options), trace_(options.trace_capacity) {
+  put_ok_ = &metrics_.counter("rpc.put.ok");
+  put_err_ = &metrics_.counter("rpc.put.err");
+  get_ok_ = &metrics_.counter("rpc.get.ok");
+  get_err_ = &metrics_.counter("rpc.get.err");
+  delete_ok_ = &metrics_.counter("rpc.delete.ok");
+  delete_err_ = &metrics_.counter("rpc.delete.err");
+  list_shards_ = &metrics_.counter("rpc.list_shards");
+  migrations_ = &metrics_.counter("rpc.migrations");
+  evacuations_ = &metrics_.counter("rpc.evacuations");
+  crash_recoveries_ = &metrics_.counter("rpc.crash_recoveries");
+  stale_commit_skipped_ = &metrics_.counter("rpc.routing.stale_commit_skipped");
+  placement_rerouted_ = &metrics_.counter("rpc.routing.placement_rerouted");
+  op_ticks_ = &metrics_.histogram("rpc.op.backoff_ticks");
+}
 
 Result<std::unique_ptr<NodeServer>> NodeServer::Create(NodeServerOptions options) {
   if (options.disk_count < 1) {
@@ -28,14 +43,42 @@ Result<std::unique_ptr<NodeServer>> NodeServer::Create(NodeServerOptions options
   return node;
 }
 
-int NodeServer::DiskFor(ShardId id) const {
-  LockGuard lock(mu_);
+int NodeServer::DiskForLocked(ShardId id) const {
   auto it = directory_.find(id);
   if (it != directory_.end()) {
     return it->second;  // migrated / known placement
   }
-  // Stable hash placement for shards without a directory entry.
-  return static_cast<int>((id * 0x9e3779b97f4a7c15ULL >> 32) % disks_.size());
+  // Stable hash placement for shards without a directory entry. The hash only picks a
+  // starting point: disks that are out of service are skipped in hash order, so a
+  // removed disk does not make a deterministic 1/N slice of the key space unwritable.
+  //
+  // The fallback deliberately does NOT skip degraded or failed disks. Diverting the
+  // hash route is only sound when the home disk cannot hold unguarded data, and only
+  // removal from service (which follows evacuation) guarantees that. A sick disk may
+  // still hold a flushed value whose delete tombstone is sitting in the memtable;
+  // routing around it hides that copy from crash reconciliation, and the fault
+  // harness finds the resurrection (minimized: Put, FlushAll, Delete, DegradeDisk,
+  // CrashReboot — the crash drops the tombstone and the value returns as a phantom
+  // once health resets). Sick-but-in-service homes therefore keep their hash route
+  // and mutations surface kUnavailable until the operator evacuates or resets them.
+  const int n = static_cast<int>(disks_.size());
+  const int hashed = static_cast<int>((id * 0x9e3779b97f4a7c15ULL >> 32) % disks_.size());
+  for (int k = 0; k < n; ++k) {
+    const int d = (hashed + k) % n;
+    if (in_service_[d]) {
+      if (k > 0) {
+        SS_COVER("rpc.placement_rerouted");
+        placement_rerouted_->Increment();
+      }
+      return d;
+    }
+  }
+  return hashed;  // no disk can take new shards; the caller surfaces kUnavailable
+}
+
+int NodeServer::DiskFor(ShardId id) const {
+  LockGuard lock(mu_);
+  return DiskForLocked(id);
 }
 
 bool NodeServer::InService(int disk) const {
@@ -51,9 +94,15 @@ std::shared_ptr<ShardStore> NodeServer::store(int disk) const {
   return stores_[disk];
 }
 
-Result<std::shared_ptr<ShardStore>> NodeServer::Route(ShardId id, bool mutating) const {
-  const int disk = DiskFor(id);
+Result<std::shared_ptr<ShardStore>> NodeServer::Route(ShardId id, bool mutating,
+                                                      int* disk_out) const {
+  // Resolve and admission-check under one mu_ hold: resolving first and re-locking
+  // would let a concurrent control-plane change invalidate the resolved disk.
   LockGuard lock(mu_);
+  const int disk = DiskForLocked(id);
+  if (disk_out != nullptr) {
+    *disk_out = disk;
+  }
   if (!in_service_[disk]) {
     return Status::Unavailable("disk out of service");
   }
@@ -82,42 +131,116 @@ void NodeServer::AbsorbTrackerHealth(int disk, ShardStore& target) {
 }
 
 Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
-  const int disk = DiskFor(id);
-  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id, /*mutating=*/true));
+  int disk = -1;
+  auto routed = Route(id, /*mutating=*/true, &disk);
+  if (!routed.ok()) {
+    put_err_->Increment();
+    trace_.Record(TraceKind::kPut, id, disk, routed.code());
+    return routed.status();
+  }
+  std::shared_ptr<ShardStore> target = std::move(routed).value();
+  const uint64_t start_ticks = target->extents().VirtualNow();
   auto dep_or = target->Put(id, value);
   AbsorbTrackerHealth(disk, *target);
+  const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
+  op_ticks_->Record(ticks);
+  trace_.Record(TraceKind::kPut, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks);
   if (!dep_or.ok()) {
+    put_err_->Increment();
     return dep_or.status();
+  }
+  put_ok_->Increment();
+  if (options_.legacy_unconditional_route_commit) {
+    // Pre-fix routing commit, preserved behind a test-only knob: `disk` was resolved
+    // before the store call, so a MigrateShard that committed in between gets its
+    // directory entry overwritten with the stale source disk and later Gets route to
+    // the tombstoned copy. The yield is the preemption window the fix closes.
+    YieldThread();
+    LockGuard lock(mu_);
+    directory_[id] = disk;
+    return dep_or;
   }
   {
     LockGuard lock(mu_);
-    directory_[id] = disk;
+    auto it = directory_.find(id);
+    if (it == directory_.end()) {
+      directory_[id] = disk;
+    } else if (it->second != disk) {
+      // A concurrent migration committed new routing between our store write and this
+      // commit; overwriting it would point the directory back at a copy the migration
+      // tombstones.
+      SS_COVER("rpc.put_stale_route_commit_skipped");
+      stale_commit_skipped_->Increment();
+    }
   }
   return dep_or;
 }
 
 Result<Bytes> NodeServer::Get(ShardId id) {
-  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id, /*mutating=*/false));
+  int disk = -1;
+  auto routed = Route(id, /*mutating=*/false, &disk);
+  if (!routed.ok()) {
+    get_err_->Increment();
+    trace_.Record(TraceKind::kGet, id, disk, routed.code());
+    return routed.status();
+  }
+  std::shared_ptr<ShardStore> target = std::move(routed).value();
+  const uint64_t start_ticks = target->extents().VirtualNow();
   auto got = target->Get(id);
-  AbsorbTrackerHealth(DiskFor(id), *target);
+  AbsorbTrackerHealth(disk, *target);
+  const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
+  op_ticks_->Record(ticks);
+  trace_.Record(TraceKind::kGet, id, disk, got.ok() ? StatusCode::kOk : got.code(), ticks);
+  (got.ok() ? get_ok_ : get_err_)->Increment();
   return got;
 }
 
 Result<Dependency> NodeServer::Delete(ShardId id) {
-  SS_ASSIGN_OR_RETURN(std::shared_ptr<ShardStore> target, Route(id, /*mutating=*/true));
+  int disk = -1;
+  auto routed = Route(id, /*mutating=*/true, &disk);
+  if (!routed.ok()) {
+    delete_err_->Increment();
+    trace_.Record(TraceKind::kDelete, id, disk, routed.code());
+    return routed.status();
+  }
+  std::shared_ptr<ShardStore> target = std::move(routed).value();
+  const uint64_t start_ticks = target->extents().VirtualNow();
   auto dep_or = target->Delete(id);
-  AbsorbTrackerHealth(DiskFor(id), *target);
+  AbsorbTrackerHealth(disk, *target);
+  const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
+  op_ticks_->Record(ticks);
+  trace_.Record(TraceKind::kDelete, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(),
+                ticks);
   if (!dep_or.ok()) {
+    delete_err_->Increment();
     return dep_or.status();
+  }
+  delete_ok_->Increment();
+  if (options_.legacy_unconditional_route_commit) {
+    YieldThread();
+    LockGuard lock(mu_);
+    directory_.erase(id);
+    return dep_or;
   }
   {
     LockGuard lock(mu_);
-    directory_.erase(id);
+    auto it = directory_.find(id);
+    if (it != directory_.end()) {
+      if (it->second == disk) {
+        directory_.erase(it);
+      } else {
+        // The shard migrated while we tombstoned the old copy; the new owner's entry
+        // must survive, or its live copy becomes unreachable.
+        SS_COVER("rpc.delete_stale_route_erase_skipped");
+        stale_commit_skipped_->Increment();
+      }
+    }
   }
   return dep_or;
 }
 
 Result<std::vector<ShardId>> NodeServer::ListShards() {
+  list_shards_->Increment();
   if (BugEnabled(SeededBug::kListRemoveRace)) {
     // Buggy path: the listing copies the directory in two batches, releasing the lock
     // in between and resuming *by element count*. A concurrent removal that deletes an
@@ -188,6 +311,7 @@ Status NodeServer::RemoveDiskFromService(int disk) {
   LockGuard lock(mu_);
   in_service_[disk] = false;
   stores_[disk].reset();
+  trace_.Record(TraceKind::kRemoveDisk, 0, disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -213,6 +337,7 @@ Status NodeServer::RestoreDisk(int disk) {
   for (ShardId id : ids) {
     directory_[id] = disk;
   }
+  trace_.Record(TraceKind::kRestoreDisk, 0, disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -267,6 +392,8 @@ Status NodeServer::MigrateShardLocked(ShardId id, int to_disk) {
   // would resurrect the stale copy and recovery could re-register it.
   SS_RETURN_IF_ERROR(source->FlushAll());
   SS_COVER("rpc.migrate_shard");
+  migrations_->Increment();
+  trace_.Record(TraceKind::kMigrateShard, id, to_disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -291,6 +418,7 @@ Status NodeServer::MarkDiskDegraded(int disk) {
   }
   health_[disk] = DiskHealth::kDegraded;
   SS_COVER("rpc.mark_degraded");
+  trace_.Record(TraceKind::kMarkDegraded, 0, disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -304,6 +432,7 @@ Status NodeServer::ResetDiskHealth(int disk) {
   }
   health_[disk] = DiskHealth::kHealthy;
   stores_[disk]->extents().health().Reset();
+  trace_.Record(TraceKind::kResetHealth, 0, disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -364,6 +493,8 @@ Status NodeServer::EvacuateDisk(int disk) {
     }
   }
   SS_COVER("rpc.evacuate_disk");
+  evacuations_->Increment();
+  trace_.Record(TraceKind::kEvacuateDisk, 0, disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -413,6 +544,8 @@ Status NodeServer::CrashAndRecoverDisk(int disk, uint64_t crash_seed) {
   // disk that now owns the delete). Re-adding an entry would hand the stale copy the
   // routing back.
   SS_COVER("rpc.crash_recover_disk");
+  crash_recoveries_->Increment();
+  trace_.Record(TraceKind::kCrashRecoverDisk, 0, disk, StatusCode::kOk);
   return Status::Ok();
 }
 
@@ -461,7 +594,35 @@ Status NodeServer::FlushAllDisks() {
       SS_RETURN_IF_ERROR(target->FlushAll());
     }
   }
+  trace_.Record(TraceKind::kFlush, 0, -1, StatusCode::kOk);
   return Status::Ok();
 }
+
+MetricsSnapshot NodeServer::MetricsSnapshot() const {
+  ss::MetricsSnapshot out;
+  metrics_.SnapshotInto(out);
+  std::vector<std::shared_ptr<ShardStore>> stores;
+  {
+    LockGuard lock(mu_);
+    for (int d = 0; d < static_cast<int>(stores_.size()); ++d) {
+      if (stores_[d] != nullptr) {
+        stores.push_back(stores_[d]);
+      }
+      const std::string prefix = "rpc.disk." + std::to_string(d);
+      out.gauges[prefix + ".health"] = static_cast<int64_t>(health_[d]);
+      out.gauges[prefix + ".in_service"] = in_service_[d] ? 1 : 0;
+    }
+  }
+  // Store registries are read outside mu_: metric objects are leaf state, and the
+  // shared_ptr keeps each store alive even if it is removed from service meanwhile.
+  // Counters with the same name sum across disks, so the snapshot covers the whole
+  // per-disk stack (cache, scheduler, extent retry, LSM, chunk store, disk health).
+  for (const std::shared_ptr<ShardStore>& s : stores) {
+    s->metrics().SnapshotInto(out);
+  }
+  return out;
+}
+
+std::string NodeServer::DumpMetrics() const { return MetricsSnapshot().ToString() + trace_.ToString(); }
 
 }  // namespace ss

@@ -22,9 +22,12 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/kv/shard_store.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ss {
 
@@ -32,6 +35,14 @@ struct NodeServerOptions {
   int disk_count = 4;
   DiskGeometry geometry;
   ShardStoreOptions store;
+  // Retained trace events (see TraceRing); lifetime totals are unaffected.
+  size_t trace_capacity = TraceRing::kDefaultCapacity;
+  // Regression knob: restores the pre-fix Put/Delete routing commit (capture the
+  // routed disk before the store call, then write the directory unconditionally
+  // afterwards), which lets a concurrent MigrateShard's routing commit be clobbered
+  // with the stale source disk. Only the routing-race regression tests set this; see
+  // tests/concurrency_test.cc.
+  bool legacy_unconditional_route_commit = false;
 };
 
 class NodeServer {
@@ -96,8 +107,20 @@ class NodeServer {
   // Clean shutdown of every in-service disk; afterwards all dependencies persist.
   Status FlushAllDisks();
 
+  // --- Observability -------------------------------------------------------------------
+  // Point-in-time snapshot across the whole node: the node-level rpc.* registry plus
+  // every in-service store's registry (counters sum across disks), with per-disk
+  // rpc.disk.<d>.health / .in_service gauges mixed in. Harness oracles and benches
+  // assert on deltas between two snapshots.
+  ss::MetricsSnapshot MetricsSnapshot() const;
+  // Human-readable snapshot + the tail of the trace ring.
+  std::string DumpMetrics() const;
+  MetricRegistry& metrics() { return metrics_; }
+  const TraceRing& trace() const { return trace_; }
+
   // The disk currently owning `id`: its directory entry if present (which migration
-  // moves), otherwise the stable hash placement used for new shards.
+  // moves), otherwise the stable hash placement used for new shards — skipping disks
+  // that cannot accept new data (out of service / degraded / failed).
   int DiskFor(ShardId id) const;
   int disk_count() const { return static_cast<int>(disks_.size()); }
   bool InService(int disk) const;
@@ -109,9 +132,14 @@ class NodeServer {
  private:
   explicit NodeServer(NodeServerOptions options);
 
-  // Snapshot the store for a shard, checking service state and health (a degraded
-  // disk refuses mutating requests, a failed disk refuses everything).
-  Result<std::shared_ptr<ShardStore>> Route(ShardId id, bool mutating) const;
+  // DiskFor body; caller holds mu_.
+  int DiskForLocked(ShardId id) const;
+
+  // Snapshot the store for a shard under one mu_ hold, checking service state and
+  // health (a degraded disk refuses mutating requests, a failed disk refuses
+  // everything). `disk_out`, when set, receives the resolved disk even on failure.
+  Result<std::shared_ptr<ShardStore>> Route(ShardId id, bool mutating,
+                                            int* disk_out = nullptr) const;
 
   // Merge the store's error-budget tracker into the disk's health state (transitions
   // are sticky: the merge only ever moves health toward failed).
@@ -122,6 +150,24 @@ class NodeServer {
 
   NodeServerOptions options_;
   std::vector<std::unique_ptr<InMemoryDisk>> disks_;
+
+  // Node-level observability. Deliberately ordinary (std::mutex / std::atomic inside):
+  // recording is never a model-checker scheduling point.
+  MetricRegistry metrics_;
+  TraceRing trace_;
+  Counter* put_ok_;
+  Counter* put_err_;
+  Counter* get_ok_;
+  Counter* get_err_;
+  Counter* delete_ok_;
+  Counter* delete_err_;
+  Counter* list_shards_;
+  Counter* migrations_;
+  Counter* evacuations_;
+  Counter* crash_recoveries_;
+  Counter* stale_commit_skipped_;
+  Counter* placement_rerouted_;
+  Histogram* op_ticks_;
 
   mutable Mutex mu_;  // service state + health + directory
   std::vector<std::shared_ptr<ShardStore>> stores_;

@@ -6,8 +6,20 @@
 namespace ss {
 
 ExtentManager::ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler, uint32_t buffer_permits,
-                             IoRetryOptions retry)
-    : disk_(disk), scheduler_(scheduler), retry_(retry), buffer_pool_(buffer_permits) {
+                             IoRetryOptions retry, MetricRegistry* metrics)
+    : disk_(disk),
+      scheduler_(scheduler),
+      retry_(retry),
+      buffer_pool_(buffer_permits),
+      owned_metrics_(metrics == nullptr ? std::make_unique<MetricRegistry>() : nullptr),
+      health_(DiskHealthOptions{}, metrics == nullptr ? owned_metrics_.get() : metrics) {
+  MetricRegistry* reg = owned_metrics_ != nullptr ? owned_metrics_.get() : metrics;
+  retry_attempts_ = &reg->counter("extent.retry.attempts");
+  retry_transient_ = &reg->counter("extent.retry.transient_faults");
+  retry_absorbed_ = &reg->counter("extent.retry.absorbed");
+  retry_exhausted_ = &reg->counter("extent.retry.exhausted");
+  retry_permanent_ = &reg->counter("extent.retry.permanent_failures");
+  retry_backoff_ticks_ = &reg->histogram("extent.retry.backoff_ticks");
   if (retry_.max_attempts == 0) {
     retry_.max_attempts = 1;
   }
@@ -42,31 +54,27 @@ Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
   // Permanent failures are classified before any attempt: retrying a dead extent only
   // wastes the error budget that the health machinery spends on real transients.
   if (faults.IsPermanentlyFailed(extent)) {
-    {
-      LockGuard lock(retry_mu_);
-      ++retry_stats_.attempts;
-      ++retry_stats_.permanent_failures;
-    }
+    retry_attempts_->Increment();
+    retry_permanent_->Increment();
     health_.RecordPermanentError();
     return Status::DiskFailed(is_write ? "append: extent failed permanently"
                                        : "read: extent failed permanently");
   }
+  uint64_t backoff_spent = 0;
   for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     const bool failed =
         is_write ? faults.ShouldFailWrite(extent) : faults.ShouldFailRead(extent);
-    {
-      LockGuard lock(retry_mu_);
-      ++retry_stats_.attempts;
-      if (failed) {
-        ++retry_stats_.transient_faults;
-      } else if (attempt > 0) {
-        ++retry_stats_.absorbed_faults;
-      }
+    retry_attempts_->Increment();
+    if (failed) {
+      retry_transient_->Increment();
+    } else if (attempt > 0) {
+      retry_absorbed_->Increment();
     }
     if (!failed) {
       health_.RecordSuccess();
       if (attempt > 0) {
         SS_COVER("extent_manager.retry_absorbed_fault");
+        retry_backoff_ticks_->Record(backoff_spent);
       }
       return Status::Ok();
     }
@@ -74,22 +82,27 @@ Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
     if (attempt + 1 < retry_.max_attempts) {
       // Deterministic exponential backoff on the virtual clock: 1, 2, 4, ... base
       // ticks. No wall-clock sleep — harness runs must stay instantaneous.
+      const uint64_t ticks = retry_.backoff_base_ticks << attempt;
+      backoff_spent += ticks;
       LockGuard lock(retry_mu_);
-      virtual_clock_ += retry_.backoff_base_ticks << attempt;
+      virtual_clock_ += ticks;
     }
   }
-  {
-    LockGuard lock(retry_mu_);
-    ++retry_stats_.exhausted_budgets;
-  }
+  retry_exhausted_->Increment();
+  retry_backoff_ticks_->Record(backoff_spent);
   SS_COVER("extent_manager.retry_budget_exhausted");
   return Status::IoError(is_write ? "append: transient write faults outlasted retry budget"
                                   : "read: transient read faults outlasted retry budget");
 }
 
 IoRetryStats ExtentManager::retry_stats() const {
-  LockGuard lock(retry_mu_);
-  return retry_stats_;
+  IoRetryStats stats;
+  stats.attempts = retry_attempts_->Value();
+  stats.transient_faults = retry_transient_->Value();
+  stats.absorbed_faults = retry_absorbed_->Value();
+  stats.exhausted_budgets = retry_exhausted_->Value();
+  stats.permanent_failures = retry_permanent_->Value();
+  return stats;
 }
 
 uint64_t ExtentManager::VirtualNow() const {

@@ -25,6 +25,7 @@
 #define SS_SUPERBLOCK_EXTENT_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -33,6 +34,7 @@
 #include "src/dep/io_scheduler.h"
 #include "src/disk/disk.h"
 #include "src/disk/disk_health.h"
+#include "src/obs/metrics.h"
 #include "src/sync/sync.h"
 
 namespace ss {
@@ -56,7 +58,7 @@ struct IoRetryOptions {
   uint64_t backoff_base_ticks = 1;
 };
 
-// Lifetime counters for the retry layer (diagnostics, tests, benches).
+// Thin view over the extent.retry.* registry counters (diagnostics, tests, benches).
 struct IoRetryStats {
   uint64_t attempts = 0;          // every injector consultation
   uint64_t transient_faults = 0;  // attempts that failed transiently
@@ -74,8 +76,12 @@ class ExtentManager {
 
   // Builds the manager over (possibly freshly recovered) disk state: write pointers come
   // from the persisted superblock soft pointers, extent images from the disk pages.
+  // Retry/health metrics land in `metrics` (extent.retry.*, disk.health.*) when
+  // provided; otherwise the manager owns a private registry so direct construction
+  // keeps working in tests.
   ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler,
-                uint32_t buffer_permits = kDefaultBufferPermits, IoRetryOptions retry = {});
+                uint32_t buffer_permits = kDefaultBufferPermits, IoRetryOptions retry = {},
+                MetricRegistry* metrics = nullptr);
 
   // --- Data path ----------------------------------------------------------------------
   // Appends `data` (1..extent-size bytes) at the write pointer. The write is staged
@@ -146,9 +152,17 @@ class ExtentManager {
   mutable Mutex mu_;
   std::vector<ExtentState> extents_;
   Semaphore buffer_pool_;
+  std::unique_ptr<MetricRegistry> owned_metrics_;
   mutable DiskHealthTracker health_;
-  mutable Mutex retry_mu_;  // guards the retry stats + virtual clock
-  mutable IoRetryStats retry_stats_;
+  Counter* retry_attempts_;
+  Counter* retry_transient_;
+  Counter* retry_absorbed_;
+  Counter* retry_exhausted_;
+  Counter* retry_permanent_;
+  // Ticks a single IO spent in backoff before resolving; recorded only for IOs that
+  // actually retried, so clean traffic doesn't flood the zero bucket.
+  Histogram* retry_backoff_ticks_;
+  mutable Mutex retry_mu_;  // guards the virtual clock
   mutable uint64_t virtual_clock_ = 0;
 };
 

@@ -93,6 +93,30 @@ TEST_F(BufferCacheTest, AbsorbedBlipStillFillsCache) {
   EXPECT_GE(extents_.retry_stats().absorbed_faults, 1u);
 }
 
+// Regression: `invalidations` used to count drain *calls* (even no-op ones) rather
+// than pages actually dropped, and Clear() counted nothing.
+TEST_F(BufferCacheTest, DrainCountsPagesActuallyInvalidated) {
+  const ExtentId untouched = extents_.ClaimExtent(ExtentOwner::kChunkData).value();
+  AppendPages(2, 0x5a);
+  ASSERT_TRUE(cache_.ReadPages(extent_, 0, 2).ok());
+  // Draining an extent with no cached pages is a no-op and counts nothing.
+  cache_.DrainExtent(untouched);
+  EXPECT_EQ(cache_.stats().invalidations, 0u);
+  // Draining the populated extent counts each dropped page.
+  cache_.DrainExtent(extent_);
+  EXPECT_EQ(cache_.stats().invalidations, 2u);
+}
+
+TEST_F(BufferCacheTest, ClearCountsDroppedPages) {
+  AppendPages(3, 0x5b);
+  ASSERT_TRUE(cache_.ReadPages(extent_, 0, 3).ok());
+  cache_.Clear();
+  EXPECT_EQ(cache_.stats().invalidations, 3u);
+  // An empty-cache Clear adds nothing.
+  cache_.Clear();
+  EXPECT_EQ(cache_.stats().invalidations, 3u);
+}
+
 TEST_F(BufferCacheTest, ReadBeyondWritePointerPropagates) {
   EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).code(), StatusCode::kInvalidArgument);
 }

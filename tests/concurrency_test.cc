@@ -61,7 +61,37 @@ TEST_P(ConcurrencyBaseline, LinearizabilityHolds) {
   EXPECT_TRUE(result.ok) << result.error;
 }
 
+TEST_P(ConcurrencyBaseline, PutMigratePasses) {
+  McResult result = McExplore(MakePutMigrateBody(), Pct(300, GetParam()));
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST_P(ConcurrencyBaseline, PutEvacuatePasses) {
+  McResult result = McExplore(MakePutEvacuateBody(), Pct(300, GetParam()));
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrencyBaseline, testing::Values(1, 17, 4242));
+
+// Regression for the routing-commit clobber: the pre-fix Put captured its route, then
+// unconditionally wrote directory[id] = disk after the store call, overwriting a
+// concurrent migration's commit and leaving the directory pointing at the tombstoned
+// source copy. The legacy knob resurrects that commit so the model checker can keep
+// demonstrating the failure it used to cause.
+TEST(RoutingCommitClobber, LegacyUnconditionalCommitLosesTheShard) {
+  FaultRegistry::Global().DisableAll();
+  McResult result = McExplore(MakePutMigrateBody(/*legacy_route_commit=*/true),
+                              Pct(3000, 42));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_NE(result.error.find("shard"), std::string::npos) << result.error;
+}
+
+TEST(RoutingCommitClobber, FixedCommitSurvivesTheSameBudget) {
+  FaultRegistry::Global().DisableAll();
+  McResult result = McExplore(MakePutMigrateBody(), Pct(3000, 42));
+  EXPECT_TRUE(result.ok) << result.error;
+}
 
 TEST(ConcurrencyBaseline, RandomWalkAlsoPasses) {
   FaultRegistry::Global().DisableAll();

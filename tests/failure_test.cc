@@ -124,6 +124,62 @@ TEST_F(DiskFailureDomainTest, SourceCrashDoesNotResurrectMigratedShard) {
   EXPECT_EQ(node_->Get(id).value(), BytesOf("v2"));
 }
 
+// --- Metric-delta oracles -----------------------------------------------------------
+
+// A storm of N one-shot transient read faults is absorbed entirely by the retry
+// layer: exactly N extent.retry.absorbed increments, zero exhausted budgets, and N
+// successful Gets — asserted on MetricsSnapshot() deltas, not ad-hoc struct reads.
+TEST_F(DiskFailureDomainTest, AbsorbedFaultStormCountsExactlyInMetrics) {
+  constexpr int kStorm = 5;
+  const ShardId id = ShardOn(0);
+  ASSERT_TRUE(node_->Put(id, BytesOf("stormy")).ok());
+  // No flush: the index entry stays in the memtable, so each Get below performs
+  // exactly one extent read (the chunk frame) once the cache is dropped.
+  const MetricsSnapshot before = node_->MetricsSnapshot();
+  ScopedFault guard(node_->disk_image(0).fault_injector());
+  for (int i = 0; i < kStorm; ++i) {
+    node_->store(0)->cache().Clear();  // force the read through to the extent layer
+    for (ExtentId e = 1; e < 16; ++e) {
+      node_->disk_image(0).fault_injector().FailReadTimes(e, 1);
+    }
+    ASSERT_EQ(node_->Get(id).value(), BytesOf("stormy")) << "storm iteration " << i;
+    node_->disk_image(0).fault_injector().Clear();
+  }
+  const MetricsSnapshot after = node_->MetricsSnapshot();
+  EXPECT_EQ(CounterDelta(before, after, "extent.retry.absorbed"), kStorm);
+  EXPECT_EQ(CounterDelta(before, after, "extent.retry.exhausted"), 0u);
+  EXPECT_EQ(CounterDelta(before, after, "extent.retry.transient_faults"), kStorm);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.get.ok"), kStorm);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.get.err"), 0u);
+  // The storm stayed inside the error budget: the disk never left healthy.
+  EXPECT_EQ(node_->Health(0), DiskHealth::kHealthy);
+}
+
+// A transient burst longer than the attempt budget exhausts it: the IO escalates to
+// kIoError and the snapshot shows exactly one exhausted budget and zero absorptions.
+TEST_F(DiskFailureDomainTest, ExhaustedRetryBudgetCountsExactlyInMetrics) {
+  const ShardId id = ShardOn(0);
+  ASSERT_TRUE(node_->Put(id, BytesOf("doomed")).ok());
+  const MetricsSnapshot before = node_->MetricsSnapshot();
+  ScopedFault guard(node_->disk_image(0).fault_injector());
+  node_->store(0)->cache().Clear();
+  for (ExtentId e = 1; e < 16; ++e) {
+    // The extent layer makes 3 attempts per IO (default IoRetryOptions) and the
+    // store layer retries the whole read 4 times against reclamation races: 12 armed
+    // failures outlast both budgets.
+    node_->disk_image(0).fault_injector().FailReadTimes(e, 12);
+  }
+  EXPECT_EQ(node_->Get(id).code(), StatusCode::kIoError);
+  const MetricsSnapshot after = node_->MetricsSnapshot();
+  EXPECT_EQ(CounterDelta(before, after, "extent.retry.exhausted"), 4u);
+  EXPECT_EQ(CounterDelta(before, after, "extent.retry.absorbed"), 0u);
+  EXPECT_EQ(CounterDelta(before, after, "extent.retry.transient_faults"), 12u);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.get.err"), 1u);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.get.ok"), 0u);
+  // 12 windowed transient errors burned through the degrade budget.
+  EXPECT_EQ(node_->Health(0), DiskHealth::kDegraded);
+}
+
 // --- The fault-alphabet property ----------------------------------------------------
 
 std::string Describe(const PbtFailure<FailureOp>& failure) {
@@ -141,11 +197,18 @@ class FailureSeeds : public testing::TestWithParam<uint64_t> {
 
 TEST_P(FailureSeeds, FaultAlphabetHarnessPasses) {
   FailureConformanceHarness harness{FailureHarnessOptions{}};
-  auto runner = harness.MakeRunner({.seed = GetParam(), .num_cases = 170, .max_ops = 50});
+  MetricRegistry pbt_metrics;
+  auto runner = harness.MakeRunner(
+      {.seed = GetParam(), .num_cases = 170, .max_ops = 50, .metrics = &pbt_metrics});
   auto failure = runner.Run();
   ASSERT_FALSE(failure.has_value()) << Describe(*failure);
   // Three seeds x 170 cases = 510 mixed op/fault cases with zero violations.
   EXPECT_EQ(runner.stats().cases_run, 170u);
+  // The runner mirrors its progress into the registry: same totals, one snapshot.
+  MetricsSnapshot snap = pbt_metrics.Snapshot();
+  EXPECT_EQ(snap.counter("pbt.cases_run"), 170u);
+  EXPECT_EQ(snap.counter("pbt.ops_run"), runner.stats().ops_run);
+  EXPECT_EQ(snap.counter("pbt.failures"), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FailureSeeds, testing::Values(1u, 2u, 3u));

@@ -1,0 +1,276 @@
+// Observability layer: registry find-or-create semantics, histogram bucketing,
+// snapshot merging, trace-ring wraparound, snapshot stability under model-checked
+// concurrency, and the NodeServer surface (every subsystem visible in one snapshot).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/faults/faults.h"
+#include "src/mc/mc.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/rpc/node_server.h"
+#include "src/sync/sync.h"
+
+namespace ss {
+namespace {
+
+// --- MetricRegistry -----------------------------------------------------------------
+
+TEST(MetricRegistry, CounterFindOrCreateReturnsTheSameObject) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("x.events");
+  Counter& b = registry.counter("x.events");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  b.Increment(4);
+  EXPECT_EQ(a.Value(), 5u);
+  EXPECT_EQ(registry.Snapshot().counter("x.events"), 5u);
+  // Distinct names are distinct objects.
+  EXPECT_NE(&registry.counter("x.other"), &a);
+}
+
+TEST(MetricRegistry, GaugeSetAndAdd) {
+  MetricRegistry registry;
+  Gauge& g = registry.gauge("queue.depth");
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 4);
+  EXPECT_EQ(registry.Snapshot().gauge("queue.depth"), 4);
+  // Absent gauges read zero, same as counters.
+  EXPECT_EQ(registry.Snapshot().gauge("never.registered"), 0);
+}
+
+TEST(MetricRegistry, HistogramBucketBoundsAreInclusive) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("ticks", {1, 2, 4});
+  h.Record(1);  // <= 1
+  h.Record(2);  // <= 2
+  h.Record(3);  // <= 4
+  h.Record(4);  // <= 4 (inclusive bound)
+  h.Record(5);  // overflow
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<uint64_t>{1, 2, 4}));
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 2u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 15u);
+}
+
+TEST(MetricRegistry, HistogramBoundsApplyOnFirstRegistrationOnly) {
+  MetricRegistry registry;
+  Histogram& first = registry.histogram("h", {1, 2});
+  Histogram& again = registry.histogram("h", {10, 20, 30});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(MetricRegistry, SnapshotIntoAccumulatesAcrossRegistries) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.counter("shared").Increment(3);
+  b.counter("shared").Increment(4);
+  a.counter("only_a").Increment();
+  b.gauge("g").Set(2);
+  a.histogram("h", {8}).Record(5);
+  b.histogram("h", {8}).Record(20);
+
+  MetricsSnapshot merged;
+  a.SnapshotInto(merged);
+  b.SnapshotInto(merged);
+  EXPECT_EQ(merged.counter("shared"), 7u);
+  EXPECT_EQ(merged.counter("only_a"), 1u);
+  EXPECT_EQ(merged.counter("absent"), 0u);
+  EXPECT_EQ(merged.gauge("g"), 2);
+  const HistogramSnapshot& h = merged.histograms.at("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 25u);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);  // 5 <= 8
+  EXPECT_EQ(h.counts[1], 1u);  // 20 overflows
+}
+
+TEST(MetricRegistry, CounterDeltaBetweenSnapshots) {
+  MetricRegistry registry;
+  registry.counter("ops").Increment(2);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.counter("ops").Increment(5);
+  registry.counter("fresh").Increment();  // registered after `before`
+  MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(CounterDelta(before, after, "ops"), 5u);
+  EXPECT_EQ(CounterDelta(before, after, "fresh"), 1u);
+  EXPECT_EQ(CounterDelta(before, after, "absent"), 0u);
+}
+
+TEST(MetricRegistry, ToStringListsEverySection) {
+  MetricRegistry registry;
+  registry.counter("c.one").Increment();
+  registry.gauge("g.one").Set(-2);
+  registry.histogram("h.one").Record(3);
+  std::string out = registry.Snapshot().ToString();
+  EXPECT_NE(out.find("c.one"), std::string::npos);
+  EXPECT_NE(out.find("g.one"), std::string::npos);
+  EXPECT_NE(out.find("h.one"), std::string::npos);
+}
+
+// --- TraceRing ----------------------------------------------------------------------
+
+TEST(TraceRing, WrapsAroundKeepingTheNewestEvents) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Record(TraceKind::kPut, /*shard=*/i, /*disk=*/0, StatusCode::kOk);
+  }
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the last four survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].shard, 6 + i);
+  }
+}
+
+TEST(TraceRing, RecordsStructuredFields) {
+  TraceRing ring;
+  ring.Record(TraceKind::kMigrateShard, /*shard=*/42, /*disk=*/2,
+              StatusCode::kOk, /*duration_ticks=*/9);
+  std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kMigrateShard);
+  EXPECT_EQ(events[0].shard, 42u);
+  EXPECT_EQ(events[0].disk, 2);
+  EXPECT_EQ(events[0].status, StatusCode::kOk);
+  EXPECT_EQ(events[0].duration_ticks, 9u);
+  std::string text = ring.ToString();
+  EXPECT_NE(text.find("MigrateShard"), std::string::npos);
+}
+
+// --- Concurrency: snapshots are safe and exact against concurrent recorders ---------
+//
+// Recording uses plain atomics / std::mutex on purpose (never a model-checker
+// scheduling point), so the mc harness only controls the ss::Thread interleaving;
+// the assertion is that a quiesced registry always shows exact totals and a
+// mid-flight snapshot never tears the registry structure.
+
+TEST(ObsConcurrency, QuiescedCountsAreExactUnderMcSchedules) {
+  FaultRegistry::Global().DisableAll();
+  McOptions options;
+  options.strategy = McOptions::Strategy::kPct;
+  options.iterations = 200;
+  McResult result = McExplore(
+      []() {
+        MetricRegistry registry;
+        Counter& ops = registry.counter("ops");
+        TraceRing ring(8);
+        Thread worker = Thread::Spawn([&]() {
+          for (int i = 0; i < 3; ++i) {
+            ops.Increment();
+            ring.Record(TraceKind::kGet, i, 0, StatusCode::kOk);
+            YieldThread();
+          }
+        });
+        // Mid-flight reads: structurally safe, monotonic, never above the cap.
+        MetricsSnapshot mid = registry.Snapshot();
+        MC_CHECK(mid.counter("ops") <= 3, "counter overshot mid-flight");
+        MC_CHECK(ring.total_recorded() <= 3, "trace overshot mid-flight");
+        worker.Join();
+        MC_CHECK(registry.Snapshot().counter("ops") == 3, "quiesced counter not exact");
+        MC_CHECK(ring.total_recorded() == 3, "quiesced trace total not exact");
+      },
+      options);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+// --- NodeServer surface -------------------------------------------------------------
+
+class NodeObsTest : public testing::Test {
+ protected:
+  NodeObsTest() {
+    FaultRegistry::Global().DisableAll();
+    NodeServerOptions options;
+    options.disk_count = 2;
+    options.geometry = DiskGeometry{.extent_count = 16, .pages_per_extent = 16,
+                                    .page_size = 256};
+    node_ = std::move(NodeServer::Create(options).value());
+  }
+
+  std::unique_ptr<NodeServer> node_;
+};
+
+TEST_F(NodeObsTest, SnapshotCoversEverySubsystem) {
+  // Touch every layer: puts/gets/deletes, a flush, a migration, a crash-recovery.
+  for (ShardId id = 0; id < 8; ++id) {
+    ASSERT_TRUE(node_->Put(id, BytesOf("v" + std::to_string(id))).ok());
+    ASSERT_TRUE(node_->Get(id).ok());
+  }
+  ASSERT_TRUE(node_->Delete(7).ok());
+  ASSERT_TRUE(node_->FlushAllDisks().ok());
+  ASSERT_TRUE(node_->MigrateShard(0, 1 - node_->DiskFor(0)).ok());
+  ASSERT_TRUE(node_->CrashAndRecoverDisk(0, /*crash_seed=*/3).ok());
+
+  MetricsSnapshot snap = node_->MetricsSnapshot();
+  // One representative counter per migrated subsystem must exist and be non-zero.
+  EXPECT_GT(snap.counter("rpc.put.ok"), 0u);
+  EXPECT_GT(snap.counter("rpc.get.ok"), 0u);
+  EXPECT_GT(snap.counter("rpc.delete.ok"), 0u);
+  EXPECT_GT(snap.counter("rpc.migrations"), 0u);
+  EXPECT_GT(snap.counter("rpc.crash_recoveries"), 0u);
+  EXPECT_GT(snap.counter("store.puts"), 0u);
+  EXPECT_GT(snap.counter("lsm.puts"), 0u);
+  EXPECT_GT(snap.counter("lsm.flushes"), 0u);
+  EXPECT_GT(snap.counter("chunk.puts"), 0u);
+  EXPECT_GT(snap.counter("cache.hits") + snap.counter("cache.misses"), 0u);
+  EXPECT_GT(snap.counter("io.enqueued"), 0u);
+  EXPECT_GT(snap.counter("extent.retry.attempts"), 0u);
+  // Health and service state appear as per-disk gauges.
+  EXPECT_EQ(snap.gauge("rpc.disk.0.in_service"), 1);
+  EXPECT_EQ(snap.gauge("rpc.disk.1.in_service"), 1);
+  EXPECT_EQ(snap.gauge("rpc.disk.0.health"), 0);
+}
+
+TEST_F(NodeObsTest, RequestCountsMatchCalls) {
+  MetricsSnapshot before = node_->MetricsSnapshot();
+  ASSERT_TRUE(node_->Put(1, BytesOf("a")).ok());
+  ASSERT_TRUE(node_->Put(2, BytesOf("b")).ok());
+  ASSERT_TRUE(node_->Get(1).ok());
+  EXPECT_EQ(node_->Get(999).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(node_->Delete(2).ok());
+  MetricsSnapshot after = node_->MetricsSnapshot();
+  EXPECT_EQ(CounterDelta(before, after, "rpc.put.ok"), 2u);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.get.ok"), 1u);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.get.err"), 1u);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.delete.ok"), 1u);
+  EXPECT_EQ(node_->trace().total_recorded(), 5u);
+}
+
+TEST_F(NodeObsTest, DumpMetricsShowsCountersAndTrace) {
+  ASSERT_TRUE(node_->Put(5, BytesOf("x")).ok());
+  ASSERT_TRUE(node_->Get(5).ok());
+  std::string dump = node_->DumpMetrics();
+  EXPECT_NE(dump.find("rpc.put.ok"), std::string::npos);
+  EXPECT_NE(dump.find("lsm.puts"), std::string::npos);
+  EXPECT_NE(dump.find("trace"), std::string::npos);
+  EXPECT_NE(dump.find("put"), std::string::npos);
+}
+
+TEST_F(NodeObsTest, TraceRingCapacityIsConfigurable) {
+  NodeServerOptions options;
+  options.disk_count = 1;
+  options.trace_capacity = 2;
+  options.geometry = DiskGeometry{.extent_count = 16, .pages_per_extent = 16,
+                                  .page_size = 256};
+  std::unique_ptr<NodeServer> node = std::move(NodeServer::Create(options).value());
+  for (ShardId id = 0; id < 5; ++id) {
+    ASSERT_TRUE(node->Put(id, BytesOf("v")).ok());
+  }
+  EXPECT_EQ(node->trace().capacity(), 2u);
+  EXPECT_EQ(node->trace().Events().size(), 2u);
+  EXPECT_EQ(node->trace().total_recorded(), 5u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -181,6 +181,54 @@ TEST_F(NodeServerTest, MigratedShardSurvivesRemoveRestoreOfNewHome) {
   EXPECT_EQ(node_->DiskFor(5), to);
 }
 
+// Regression: the hash fallback used to route fresh shards straight onto an
+// out-of-service disk, making a deterministic 1/N slice of the key space
+// unwritable. Fresh placements must skip removed disks in hash order.
+TEST_F(NodeServerTest, FreshPlacementSkipsOutOfServiceDisk) {
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  MetricsSnapshot before = node_->MetricsSnapshot();
+  // Every fresh shard — including the ones that hash to the removed disk — must
+  // still accept a Put and serve it back.
+  for (ShardId id = 100; id < 160; ++id) {
+    ASSERT_TRUE(node_->Put(id, BytesOf("fresh-" + std::to_string(id))).ok())
+        << "shard " << id;
+    EXPECT_NE(node_->DiskFor(id), 0) << "shard " << id << " placed on removed disk";
+    EXPECT_EQ(node_->Get(id).value(), BytesOf("fresh-" + std::to_string(id)));
+  }
+  // ~1/3 of the range hashed to disk 0 and was rerouted; the diversion is visible.
+  MetricsSnapshot after = node_->MetricsSnapshot();
+  EXPECT_GT(CounterDelta(before, after, "rpc.routing.placement_rerouted"), 0u);
+  // Restoring the disk re-exposes its (empty) hash routes without disturbing the
+  // directory entries the rerouted shards acquired.
+  ASSERT_TRUE(node_->RestoreDisk(0).ok());
+  for (ShardId id = 100; id < 160; ++id) {
+    EXPECT_EQ(node_->Get(id).value(), BytesOf("fresh-" + std::to_string(id)));
+  }
+}
+
+TEST_F(NodeServerTest, AllDisksOutOfServiceRefusesFreshPuts) {
+  for (int d = 0; d < 3; ++d) {
+    ASSERT_TRUE(node_->RemoveDiskFromService(d).ok());
+  }
+  EXPECT_EQ(node_->Put(100, BytesOf("v")).code(), StatusCode::kUnavailable);
+}
+
+// Sick-but-in-service disks deliberately keep their hash routes: a degraded or
+// failed disk may still hold data (a flushed value whose delete tombstone is in
+// flight), and routing around it would hide that copy from crash reconciliation —
+// the fault-alphabet harness finds the resurrection. Mutations gate instead.
+TEST_F(NodeServerTest, SickInServiceDiskKeepsItsHashRouteAndGates) {
+  ShardId fresh = 100;
+  while (node_->DiskFor(fresh) != 0) {
+    ++fresh;
+  }
+  ASSERT_TRUE(node_->MarkDiskDegraded(0).ok());
+  EXPECT_EQ(node_->DiskFor(fresh), 0);
+  EXPECT_EQ(node_->Put(fresh, BytesOf("v")).code(), StatusCode::kUnavailable);
+  // The degraded disk still serves reads of its (absent) keys as NotFound.
+  EXPECT_EQ(node_->Get(fresh).code(), StatusCode::kNotFound);
+}
+
 TEST_F(NodeServerTest, StoreAccessor) {
   EXPECT_NE(node_->store(0), nullptr);
   EXPECT_EQ(node_->store(7), nullptr);
