@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/kv/shard_store.h"
+#include "src/rpc/node_server.h"
 
 using namespace ss;
 
@@ -150,6 +151,168 @@ void BM_Recovery(benchmark::State& state) {
   state.SetLabel("recovery (open over existing image)");
 }
 BENCHMARK(BM_Recovery)->Arg(16)->Arg(128)->Iterations(300);
+
+// --- Batched write pipeline (group commit) -------------------------------------------
+// Looped single Puts vs PutBatch over the same NodeServer config: the batch path
+// shares one LSM barrier, one soft-pointer update per extent, and coalesced data IO
+// units, so the per-item cost of commit + writeback drain drops. Arg = items per
+// iteration; items/sec is the comparable figure.
+
+std::unique_ptr<NodeServer> MakeBenchNode() {
+  NodeServerOptions options;
+  options.disk_count = 2;
+  options.geometry = BenchGeometry();
+  // Low enough that a 16-item batch crosses it on each disk: ApplyBatch performs its
+  // own group flush, so store.batch.flushes shows up in the batch run's counters.
+  options.store.lsm.memtable_flush_entries = 8;
+  return std::move(NodeServer::Create(options).value());
+}
+
+void DrainNode(NodeServer& node) {
+  for (int d = 0; d < node.disk_count(); ++d) {
+    auto store = node.store(d);
+    if (store != nullptr) {
+      (void)store->PumpIo(4096);
+    }
+  }
+}
+
+// Node counters accumulated across the untimed node resets below (a snapshot dies
+// with its node).
+struct NodeBenchTotals {
+  uint64_t batch_puts = 0;
+  uint64_t batch_item_ok = 0;
+  uint64_t batch_applies = 0;
+  uint64_t batch_flushes = 0;
+  uint64_t coalesced_pages = 0;
+  uint64_t lsm_flushes = 0;
+  uint64_t io_enqueued = 0;
+  uint64_t put_ok = 0;
+
+  void Harvest(NodeServer& node) {
+    const MetricsSnapshot snap = node.MetricsSnapshot();
+    batch_puts += snap.counter("rpc.batch.puts");
+    batch_item_ok += snap.counter("rpc.batch.item_ok");
+    batch_applies += snap.counter("store.batch.applies");
+    batch_flushes += snap.counter("store.batch.flushes");
+    coalesced_pages += snap.counter("io.coalesced_pages");
+    lsm_flushes += snap.counter("lsm.flushes");
+    io_enqueued += snap.counter("io.enqueued");
+    put_ok += snap.counter("rpc.put.ok");
+  }
+
+  void Export(benchmark::State& state) const {
+    state.counters["rpc_batch_puts"] = static_cast<double>(batch_puts);
+    state.counters["rpc_batch_item_ok"] = static_cast<double>(batch_item_ok);
+    state.counters["rpc_put_ok"] = static_cast<double>(put_ok);
+    state.counters["store_batch_applies"] = static_cast<double>(batch_applies);
+    state.counters["store_batch_flushes"] = static_cast<double>(batch_flushes);
+    state.counters["io_coalesced_pages"] = static_cast<double>(coalesced_pages);
+    state.counters["lsm_flushes"] = static_cast<double>(lsm_flushes);
+    state.counters["io_enqueued"] = static_cast<double>(io_enqueued);
+  }
+};
+
+// The group-commit comparison: both variants make every put DURABLE before the
+// iteration ends (dependency persistent — index entry, run chunks, and soft pointers
+// flushed and drained). The looped baseline pays that commit barrier once per put,
+// exactly what an unbatched caller that needs durability before acking does; PutBatch
+// pays one group barrier for the whole batch. 120B values stay single-chunk/
+// single-page; keys are unique within a node segment, and the node is recreated
+// (untimed) every kSegmentItems committed items in BOTH variants, so neither side
+// ever hits the reclaim/compaction treadmill.
+constexpr size_t kSegmentItems = 512;
+
+void BM_NodePutLooped(benchmark::State& state) {
+  const size_t items_per_iter = static_cast<size_t>(state.range(0));
+  Bytes value = MakeValue(120, 3);
+  NodeBenchTotals totals;
+  std::unique_ptr<NodeServer> node;
+  ShardId id = 0;
+  for (auto _ : state) {
+    if (node == nullptr || id + items_per_iter > kSegmentItems) {
+      state.PauseTiming();
+      if (node != nullptr) {
+        totals.Harvest(*node);
+      }
+      node = MakeBenchNode();
+      id = 0;
+      state.ResumeTiming();
+    }
+    for (size_t k = 0; k < items_per_iter; ++k) {
+      benchmark::DoNotOptimize(node->Put(id, value));
+      // Per-op commit barrier: flush + drain the disk that took the put.
+      (void)node->store(node->DiskFor(id))->FlushAll();
+      ++id;
+    }
+  }
+  totals.Harvest(*node);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * items_per_iter));
+  totals.Export(state);
+}
+BENCHMARK(BM_NodePutLooped)->Arg(16)->Iterations(1000);
+
+void BM_NodePutBatch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  Bytes value = MakeValue(120, 4);
+  NodeBenchTotals totals;
+  std::unique_ptr<NodeServer> node;
+  ShardId id = 0;
+  for (auto _ : state) {
+    if (node == nullptr || id + batch_size > kSegmentItems) {
+      state.PauseTiming();
+      if (node != nullptr) {
+        totals.Harvest(*node);
+      }
+      node = MakeBenchNode();
+      id = 0;
+      state.ResumeTiming();
+    }
+    std::vector<std::pair<ShardId, Bytes>> items;
+    items.reserve(batch_size);
+    for (size_t k = 0; k < batch_size; ++k) {
+      items.emplace_back(id++, value);
+    }
+    benchmark::DoNotOptimize(node->PutBatch(items));
+    // One group barrier for the whole batch.
+    (void)node->FlushAllDisks();
+  }
+  totals.Harvest(*node);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch_size));
+  totals.Export(state);
+}
+BENCHMARK(BM_NodePutBatch)->Arg(4)->Arg(16)->Arg(64)->Iterations(1000);
+
+void BM_NodeDeleteBatch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  Bytes value = MakeValue(120, 5);
+  NodeBenchTotals totals;
+  std::unique_ptr<NodeServer> node;
+  ShardId id = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (node == nullptr || id + batch_size > kSegmentItems) {
+      if (node != nullptr) {
+        totals.Harvest(*node);
+      }
+      node = MakeBenchNode();
+      id = 0;
+    }
+    std::vector<ShardId> ids;
+    for (size_t k = 0; k < batch_size; ++k) {
+      ids.push_back(id);
+      (void)node->Put(id++, value);
+    }
+    DrainNode(*node);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(node->DeleteBatch(ids));
+    (void)node->FlushAllDisks();
+  }
+  totals.Harvest(*node);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch_size));
+  totals.Export(state);
+}
+BENCHMARK(BM_NodeDeleteBatch)->Arg(16)->Iterations(400);
 
 }  // namespace
 

@@ -122,19 +122,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ShardStoreStats stats = store->stats();
-  const ChunkStoreStats chunk_stats = store->chunks().stats();
+  const MetricsSnapshot snap = store->metrics().Snapshot();
+  const uint64_t puts = snap.counter("store.puts");
+  const uint64_t gets = snap.counter("store.gets");
+  const uint64_t deletes = snap.counter("store.deletes");
   printf("\nresults:\n");
   printf("  wall time               %.3f s\n", elapsed);
   printf("  puts/gets/deletes       %llu / %llu / %llu\n",
-         static_cast<unsigned long long>(stats.puts),
-         static_cast<unsigned long long>(stats.gets),
-         static_cast<unsigned long long>(stats.deletes));
+         static_cast<unsigned long long>(puts), static_cast<unsigned long long>(gets),
+         static_cast<unsigned long long>(deletes));
   printf("  ops/sec                 %.0f\n",
-         static_cast<double>(stats.puts + stats.gets + stats.deletes) / elapsed);
+         static_cast<double>(puts + gets + deletes) / elapsed);
   printf("  reclaim evac/drop       %llu / %llu\n",
-         static_cast<unsigned long long>(chunk_stats.chunks_evacuated),
-         static_cast<unsigned long long>(chunk_stats.chunks_dropped));
+         static_cast<unsigned long long>(snap.counter("chunk.evacuated")),
+         static_cast<unsigned long long>(snap.counter("chunk.dropped")));
   printf("  live shards             %zu (unreadable: %d)\n", listed.value().size(),
          unreadable);
   printf("  read-after-write fails  %d\n", failures.Load());

@@ -103,10 +103,10 @@ int main() {
   auto gone = store->Get(0x28);
   printf("get shard 0x28 -> %s (deleted)\n", gone.status().ToString().c_str());
 
-  const ChunkStoreStats stats = store->chunks().stats();
+  const MetricsSnapshot snap = store->metrics().Snapshot();
   printf("\nreclaimer stats: %llu evacuated, %llu dropped, %llu reclaim passes\n",
-         static_cast<unsigned long long>(stats.chunks_evacuated),
-         static_cast<unsigned long long>(stats.chunks_dropped),
-         static_cast<unsigned long long>(stats.reclaims));
+         static_cast<unsigned long long>(snap.counter("chunk.evacuated")),
+         static_cast<unsigned long long>(snap.counter("chunk.dropped")),
+         static_cast<unsigned long long>(snap.counter("chunk.reclaims")));
   return 0;
 }

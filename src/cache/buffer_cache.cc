@@ -10,6 +10,7 @@ BufferCache::BufferCache(ExtentManager* extents, size_t capacity_pages, MetricRe
     owned_metrics_ = std::make_unique<MetricRegistry>();
     metrics = owned_metrics_.get();
   }
+  metrics_ = metrics;
   hits_ = &metrics->counter("cache.hits");
   misses_ = &metrics->counter("cache.misses");
   evictions_ = &metrics->counter("cache.evictions");
@@ -94,15 +95,6 @@ void BufferCache::Clear() {
   if (dropped > 0) {
     invalidated_pages_->Increment(dropped);
   }
-}
-
-BufferCacheStats BufferCache::stats() const {
-  BufferCacheStats stats;
-  stats.hits = hits_->Value();
-  stats.misses = misses_->Value();
-  stats.evictions = evictions_->Value();
-  stats.invalidations = invalidated_pages_->Value();
-  return stats;
 }
 
 size_t BufferCache::CachedPages() const {

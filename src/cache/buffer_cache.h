@@ -23,17 +23,6 @@
 
 namespace ss {
 
-// Thin view over the cache.* registry counters; kept so existing call sites that
-// read `cache.stats().misses` etc. keep compiling. `invalidations` counts pages
-// actually invalidated (drains that match nothing contribute 0; Clear() counts
-// every page it drops).
-struct BufferCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t invalidations = 0;
-};
-
 class BufferCache {
  public:
   // Metrics land in `metrics` when provided; otherwise the cache owns a private
@@ -49,8 +38,12 @@ class BufferCache {
   void DrainExtent(ExtentId extent);
 
   void Clear();
-  BufferCacheStats stats() const;
   size_t CachedPages() const;
+  // The cache.* counters live in the registry passed at construction (or the private
+  // one): read them via MetricRegistry::Snapshot(). `cache.invalidated_pages` counts
+  // pages actually invalidated (drains that match nothing contribute 0; Clear()
+  // counts every page it drops).
+  const MetricRegistry& metrics() const { return *metrics_; }
 
  private:
   using Key = uint64_t;  // extent << 32 | page
@@ -64,6 +57,7 @@ class BufferCache {
   ExtentManager* extents_;
   size_t capacity_pages_;
   std::unique_ptr<MetricRegistry> owned_metrics_;  // set only when no registry was passed in
+  MetricRegistry* metrics_ = nullptr;              // the registry in use (owned or caller's)
   Counter* hits_;
   Counter* misses_;
   Counter* evictions_;

@@ -12,6 +12,7 @@ ChunkStore::ChunkStore(ExtentManager* extents, BufferCache* cache, ChunkStoreOpt
     owned_metrics_ = std::make_unique<MetricRegistry>();
     metrics = owned_metrics_.get();
   }
+  metrics_ = metrics;
   puts_ = &metrics->counter("chunk.puts");
   gets_ = &metrics->counter("chunk.gets");
   reclaims_ = &metrics->counter("chunk.reclaims");
@@ -329,15 +330,6 @@ std::vector<ExtentId> ChunkStore::ReclaimableExtents() const {
   return out;
 }
 
-ChunkStoreStats ChunkStore::stats() const {
-  ChunkStoreStats stats;
-  stats.puts = puts_->Value();
-  stats.gets = gets_->Value();
-  stats.reclaims = reclaims_->Value();
-  stats.chunks_evacuated = chunks_evacuated_->Value();
-  stats.chunks_dropped = chunks_dropped_->Value();
-  stats.corrupt_frames_skipped = corrupt_frames_skipped_->Value();
-  return stats;
-}
+const MetricRegistry& ChunkStore::metrics() const { return *metrics_; }
 
 }  // namespace ss

@@ -62,16 +62,6 @@ class ReclaimClient {
   virtual Dependency DropGate() = 0;
 };
 
-// Thin view over the chunk.* registry counters, kept for existing call sites.
-struct ChunkStoreStats {
-  uint64_t puts = 0;
-  uint64_t gets = 0;
-  uint64_t reclaims = 0;
-  uint64_t chunks_evacuated = 0;
-  uint64_t chunks_dropped = 0;
-  uint64_t corrupt_frames_skipped = 0;
-};
-
 struct ChunkStoreOptions {
   // Largest accepted payload per chunk; callers split larger values.
   size_t max_payload_bytes = 1024;
@@ -108,8 +98,10 @@ class ChunkStore {
   // Sealed, unpinned, non-empty extents eligible for reclamation.
   std::vector<ExtentId> ReclaimableExtents() const;
 
-  ChunkStoreStats stats() const;
   size_t max_payload_bytes() const { return options_.max_payload_bytes; }
+  // The chunk.* counters live in the registry passed at construction (or the private
+  // one): read them via MetricRegistry::Snapshot().
+  const MetricRegistry& metrics() const;
 
   // A scanned frame, as Reclaim sees it. Exposed for tests of the scan logic.
   struct ScannedChunk {
@@ -138,6 +130,7 @@ class ChunkStore {
   std::set<ExtentId> reclaiming_;  // excluded from allocation while a reclaim runs
   Rng uuid_rng_;
   std::unique_ptr<MetricRegistry> owned_metrics_;
+  MetricRegistry* metrics_ = nullptr;  // the registry in use (owned or caller's)
   Counter* puts_;
   Counter* gets_;
   Counter* reclaims_;

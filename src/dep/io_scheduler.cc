@@ -10,11 +10,13 @@ IoScheduler::IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics) : disk_(di
     owned_metrics_ = std::make_unique<MetricRegistry>();
     metrics = owned_metrics_.get();
   }
+  metrics_ = metrics;
   enqueued_ = &metrics->counter("io.enqueued");
   issued_ = &metrics->counter("io.issued");
   dropped_by_crash_ = &metrics->counter("io.dropped_by_crash");
   failed_io_ = &metrics->counter("io.failed");
   crashes_ = &metrics->counter("io.crashes");
+  coalesced_pages_ = &metrics->counter("io.coalesced_pages");
 }
 
 uint64_t IoScheduler::DomainKey(Kind kind, ExtentId extent) const {
@@ -44,14 +46,48 @@ Dependency IoScheduler::EnqueueLocked(Record record) {
 Dependency IoScheduler::EnqueueDataPage(ExtentId extent, uint32_t page, Bytes data,
                                         std::vector<Dependency> inputs) {
   LockGuard lock(mu_);
+  Dependency input = Dependency::AndAll(inputs);
+  const uint64_t domain = DomainKey(Kind::kDataPage, extent);
+  if (coalesce_depth_ > 0 && input.IsPersistent()) {
+    // Merge into the newest pending data record of this extent when the page extends
+    // it contiguously. The merged pages share one done leaf: they reach the disk (or
+    // are dropped by a crash) as a single IO unit. Requiring the new page's input to
+    // be persistent keeps the merge semantically neutral — the shared record's input
+    // is unchanged, and the extra ordering it imposes on the new page is one the data
+    // domain's FIFO already implies.
+    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+      if (it->domain != domain) {
+        continue;
+      }
+      if (it->kind == Kind::kDataPage &&
+          it->page + it->pages.size() == uint64_t{page}) {
+        it->pages.push_back(std::move(data));
+        coalesced_pages_->Increment();
+        return it->done;
+      }
+      break;  // newest record in the domain is not mergeable
+    }
+  }
   Record r;
   r.kind = Kind::kDataPage;
   r.extent = extent;
   r.page = page;
-  r.data = std::move(data);
-  r.input = Dependency::AndAll(inputs);
-  r.domain = DomainKey(r.kind, extent);
+  r.pages.push_back(std::move(data));
+  r.input = std::move(input);
+  r.domain = domain;
   return EnqueueLocked(std::move(r));
+}
+
+void IoScheduler::BeginCoalescing() {
+  LockGuard lock(mu_);
+  ++coalesce_depth_;
+}
+
+void IoScheduler::EndCoalescing() {
+  LockGuard lock(mu_);
+  if (coalesce_depth_ > 0) {
+    --coalesce_depth_;
+  }
 }
 
 Dependency IoScheduler::EnqueueSoftWp(ExtentId extent, uint32_t wp_pages,
@@ -105,7 +141,13 @@ Status IoScheduler::IssueLocked(Record& record) {
   Status status = Status::Ok();
   switch (record.kind) {
     case Kind::kDataPage:
-      status = disk_->WritePage(record.extent, record.page, record.data);
+      for (size_t i = 0; i < record.pages.size(); ++i) {
+        status = disk_->WritePage(record.extent, record.page + static_cast<uint32_t>(i),
+                                  record.pages[i]);
+        if (!status.ok()) {
+          break;
+        }
+      }
       break;
     case Kind::kSoftWp:
       status = disk_->WriteSoftWp(record.extent, record.soft_wp);
@@ -252,16 +294,6 @@ void IoScheduler::CrashDropAll() {
 size_t IoScheduler::PendingCount() const {
   LockGuard lock(mu_);
   return queue_.size();
-}
-
-IoSchedulerStats IoScheduler::stats() const {
-  IoSchedulerStats stats;
-  stats.records_enqueued = enqueued_->Value();
-  stats.records_issued = issued_->Value();
-  stats.records_dropped_by_crash = dropped_by_crash_->Value();
-  stats.records_failed_io = failed_io_->Value();
-  stats.crashes = crashes_->Value();
-  return stats;
 }
 
 std::string IoScheduler::DescribeStuck() const {

@@ -33,15 +33,6 @@
 
 namespace ss {
 
-// Thin view over the io.* registry counters, kept for existing call sites.
-struct IoSchedulerStats {
-  uint64_t records_enqueued = 0;
-  uint64_t records_issued = 0;
-  uint64_t records_dropped_by_crash = 0;
-  uint64_t records_failed_io = 0;
-  uint64_t crashes = 0;
-};
-
 class IoScheduler {
  public:
   // Metrics land in `metrics` when provided; otherwise the scheduler owns a private
@@ -59,6 +50,17 @@ class IoScheduler {
   // disk effect (the paired EnqueueSoftWp(extent, 0, ...) makes old data unreachable),
   // but FIFO ordering guarantees no post-reset append is issued before it.
   Dependency EnqueueReset(ExtentId extent, std::vector<Dependency> inputs);
+
+  // --- Coalescing window (group commit) ------------------------------------------------
+  // While at least one window is open, EnqueueDataPage merges a page into the newest
+  // pending data record of the same extent when the pages are contiguous and the new
+  // page's input is already persistent — adjacent appends from one batch become a
+  // single multi-page IO unit (issued, or dropped by a crash, atomically). Merging is
+  // restricted to persistent-input pages so the shared record never gains an input
+  // that could cycle back through its own done leaf. Windows nest; ShardStore's
+  // ApplyBatch brackets its staging phase with one.
+  void BeginCoalescing();
+  void EndCoalescing();
 
   // --- Issue ---------------------------------------------------------------------------
   // Issues up to `max_records` ready records in FIFO-scan order; returns how many were
@@ -88,10 +90,13 @@ class IoScheduler {
   void CrashScripted(const std::vector<bool>& plan, size_t* decisions_used = nullptr);
 
   size_t PendingCount() const;
-  IoSchedulerStats stats() const;
 
   // Description of why the queue is stuck (for forward-progress diagnostics).
   std::string DescribeStuck() const;
+
+  // The io.* counters live in the registry passed at construction (or the private
+  // one): read them via MetricRegistry::Snapshot().
+  const MetricRegistry& metrics() const { return *metrics_; }
 
  private:
   enum class Kind : uint8_t { kDataPage, kSoftWp, kOwnership, kReset };
@@ -99,8 +104,8 @@ class IoScheduler {
   struct Record {
     Kind kind;
     ExtentId extent;
-    uint32_t page = 0;      // kDataPage
-    Bytes data;             // kDataPage
+    uint32_t page = 0;          // kDataPage: first page of the IO unit
+    std::vector<Bytes> pages;   // kDataPage: one entry per page (coalescing grows this)
     uint32_t soft_wp = 0;   // kSoftWp
     ExtentOwner owner = ExtentOwner::kFree;  // kOwnership
     Dependency input;       // conjunction of the caller's input dependencies
@@ -121,12 +126,15 @@ class IoScheduler {
   InMemoryDisk* disk_;
   std::deque<Record> queue_;
   uint64_t next_seq_ = 0;
+  uint32_t coalesce_depth_ = 0;
   std::unique_ptr<MetricRegistry> owned_metrics_;
+  MetricRegistry* metrics_ = nullptr;  // the registry in use (owned or caller's)
   Counter* enqueued_;
   Counter* issued_;
   Counter* dropped_by_crash_;
   Counter* failed_io_;
   Counter* crashes_;
+  Counter* coalesced_pages_;
 };
 
 }  // namespace ss

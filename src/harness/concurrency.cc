@@ -202,11 +202,16 @@ std::function<void()> MakeBulkAtomicityBody() {
     std::shared_ptr<NodeServer> node(std::move(node_or).value());
 
     Thread creator = Thread::Spawn([node] {
-      Status status = node->BulkCreate({{5, PatternValue(5, 32)}, {6, PatternValue(6, 32)}});
-      MC_CHECK(status.ok(), "bulk create failed: " + status.ToString());
+      std::vector<Status> statuses =
+          node->BulkCreate({{5, PatternValue(5, 32)}, {6, PatternValue(6, 32)}});
+      for (const Status& status : statuses) {
+        MC_CHECK(status.ok(), "bulk create failed: " + status.ToString());
+      }
     });
-    Status status = node->BulkRemove({5, 6});
-    MC_CHECK(status.ok(), "bulk remove failed: " + status.ToString());
+    std::vector<Status> statuses = node->BulkRemove({5, 6});
+    for (const Status& status : statuses) {
+      MC_CHECK(status.ok(), "bulk remove failed: " + status.ToString());
+    }
     creator.Join();
 
     const bool have5 = node->Get(5).ok();
@@ -294,6 +299,50 @@ std::function<void()> MakePutMigrateBody(bool legacy_route_commit) {
     MC_CHECK(got.ok(), "shard lost after put ∥ migrate: " + got.status().ToString());
     MC_CHECK(got.value() == v1 || got.value() == v2,
              "put ∥ migrate returned a value neither write produced");
+  };
+}
+
+std::function<void()> MakePutBatchMigrateBody() {
+  return [] {
+    NodeServerOptions options;
+    options.disk_count = 2;
+    options.geometry = SmallGeometry();
+    auto node_or = NodeServer::Create(options);
+    MC_CHECK(node_or.ok(), "node create failed");
+    std::shared_ptr<NodeServer> node(std::move(node_or).value());
+
+    const ShardId id = 1;
+    Bytes v1 = PatternValue(1, 64);
+    Bytes v2 = PatternValue(2, 64);
+    Bytes v3 = PatternValue(3, 48);
+    MC_CHECK(node->Put(id, v1).ok(), "setup put");
+    const int source = node->DiskFor(id);
+    const int target = 1 - source;
+
+    // The batch covers the migrating shard plus a bystander key. Both disks stay
+    // healthy and in service, so every item must succeed wherever it routes; the
+    // migration's routing commit must survive a concurrent batch item commit.
+    const ShardId bystander = 2;
+    Thread writer = Thread::Spawn([node, id, bystander, v2, v3] {
+      BatchResult result = node->PutBatch({{id, v2}, {bystander, v3}});
+      MC_CHECK(result.items.size() == 2, "batch item count");
+      for (const BatchItemResult& item : result.items) {
+        MC_CHECK(item.status.ok(),
+                 "concurrent batch item failed: " + item.status.ToString());
+      }
+    });
+    Status migrated = node->MigrateShard(id, target);
+    MC_CHECK(migrated.ok(), "migrate failed: " + migrated.ToString());
+    writer.Join();
+
+    auto got = node->Get(id);
+    MC_CHECK(got.ok(), "shard lost after put-batch ∥ migrate: " + got.status().ToString());
+    MC_CHECK(got.value() == v1 || got.value() == v2,
+             "put-batch ∥ migrate returned a value neither write produced");
+    auto bystander_got = node->Get(bystander);
+    MC_CHECK(bystander_got.ok(),
+             "bystander lost after put-batch ∥ migrate: " + bystander_got.status().ToString());
+    MC_CHECK(bystander_got.value() == v3, "bystander value corrupted");
   };
 }
 

@@ -50,6 +50,12 @@ std::function<void()> MakePutMigrateBody(bool legacy_route_commit = false);
 // owning disk.
 std::function<void()> MakePutEvacuateBody(bool legacy_route_commit = false);
 
+// Batched variant of the routing-commit race: a PutBatch covering the migrating shard
+// (plus a bystander) racing MigrateShard. Batch routing commits are always per-item
+// and conditional (there is no legacy batch path), so every batch item must stay
+// reachable afterwards, with a value some write produced.
+std::function<void()> MakePutBatchMigrateBody();
+
 }  // namespace ss
 
 #endif  // SS_HARNESS_CONCURRENCY_H_

@@ -57,6 +57,24 @@ std::optional<std::string> RunOnce(const std::vector<KvOp>& ops,
       case KvOpKind::kPumpIo:
         store->PumpIo(op.arg);
         break;
+      case KvOpKind::kPutBatch: {
+        std::vector<StoreBatchItem> items;
+        items.reserve(op.batch.size());
+        for (const auto& [id, value] : op.batch) {
+          items.push_back({id, value});
+        }
+        StoreBatchResult result = store->ApplyBatch(items);
+        for (size_t k = 0; k < result.items.size(); ++k) {
+          const StoreBatchItemResult& item = result.items[k];
+          if (item.status.ok()) {
+            model.Put(op.batch[k].first, op.batch[k].second, item.dep);
+          } else if (item.status.code() != StatusCode::kResourceExhausted) {
+            return "op#" + std::to_string(i) + " batch item " + std::to_string(k) +
+                   " failed: " + item.status.ToString();
+          }
+        }
+        break;
+      }
       default:
         return "op kind not supported by the crash enumerator";
     }

@@ -10,7 +10,7 @@ std::string FailureOp::ToString() const {
                                  "PumpIo",       "FlushAll",     "ClearFaults",
                                  "ResetHealth",  "ArmTransRead", "ArmTransWrite",
                                  "ArmPermanent", "DegradeDisk",  "EvacuateDisk",
-                                 "CrashReboot"};
+                                 "CrashReboot",  "PutBatch"};
   std::ostringstream out;
   out << kNames[static_cast<int>(kind)];
   switch (kind) {
@@ -40,6 +40,14 @@ std::string FailureOp::ToString() const {
     case FailureOpKind::kCrashReboot:
       out << "(disk " << disk << ", seed " << seed << ")";
       break;
+    case FailureOpKind::kPutBatch: {
+      out << "(";
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out << (i > 0 ? ", " : "") << batch[i].first << ":" << batch[i].second.size() << "B";
+      }
+      out << ")";
+      break;
+    }
     default:
       break;
   }
@@ -52,13 +60,16 @@ FailureOp GenFailureOp(Rng& rng, const std::vector<FailureOp>& prefix,
                                    /*PumpIo*/ 5,    /*FlushAll*/ 5,  /*Clear*/ 6,
                                    /*ResetH*/ 4,    /*ArmRead*/ 9,   /*ArmWrite*/ 9,
                                    /*ArmPerm*/ 3,   /*Degrade*/ 4,   /*Evacuate*/ 4,
-                                   /*Crash*/ 5};
+                                   /*Crash*/ 5,     /*PutBatch*/ 10};
   FailureOp op;
   op.kind = static_cast<FailureOpKind>(rng.WeightedIndex(weights));
   std::vector<uint64_t> used;
   for (const FailureOp& prev : prefix) {
     if (prev.kind == FailureOpKind::kPut) {
       used.push_back(prev.id);
+    }
+    for (const auto& [batch_id, batch_value] : prev.batch) {
+      used.push_back(batch_id);
     }
   }
   const uint32_t disk_count = static_cast<uint32_t>(options.node.disk_count);
@@ -105,6 +116,17 @@ FailureOp GenFailureOp(Rng& rng, const std::vector<FailureOp>& prefix,
       op.disk = static_cast<uint32_t>(rng.Below(disk_count));
       op.seed = rng.Next();
       break;
+    case FailureOpKind::kPutBatch: {
+      const size_t items = 2 + rng.Below(5);  // 2..6 items, spread across disks
+      for (size_t k = 0; k < items; ++k) {
+        Bytes value(rng.Below(options.max_value_bytes + 1));
+        for (auto& b : value) {
+          b = static_cast<uint8_t>(rng.Below(256));
+        }
+        op.batch.emplace_back(BiasedKey(rng, used, 0.5, options.key_bound), std::move(value));
+      }
+      break;
+    }
     default:
       break;
   }
@@ -128,6 +150,17 @@ std::vector<FailureOp> ShrinkFailureOp(const FailureOp& op) {
     fewer.count /= 2;
     out.push_back(fewer);
   }
+  if (op.batch.size() > 1) {
+    // Halve the batch, and try the single-Put equivalent of its first item.
+    FailureOp fewer = op;
+    fewer.batch.resize(op.batch.size() / 2);
+    out.push_back(fewer);
+    FailureOp single;
+    single.kind = FailureOpKind::kPut;
+    single.id = op.batch.front().first;
+    single.value = op.batch.front().second;
+    out.push_back(single);
+  }
   if (op.kind != FailureOpKind::kGet) {
     FailureOp get;
     get.kind = FailureOpKind::kGet;
@@ -150,6 +183,8 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
   uint64_t puts_issued = 0;
   uint64_t gets_issued = 0;
   uint64_t deletes_issued = 0;
+  uint64_t batches_issued = 0;
+  uint64_t batch_items_issued = 0;
   KvStoreModel model;
   // Forward-progress log: (owning disk at op time, dependency). Entries for a disk are
   // dropped when that disk crash-reboots — their writebacks died with the scheduler.
@@ -342,6 +377,53 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
         }
         break;
       }
+      case FailureOpKind::kPutBatch: {
+        // Capture each item's routing and gating state before the call: the fault
+        // oracle is per item, exactly as for a single Put.
+        struct ItemState {
+          int routed = -1;
+          bool write_gated = false;
+          bool armed = false;
+        };
+        std::vector<ItemState> pre(op.batch.size());
+        for (size_t k = 0; k < op.batch.size(); ++k) {
+          ItemState& st = pre[k];
+          st.routed = node->DiskFor(op.batch[k].first);
+          const DiskHealth h = node->Health(st.routed);
+          st.write_gated = !node->InService(st.routed) || h == DiskHealth::kFailed ||
+                           h == DiskHealth::kDegraded;
+          st.armed = node->disk_image(st.routed).fault_injector().AnyArmed();
+        }
+        BatchResult batch = node->PutBatch(op.batch);
+        ++batches_issued;
+        batch_items_issued += op.batch.size();
+        if (batch.items.size() != op.batch.size()) {
+          return fail(i, "batch returned " + std::to_string(batch.items.size()) +
+                             " results for " + std::to_string(op.batch.size()) + " items");
+        }
+        for (size_t k = 0; k < batch.items.size(); ++k) {
+          const BatchItemResult& item = batch.items[k];
+          if (item.status.ok()) {
+            model.Put(op.batch[k].first, op.batch[k].second, item.dep);
+            dep_log.emplace_back(item.disk, item.dep);
+          } else if (item.status.code() == StatusCode::kUnavailable) {
+            if (!pre[k].write_gated) {
+              return fail(i, "batch item " + std::to_string(k) +
+                                 " Unavailable without a service/health cause");
+            }
+          } else if (item.status.code() == StatusCode::kIoError ||
+                     item.status.code() == StatusCode::kDiskFailed) {
+            if (!pre[k].armed) {
+              return fail(i, "batch item " + std::to_string(k) +
+                                 " IO error with no fault armed: " + item.status.ToString());
+            }
+          } else if (item.status.code() != StatusCode::kResourceExhausted) {
+            return fail(i, "batch item " + std::to_string(k) +
+                               " unexpected error: " + item.status.ToString());
+          }
+        }
+        break;
+      }
     }
   }
 
@@ -413,8 +495,20 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
         std::to_string(gets_issued) + " delete=" + std::to_string(delete_delta) + "/" +
         std::to_string(deletes_issued) + " disagree with ops issued");
   }
+  // Batched puts count in their own counters (never in rpc.put.*): one rpc.batch.puts
+  // per call and exactly one item_ok/item_err per item.
+  const uint64_t batch_delta = CounterDelta(metrics_before, metrics_after, "rpc.batch.puts");
+  const uint64_t batch_item_delta =
+      CounterDelta(metrics_before, metrics_after, "rpc.batch.item_ok") +
+      CounterDelta(metrics_before, metrics_after, "rpc.batch.item_err");
+  if (batch_delta != batches_issued || batch_item_delta != batch_items_issued) {
+    return std::optional<std::string>(
+        "metric oracle: batch counter deltas batches=" + std::to_string(batch_delta) + "/" +
+        std::to_string(batches_issued) + " items=" + std::to_string(batch_item_delta) + "/" +
+        std::to_string(batch_items_issued) + " disagree with ops issued");
+  }
   // Every request-plane op records exactly one trace event; control-plane ops add more.
-  const uint64_t request_events = puts_issued + gets_issued + deletes_issued;
+  const uint64_t request_events = puts_issued + gets_issued + deletes_issued + batches_issued;
   if (node->trace().total_recorded() < request_events) {
     return std::optional<std::string>(
         "metric oracle: trace ring recorded " + std::to_string(node->trace().total_recorded()) +

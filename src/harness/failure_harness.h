@@ -53,6 +53,7 @@ enum class FailureOpKind : uint8_t {
   kDegradeDisk,        // operator: mark read-only
   kEvacuateDisk,       // drain onto healthy peers
   kCrashReboot,        // crash the disk's scheduler, recover, reconcile routing
+  kPutBatch,           // batched puts through the group-commit pipeline
 };
 
 struct FailureOp {
@@ -63,6 +64,7 @@ struct FailureOp {
   uint32_t extent = 1; // target extent for arm actions
   uint32_t count = 1;  // burst length (kArmTransient*) / pump count
   uint64_t seed = 0;   // kCrashReboot crash state seed
+  std::vector<std::pair<ShardId, Bytes>> batch;  // kPutBatch items
   std::string ToString() const;
 };
 

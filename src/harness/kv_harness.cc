@@ -35,6 +35,8 @@ std::string_view KindName(KvOpKind kind) {
       return "FailReadOnce";
     case KvOpKind::kFailWriteOnce:
       return "FailWriteOnce";
+    case KvOpKind::kPutBatch:
+      return "PutBatch";
   }
   return "?";
 }
@@ -53,6 +55,9 @@ std::vector<uint64_t> UsedKeys(const std::vector<KvOp>& prefix) {
     if (op.kind == KvOpKind::kPut || op.kind == KvOpKind::kDelete ||
         op.kind == KvOpKind::kGet) {
       used.push_back(op.id);
+    }
+    for (const auto& [id, value] : op.batch) {
+      used.push_back(id);
     }
   }
   return used;
@@ -78,6 +83,14 @@ std::string KvOp::ToString() const {
     case KvOpKind::kFailWriteOnce:
       out << "(" << arg << ")";
       break;
+    case KvOpKind::kPutBatch: {
+      out << "(";
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out << (i ? ", " : "") << batch[i].first << ":" << batch[i].second.size() << "B";
+      }
+      out << ")";
+      break;
+    }
     default:
       break;
   }
@@ -92,6 +105,7 @@ KvOp GenKvOp(Rng& rng, const std::vector<KvOp>& prefix, const KvHarnessOptions& 
       /*DirtyReboot*/ options.crashes ? 6u : 0u,
       /*FailRead*/ options.failure_injection ? 3u : 0u,
       /*FailWrite*/ options.failure_injection ? 3u : 0u,
+      /*PutBatch*/ 8,
   };
   KvOp op;
   op.kind = static_cast<KvOpKind>(rng.WeightedIndex(weights));
@@ -131,6 +145,21 @@ KvOp GenKvOp(Rng& rng, const std::vector<KvOp>& prefix, const KvHarnessOptions& 
       op.arg = static_cast<uint32_t>(
           rng.Range(1, options.geometry.extent_count - 1));
       break;
+    case KvOpKind::kPutBatch: {
+      const size_t items = 2 + rng.Below(4);  // 2..5 items per batch
+      for (size_t k = 0; k < items; ++k) {
+        const ShardId id = options.bias_arguments
+                               ? BiasedKey(rng, UsedKeys(prefix), 0.5, options.key_bound)
+                               : rng.Below(options.key_bound);
+        const size_t size =
+            options.bias_arguments
+                ? BiasedValueSize(rng, options.geometry.page_size, kChunkOverheadBytes,
+                                  options.max_value_bytes)
+                : rng.Below(options.max_value_bytes + 1);
+        op.batch.emplace_back(id, RandomValue(rng, size));
+      }
+      break;
+    }
     default:
       break;
   }
@@ -158,6 +187,19 @@ std::vector<KvOp> ShrinkKvOp(const KvOp& op) {
     KvOp tiny = op;
     tiny.value.resize(std::min<size_t>(op.value.size(), 1));
     out.push_back(tiny);
+  }
+  // A batch shrinks toward fewer items, and toward a plain Put of its first item.
+  if (op.batch.size() > 1) {
+    KvOp halved = op;
+    halved.batch.resize(op.batch.size() / 2);
+    out.push_back(halved);
+  }
+  if (!op.batch.empty()) {
+    KvOp single;
+    single.kind = KvOpKind::kPut;
+    single.id = op.batch.front().first;
+    single.value = op.batch.front().second;
+    out.push_back(single);
   }
   // Earlier alphabet variant: anything can try to become a Get of the same key (the
   // minimizer keeps it only if the sequence still fails).
@@ -263,6 +305,31 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         } else if (dep_or.code() == StatusCode::kIoError && faults_armed) {
         } else {
           return fail(i, "unexpected error: " + dep_or.status().ToString());
+        }
+        break;
+      }
+      case KvOpKind::kPutBatch: {
+        std::vector<StoreBatchItem> items;
+        items.reserve(op.batch.size());
+        for (const auto& [id, value] : op.batch) {
+          items.push_back({id, value});
+        }
+        StoreBatchResult result = store->ApplyBatch(items);
+        if (result.items.size() != op.batch.size()) {
+          return fail(i, "batch returned wrong item count");
+        }
+        for (size_t k = 0; k < result.items.size(); ++k) {
+          const StoreBatchItemResult& item = result.items[k];
+          if (item.status.ok()) {
+            model.Put(op.batch[k].first, op.batch[k].second, item.dep);
+            dep_log.push_back({i, item.dep});
+          } else if (item.status.code() == StatusCode::kResourceExhausted ||
+                     (item.status.code() == StatusCode::kIoError && faults_armed)) {
+            // A failed item must be an atomic no-op; the model stays unchanged.
+          } else {
+            return fail(i, "batch item " + std::to_string(k) +
+                               " unexpected error: " + item.status.ToString());
+          }
         }
         break;
       }

@@ -45,6 +45,7 @@ enum class KvOpKind : uint8_t {
   // failure harness exercises that axis).
   kFailReadOnce,
   kFailWriteOnce,
+  kPutBatch,       // group-committed multi-put via ShardStore::ApplyBatch
 };
 
 struct KvOp {
@@ -52,6 +53,7 @@ struct KvOp {
   ShardId id = 0;
   Bytes value;       // kPut payload
   uint32_t arg = 0;  // pump count / crash seed / extent or candidate selector
+  std::vector<std::pair<ShardId, Bytes>> batch;  // kPutBatch items
   std::string ToString() const;
 };
 

@@ -17,6 +17,9 @@ ShardStore::ShardStore(InMemoryDisk* disk, ShardStoreOptions options)
   gets_ = &metrics_->counter("store.gets");
   deletes_ = &metrics_->counter("store.deletes");
   reclaims_ = &metrics_->counter("store.reclaims");
+  batch_applies_ = &metrics_->counter("store.batch.applies");
+  batch_items_ = &metrics_->counter("store.batch.items");
+  batch_flushes_ = &metrics_->counter("store.batch.flushes");
 }
 
 Result<std::unique_ptr<ShardStore>> ShardStore::Open(InMemoryDisk* disk,
@@ -63,6 +66,103 @@ Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
     chunks_->Unpin(loc.extent);
   }
   return dep;
+}
+
+StoreBatchResult ShardStore::ApplyBatch(const std::vector<StoreBatchItem>& items) {
+  StoreBatchResult result;
+  result.items.resize(items.size());
+  if (items.empty()) {
+    return result;
+  }
+  LockGuard batch_lock(batch_mu_);
+  batch_applies_->Increment();
+  batch_items_->Increment(items.size());
+  const size_t max_payload = chunks_->max_payload_bytes();
+
+  // Stage every item's chunk writes inside one write-batch scope: appends to the same
+  // extent coalesce into multi-page IO units and share one deferred soft-pointer
+  // update. Items fail independently — a failed item's partial chunks are unpinned
+  // (unreferenced garbage, reclaimed later) and the rest of the batch proceeds.
+  struct Staged {
+    size_t index = 0;
+    LsmBatchItem lsm;
+    std::vector<Locator> pinned;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(items.size());
+  extents_->BeginWriteBatch();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const StoreBatchItem& item = items[i];
+    Staged s;
+    s.index = i;
+    s.lsm.id = item.id;
+    if (!item.value.has_value()) {
+      deletes_->Increment();
+      staged.push_back(std::move(s));
+      continue;
+    }
+    puts_->Increment();
+    if (item.value->size() > max_payload * options_.max_chunks_per_shard) {
+      result.items[i].status = Status::InvalidArgument("shard value too large");
+      continue;
+    }
+    ShardRecord record;
+    record.total_bytes = item.value->size();
+    std::vector<Dependency> data_deps;
+    Status status = Status::Ok();
+    ByteSpan value(*item.value);
+    for (size_t off = 0; off < value.size(); off += max_payload) {
+      const size_t len = std::min(max_payload, value.size() - off);
+      auto chunk_or = chunks_->Put(value.subspan(off, len), Dependency());
+      if (!chunk_or.ok()) {
+        status = chunk_or.status();
+        break;
+      }
+      record.chunks.push_back(chunk_or.value().locator);
+      data_deps.push_back(chunk_or.value().dep);
+    }
+    if (!status.ok()) {
+      for (const Locator& loc : record.chunks) {
+        chunks_->Unpin(loc.extent);
+      }
+      result.items[i].status = status;
+      continue;
+    }
+    s.pinned = record.chunks;
+    s.lsm.data_dep = Dependency::AndAll(data_deps);
+    s.lsm.record = std::move(record);
+    staged.push_back(std::move(s));
+  }
+
+  // Commit: one LSM batch insert — all items land in the same memtable generation and
+  // resolve at one shared metadata barrier. The extent batch scope must close before
+  // any flush so the deferred soft-pointer promises are resolved by the time the
+  // metadata append depends on them.
+  std::vector<LsmBatchItem> lsm_items;
+  lsm_items.reserve(staged.size());
+  for (Staged& s : staged) {
+    lsm_items.push_back(std::move(s.lsm));
+  }
+  bool flush_wanted = false;
+  std::vector<Dependency> deps = index_->ApplyBatch(std::move(lsm_items), &flush_wanted);
+  extents_->EndWriteBatch();
+  std::vector<Dependency> ok_deps;
+  for (size_t k = 0; k < staged.size(); ++k) {
+    // Mirror Put: AND the item's data dependency explicitly (the promise implies it).
+    Dependency dep = deps[k];
+    result.items[staged[k].index].dep = dep;
+    ok_deps.push_back(std::move(dep));
+    for (const Locator& loc : staged[k].pinned) {
+      chunks_->Unpin(loc.extent);
+    }
+  }
+  result.dep = Dependency::AndAll(ok_deps);
+  if (flush_wanted) {
+    batch_flushes_->Increment();
+    // Best-effort group flush, as in Put; errors surface on the next explicit flush.
+    (void)index_->Flush();
+  }
+  return result;
 }
 
 Result<Bytes> ShardStore::Get(ShardId id) {
@@ -133,6 +233,7 @@ Status ShardStore::ReclaimAny() {
 }
 
 Status ShardStore::FlushAll() {
+  LockGuard batch_lock(batch_mu_);
   if (index_->NeedsShutdownFlush()) {
     SS_RETURN_IF_ERROR(index_->Flush());
   }
@@ -156,14 +257,5 @@ Result<Dependency> ShardStore::UpdateReference(const Locator& old_loc, const Loc
 }
 
 Dependency ShardStore::DropGate() { return index_->StateDurableGate(); }
-
-ShardStoreStats ShardStore::stats() const {
-  ShardStoreStats stats;
-  stats.puts = puts_->Value();
-  stats.gets = gets_->Value();
-  stats.deletes = deletes_->Value();
-  stats.reclaims = reclaims_->Value();
-  return stats;
-}
 
 }  // namespace ss

@@ -41,12 +41,21 @@ struct ShardStoreOptions {
   IoRetryOptions retry;
 };
 
-// Thin view over the store.* registry counters, kept for existing call sites.
-struct ShardStoreStats {
-  uint64_t puts = 0;
-  uint64_t gets = 0;
-  uint64_t deletes = 0;
-  uint64_t reclaims = 0;
+// One mutation of a write batch: a put (value set) or a delete (value empty).
+struct StoreBatchItem {
+  ShardId id = 0;
+  std::optional<Bytes> value;  // nullopt = delete
+};
+
+// Per-item outcome of ApplyBatch. `dep` is trivially persistent for failed items.
+struct StoreBatchItemResult {
+  Status status;
+  Dependency dep;
+};
+
+struct StoreBatchResult {
+  std::vector<StoreBatchItemResult> items;  // input order
+  Dependency dep;  // join of the successful items' dependencies
 };
 
 class ShardStore : public ReclaimClient {
@@ -67,6 +76,16 @@ class ShardStore : public ReclaimClient {
   // Removes the shard (tombstone). Returns the delete's dependency.
   Result<Dependency> Delete(ShardId id);
 
+  // Group commit: stages every item's chunk writes inside one extent write-batch
+  // scope (shared soft-pointer update per extent, coalesced data IO), then commits
+  // all items under a single LSM batch insert — one durability barrier for the whole
+  // batch instead of one per item. Items fail independently (per-item Status); the
+  // batch dependency is the join of the successful items. Crash semantics: the batch
+  // is atomic per item (never a torn value or an index entry without its chunks), and
+  // a crash persists a prefix of the batch — with one shared metadata barrier that
+  // prefix is in fact none-or-all of the items that reached the index.
+  StoreBatchResult ApplyBatch(const std::vector<StoreBatchItem>& items);
+
   // Live shard ids.
   Result<std::vector<ShardId>> List();
 
@@ -83,7 +102,9 @@ class ShardStore : public ReclaimClient {
 
   // Clean shutdown: flush the index if needed, then drain all writebacks. After this,
   // every dependency ever returned must report persistent (the paper's forward-progress
-  // property).
+  // property). Serialized against ApplyBatch: draining mid-batch would find records
+  // gated on the batch's still-unresolved soft-pointer promises and misreport a
+  // forward-progress violation.
   Status FlushAll();
 
   // --- ReclaimClient ---------------------------------------------------------------------
@@ -99,7 +120,6 @@ class ShardStore : public ReclaimClient {
   BufferCache& cache() { return *cache_; }
   LsmIndex& index() { return *index_; }
   InMemoryDisk& disk() { return *disk_; }
-  ShardStoreStats stats() const;
   // The store-wide registry: every component of this store (cache, scheduler, extent
   // retry, LSM, chunk store, disk health) registers its metrics here, so one snapshot
   // covers the whole per-disk stack.
@@ -121,6 +141,13 @@ class ShardStore : public ReclaimClient {
   Counter* gets_;
   Counter* deletes_;
   Counter* reclaims_;
+  Counter* batch_applies_;
+  Counter* batch_items_;
+  Counter* batch_flushes_;
+  // Held across ApplyBatch's staging window (and FlushAll's drain): between
+  // BeginWriteBatch and EndWriteBatch the scheduler holds records gated on promises
+  // only the batch itself resolves, so a concurrent drain must wait.
+  Mutex batch_mu_;
 };
 
 }  // namespace ss

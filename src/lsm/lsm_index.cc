@@ -39,12 +39,15 @@ LsmIndex::LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions option
     owned_metrics_ = std::make_unique<MetricRegistry>();
     metrics = owned_metrics_.get();
   }
+  metrics_ = metrics;
   puts_ = &metrics->counter("lsm.puts");
   deletes_ = &metrics->counter("lsm.deletes");
   gets_ = &metrics->counter("lsm.gets");
   flushes_ = &metrics->counter("lsm.flushes");
   compactions_ = &metrics->counter("lsm.compactions");
   metadata_writes_ = &metrics->counter("lsm.metadata_writes");
+  batch_applies_ = &metrics->counter("lsm.batch.applies");
+  batch_items_ = &metrics->counter("lsm.batch.items");
 }
 
 Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkStore* chunks,
@@ -155,6 +158,44 @@ Dependency LsmIndex::Put(ShardId id, ShardRecord record, Dependency data_dep) {
     (void)Flush();
   }
   return promise.And(data_dep);
+}
+
+std::vector<Dependency> LsmIndex::ApplyBatch(std::vector<LsmBatchItem> items,
+                                             bool* flush_wanted) {
+  std::vector<Dependency> deps;
+  deps.reserve(items.size());
+  if (flush_wanted != nullptr) {
+    *flush_wanted = false;
+  }
+  if (items.empty()) {
+    return deps;
+  }
+  Dependency promise = Dependency::MakePromise();
+  {
+    LockGuard lock(mu_);
+    batch_applies_->Increment();
+    batch_items_->Increment(items.size());
+    uint64_t max_seq = 0;
+    for (LsmBatchItem& item : items) {
+      (item.record.has_value() ? puts_ : deletes_)->Increment();
+      Entry entry;
+      entry.value = std::move(item.record);
+      entry.data_dep = item.data_dep;
+      entry.seq = next_seq_++;
+      max_seq = entry.seq;
+      memtable_[item.id] = std::move(entry);
+      deps.push_back(promise.And(item.data_dep));
+    }
+    // One promise at the batch's highest sequence: the covering metadata flush
+    // snapshots the whole memtable under mu_, so all of the batch's entries — inserted
+    // atomically above — resolve together at that single barrier.
+    pending_promises_.push_back({max_seq, promise});
+    api_dirty_ = true;
+    if (flush_wanted != nullptr) {
+      *flush_wanted = memtable_.size() >= options_.memtable_flush_entries;
+    }
+  }
+  return deps;
 }
 
 Dependency LsmIndex::Delete(ShardId id) {
@@ -697,17 +738,6 @@ size_t LsmIndex::RunCount() const {
 uint64_t LsmIndex::MetadataVersion() const {
   LockGuard lock(mu_);
   return version_;
-}
-
-LsmStats LsmIndex::stats() const {
-  LsmStats stats;
-  stats.puts = puts_->Value();
-  stats.deletes = deletes_->Value();
-  stats.gets = gets_->Value();
-  stats.flushes = flushes_->Value();
-  stats.compactions = compactions_->Value();
-  stats.metadata_writes = metadata_writes_->Value();
-  return stats;
 }
 
 std::vector<Locator> LsmIndex::RunLocators() const {

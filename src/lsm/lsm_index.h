@@ -61,14 +61,11 @@ struct LsmOptions {
   uint64_t meta_uuid_seed = 0x1e7a;
 };
 
-// Thin view over the lsm.* registry counters, kept for existing call sites.
-struct LsmStats {
-  uint64_t puts = 0;
-  uint64_t deletes = 0;
-  uint64_t gets = 0;
-  uint64_t flushes = 0;
-  uint64_t compactions = 0;
-  uint64_t metadata_writes = 0;
+// One mutation of a batched index commit (see LsmIndex::ApplyBatch).
+struct LsmBatchItem {
+  ShardId id = 0;
+  std::optional<ShardRecord> record;  // nullopt = tombstone
+  Dependency data_dep;                // trivially persistent for tombstones
 };
 
 class LsmIndex {
@@ -91,6 +88,15 @@ class LsmIndex {
 
   // Tombstone. Returns the tombstone's dependency.
   Dependency Delete(ShardId id);
+
+  // Group commit: inserts every item under one mu_ hold with consecutive sequence
+  // numbers and ONE shared promise registered at the batch's highest sequence — the
+  // whole batch rides a single durability barrier (the next covering metadata flush)
+  // instead of one promise per item. Returns the per-item dependencies in input order
+  // (shared promise ∧ the item's data_dep). Unlike Put, a threshold crossing is
+  // reported through `flush_wanted` instead of flushing inline, so the caller
+  // (ShardStore::ApplyBatch) can close its extent write-batch scope first.
+  std::vector<Dependency> ApplyBatch(std::vector<LsmBatchItem> items, bool* flush_wanted);
 
   // nullopt: no live mapping (never written, deleted, or tombstoned).
   Result<std::optional<ShardRecord>> Get(ShardId id);
@@ -135,8 +141,10 @@ class LsmIndex {
   size_t MemtableEntries() const;
   size_t RunCount() const;
   uint64_t MetadataVersion() const;
-  LsmStats stats() const;
   std::vector<Locator> RunLocators() const;
+  // The lsm.* counters live in the registry passed at Open (or the private one): read
+  // them via MetricRegistry::Snapshot().
+  const MetricRegistry& metrics() const { return *metrics_; }
 
  private:
   struct Entry {
@@ -192,12 +200,15 @@ class LsmIndex {
   bool api_dirty_ = false;       // set by Put/Delete only (the flag bug #3 trusts)
   bool internal_dirty_ = false;  // set by relocations and other internal mutations
   std::unique_ptr<MetricRegistry> owned_metrics_;
+  MetricRegistry* metrics_ = nullptr;  // the registry in use (owned or caller's)
   Counter* puts_;
   Counter* deletes_;
   Counter* gets_;
   Counter* flushes_;
   Counter* compactions_;
   Counter* metadata_writes_;
+  Counter* batch_applies_;
+  Counter* batch_items_;
 };
 
 }  // namespace ss

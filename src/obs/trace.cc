@@ -31,6 +31,10 @@ std::string_view TraceKindName(TraceKind kind) {
       return "MarkDegraded";
     case TraceKind::kResetHealth:
       return "ResetHealth";
+    case TraceKind::kPutBatch:
+      return "PutBatch";
+    case TraceKind::kDeleteBatch:
+      return "DeleteBatch";
   }
   return "Unknown";
 }
@@ -49,8 +53,8 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) 
   ring_.reserve(capacity_);
 }
 
-void TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
-                       uint64_t duration_ticks) {
+uint64_t TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
+                           uint64_t duration_ticks) {
   std::lock_guard<std::mutex> lock(mu_);
   TraceEvent event{next_seq_, kind, shard, disk, status, duration_ticks};
   if (ring_.size() < capacity_) {
@@ -58,7 +62,7 @@ void TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode 
   } else {
     ring_[static_cast<size_t>(next_seq_ % capacity_)] = event;
   }
-  ++next_seq_;
+  return next_seq_++;
 }
 
 std::vector<TraceEvent> TraceRing::Events() const {

@@ -37,6 +37,8 @@ enum class TraceKind : uint8_t {
   kRestoreDisk,
   kMarkDegraded,
   kResetHealth,
+  kPutBatch,
+  kDeleteBatch,
 };
 
 std::string_view TraceKindName(TraceKind kind);
@@ -60,8 +62,10 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
-  void Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
-              uint64_t duration_ticks = 0);
+  // Returns the event's lifetime sequence number, which doubles as the trace id the
+  // typed RPC envelopes (PutResult/DeleteResult) hand back to callers.
+  uint64_t Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
+                  uint64_t duration_ticks = 0);
 
   // The retained events, oldest first. At most capacity() entries.
   std::vector<TraceEvent> Events() const;

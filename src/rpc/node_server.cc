@@ -16,6 +16,10 @@ NodeServer::NodeServer(NodeServerOptions options)
   get_err_ = &metrics_.counter("rpc.get.err");
   delete_ok_ = &metrics_.counter("rpc.delete.ok");
   delete_err_ = &metrics_.counter("rpc.delete.err");
+  batch_puts_ = &metrics_.counter("rpc.batch.puts");
+  batch_deletes_ = &metrics_.counter("rpc.batch.deletes");
+  batch_item_ok_ = &metrics_.counter("rpc.batch.item_ok");
+  batch_item_err_ = &metrics_.counter("rpc.batch.item_err");
   list_shards_ = &metrics_.counter("rpc.list_shards");
   migrations_ = &metrics_.counter("rpc.migrations");
   evacuations_ = &metrics_.counter("rpc.evacuations");
@@ -130,7 +134,7 @@ void NodeServer::AbsorbTrackerHealth(int disk, ShardStore& target) {
   }
 }
 
-Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
+Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value) {
   int disk = -1;
   auto routed = Route(id, /*mutating=*/true, &disk);
   if (!routed.ok()) {
@@ -144,12 +148,14 @@ Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
   AbsorbTrackerHealth(disk, *target);
   const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
   op_ticks_->Record(ticks);
-  trace_.Record(TraceKind::kPut, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks);
+  const uint64_t trace_id = trace_.Record(
+      TraceKind::kPut, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks);
   if (!dep_or.ok()) {
     put_err_->Increment();
     return dep_or.status();
   }
   put_ok_->Increment();
+  PutResult result{std::move(dep_or).value(), disk, trace_id};
   if (options_.legacy_unconditional_route_commit) {
     // Pre-fix routing commit, preserved behind a test-only knob: `disk` was resolved
     // before the store call, so a MigrateShard that committed in between gets its
@@ -158,7 +164,7 @@ Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
     YieldThread();
     LockGuard lock(mu_);
     directory_[id] = disk;
-    return dep_or;
+    return result;
   }
   {
     LockGuard lock(mu_);
@@ -173,7 +179,7 @@ Result<Dependency> NodeServer::Put(ShardId id, ByteSpan value) {
       stale_commit_skipped_->Increment();
     }
   }
-  return dep_or;
+  return result;
 }
 
 Result<Bytes> NodeServer::Get(ShardId id) {
@@ -195,7 +201,7 @@ Result<Bytes> NodeServer::Get(ShardId id) {
   return got;
 }
 
-Result<Dependency> NodeServer::Delete(ShardId id) {
+Result<DeleteResult> NodeServer::Delete(ShardId id) {
   int disk = -1;
   auto routed = Route(id, /*mutating=*/true, &disk);
   if (!routed.ok()) {
@@ -209,18 +215,19 @@ Result<Dependency> NodeServer::Delete(ShardId id) {
   AbsorbTrackerHealth(disk, *target);
   const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
   op_ticks_->Record(ticks);
-  trace_.Record(TraceKind::kDelete, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(),
-                ticks);
+  const uint64_t trace_id = trace_.Record(
+      TraceKind::kDelete, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks);
   if (!dep_or.ok()) {
     delete_err_->Increment();
     return dep_or.status();
   }
   delete_ok_->Increment();
+  DeleteResult result{std::move(dep_or).value(), disk, trace_id};
   if (options_.legacy_unconditional_route_commit) {
     YieldThread();
     LockGuard lock(mu_);
     directory_.erase(id);
-    return dep_or;
+    return result;
   }
   {
     LockGuard lock(mu_);
@@ -236,7 +243,132 @@ Result<Dependency> NodeServer::Delete(ShardId id) {
       }
     }
   }
-  return dep_or;
+  return result;
+}
+
+BatchResult NodeServer::PutBatch(const std::vector<std::pair<ShardId, Bytes>>& items) {
+  batch_puts_->Increment();
+  BatchResult out;
+  out.items.resize(items.size());
+
+  // Route and admission-check every item individually (same policy as Put), grouping
+  // the admitted ones into per-disk sub-batches.
+  struct Group {
+    std::shared_ptr<ShardStore> store;
+    std::vector<size_t> indices;  // positions in `items`
+    std::vector<StoreBatchItem> batch;
+  };
+  std::map<int, Group> groups;
+  for (size_t i = 0; i < items.size(); ++i) {
+    out.items[i].id = items[i].first;
+    int disk = -1;
+    auto routed = Route(items[i].first, /*mutating=*/true, &disk);
+    out.items[i].disk = disk;
+    if (!routed.ok()) {
+      out.items[i].status = routed.status();
+      batch_item_err_->Increment();
+      continue;
+    }
+    Group& group = groups[disk];
+    group.store = std::move(routed).value();
+    group.indices.push_back(i);
+    group.batch.push_back(StoreBatchItem{items[i].first, items[i].second});
+  }
+
+  // Fan out per disk: each sub-batch commits under one LSM barrier and one shared
+  // soft-pointer update per extent (ShardStore::ApplyBatch), then commits its routing
+  // entries per item — conditionally, so a migration that moved an item mid-batch
+  // keeps its directory entry (the PR 2 stale-commit fix, item-granular here).
+  std::vector<Dependency> ok_deps;
+  for (auto& [disk, group] : groups) {
+    const uint64_t start_ticks = group.store->extents().VirtualNow();
+    StoreBatchResult applied = group.store->ApplyBatch(group.batch);
+    AbsorbTrackerHealth(disk, *group.store);
+    op_ticks_->Record(group.store->extents().VirtualNow() - start_ticks);
+    LockGuard lock(mu_);
+    for (size_t k = 0; k < group.indices.size(); ++k) {
+      const size_t i = group.indices[k];
+      out.items[i].status = applied.items[k].status;
+      out.items[i].dep = applied.items[k].dep;
+      if (!applied.items[k].status.ok()) {
+        batch_item_err_->Increment();
+        continue;
+      }
+      batch_item_ok_->Increment();
+      ok_deps.push_back(applied.items[k].dep);
+      auto it = directory_.find(out.items[i].id);
+      if (it == directory_.end()) {
+        directory_[out.items[i].id] = disk;
+      } else if (it->second != disk) {
+        SS_COVER("rpc.batch_stale_route_commit_skipped");
+        stale_commit_skipped_->Increment();
+      }
+    }
+  }
+  out.dep = Dependency::AndAll(ok_deps);
+  out.trace_id = trace_.Record(TraceKind::kPutBatch, items.size(), -1,
+                               out.all_ok() ? StatusCode::kOk : StatusCode::kUnavailable);
+  return out;
+}
+
+BatchResult NodeServer::DeleteBatch(const std::vector<ShardId>& ids) {
+  batch_deletes_->Increment();
+  BatchResult out;
+  out.items.resize(ids.size());
+  struct Group {
+    std::shared_ptr<ShardStore> store;
+    std::vector<size_t> indices;
+    std::vector<StoreBatchItem> batch;
+  };
+  std::map<int, Group> groups;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out.items[i].id = ids[i];
+    int disk = -1;
+    auto routed = Route(ids[i], /*mutating=*/true, &disk);
+    out.items[i].disk = disk;
+    if (!routed.ok()) {
+      out.items[i].status = routed.status();
+      batch_item_err_->Increment();
+      continue;
+    }
+    Group& group = groups[disk];
+    group.store = std::move(routed).value();
+    group.indices.push_back(i);
+    group.batch.push_back(StoreBatchItem{ids[i], std::nullopt});
+  }
+  std::vector<Dependency> ok_deps;
+  for (auto& [disk, group] : groups) {
+    const uint64_t start_ticks = group.store->extents().VirtualNow();
+    StoreBatchResult applied = group.store->ApplyBatch(group.batch);
+    AbsorbTrackerHealth(disk, *group.store);
+    op_ticks_->Record(group.store->extents().VirtualNow() - start_ticks);
+    LockGuard lock(mu_);
+    for (size_t k = 0; k < group.indices.size(); ++k) {
+      const size_t i = group.indices[k];
+      out.items[i].status = applied.items[k].status;
+      out.items[i].dep = applied.items[k].dep;
+      if (!applied.items[k].status.ok()) {
+        batch_item_err_->Increment();
+        continue;
+      }
+      batch_item_ok_->Increment();
+      ok_deps.push_back(applied.items[k].dep);
+      auto it = directory_.find(out.items[i].id);
+      if (it != directory_.end()) {
+        if (it->second == disk) {
+          directory_.erase(it);
+        } else {
+          // The shard migrated mid-batch; the new owner's routing entry must survive.
+          SS_COVER("rpc.batch_stale_route_erase_skipped");
+          stale_commit_skipped_->Increment();
+        }
+      }
+    }
+  }
+  out.dep = Dependency::AndAll(ok_deps);
+  out.trace_id = trace_.Record(TraceKind::kDeleteBatch, ids.size(), -1,
+                               out.all_ok() ? StatusCode::kOk : StatusCode::kUnavailable);
+  return out;
 }
 
 Result<std::vector<ShardId>> NodeServer::ListShards() {
@@ -549,42 +681,54 @@ Status NodeServer::CrashAndRecoverDisk(int disk, uint64_t crash_seed) {
   return Status::Ok();
 }
 
-Status NodeServer::BulkCreate(const std::vector<std::pair<ShardId, Bytes>>& items) {
-  const bool atomic = !BugEnabled(SeededBug::kBulkCreateRemoveRace);
-  if (!atomic) {
+std::vector<Status> NodeServer::BulkCreate(const std::vector<std::pair<ShardId, Bytes>>& items) {
+  if (BugEnabled(SeededBug::kBulkCreateRemoveRace)) {
+    // Buggy path (paper issue #16), preserved as seeded: items go through the request
+    // plane one by one with no control-plane lock, so another bulk operation can
+    // interleave between them and observers see a half-applied batch.
     SS_COVER("rpc.bug16_unlocked_bulk");
-  }
-  std::optional<LockGuard> guard;
-  if (atomic) {
-    guard.emplace(control_mu_);
-  }
-  for (const auto& [id, value] : items) {
-    auto dep_or = Put(id, value);
-    if (!dep_or.ok()) {
-      return dep_or.status();
+    std::vector<Status> statuses;
+    statuses.reserve(items.size());
+    for (const auto& [id, value] : items) {
+      auto put_or = Put(id, value);
+      statuses.push_back(put_or.ok() ? Status::Ok() : put_or.status());
+      YieldThread();
     }
-    YieldThread();
+    return statuses;
   }
-  return Status::Ok();
+  // Fixed path: the control-plane lock provides the documented none-or-all visibility
+  // relative to other bulk operations; the batch pipeline underneath turns the items
+  // into per-disk group commits.
+  LockGuard guard(control_mu_);
+  BatchResult batch = PutBatch(items);
+  std::vector<Status> statuses;
+  statuses.reserve(batch.items.size());
+  for (const BatchItemResult& item : batch.items) {
+    statuses.push_back(item.status);
+  }
+  return statuses;
 }
 
-Status NodeServer::BulkRemove(const std::vector<ShardId>& ids) {
-  const bool atomic = !BugEnabled(SeededBug::kBulkCreateRemoveRace);
-  if (!atomic) {
+std::vector<Status> NodeServer::BulkRemove(const std::vector<ShardId>& ids) {
+  if (BugEnabled(SeededBug::kBulkCreateRemoveRace)) {
     SS_COVER("rpc.bug16_unlocked_bulk");
-  }
-  std::optional<LockGuard> guard;
-  if (atomic) {
-    guard.emplace(control_mu_);
-  }
-  for (ShardId id : ids) {
-    auto dep_or = Delete(id);
-    if (!dep_or.ok()) {
-      return dep_or.status();
+    std::vector<Status> statuses;
+    statuses.reserve(ids.size());
+    for (ShardId id : ids) {
+      auto dep_or = Delete(id);
+      statuses.push_back(dep_or.ok() ? Status::Ok() : dep_or.status());
+      YieldThread();
     }
-    YieldThread();
+    return statuses;
   }
-  return Status::Ok();
+  LockGuard guard(control_mu_);
+  BatchResult batch = DeleteBatch(ids);
+  std::vector<Status> statuses;
+  statuses.reserve(batch.items.size());
+  for (const BatchItemResult& item : batch.items) {
+    statuses.push_back(item.status);
+  }
+  return statuses;
 }
 
 Status NodeServer::FlushAllDisks() {

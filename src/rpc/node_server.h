@@ -45,15 +45,71 @@ struct NodeServerOptions {
   bool legacy_unconditional_route_commit = false;
 };
 
+// Typed request-plane envelopes: every mutating RPC returns the operation's durability
+// dependency plus the routing and tracing context the node resolved for it — the disk
+// the write landed on and the trace-ring sequence number of the recorded event.
+// The implicit Dependency conversion keeps pre-envelope call sites
+// (`Dependency dep = node->Put(...).value()`) compiling unchanged.
+struct PutResult {
+  Dependency dep;
+  int disk = -1;
+  uint64_t trace_id = 0;
+
+  operator Dependency() const { return dep; }  // NOLINT(google-explicit-constructor)
+  const Dependency& dependency() const { return dep; }
+};
+
+struct DeleteResult {
+  Dependency dep;
+  int disk = -1;
+  uint64_t trace_id = 0;
+
+  operator Dependency() const { return dep; }  // NOLINT(google-explicit-constructor)
+  const Dependency& dependency() const { return dep; }
+};
+
+// Per-item outcome of a batched request-plane call. Failed items carry their status;
+// their dependency is trivially persistent.
+struct BatchItemResult {
+  ShardId id = 0;
+  Status status;
+  Dependency dep;
+  int disk = -1;
+};
+
+struct BatchResult {
+  std::vector<BatchItemResult> items;  // input order
+  Dependency dep;                      // join of the successful items' dependencies
+  uint64_t trace_id = 0;
+
+  bool all_ok() const {
+    for (const BatchItemResult& item : items) {
+      if (!item.status.ok()) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
 class NodeServer {
  public:
   // Creates `disk_count` fresh disks and opens a store on each.
   static Result<std::unique_ptr<NodeServer>> Create(NodeServerOptions options = {});
 
   // --- Request plane -------------------------------------------------------------------
-  Result<Dependency> Put(ShardId id, ByteSpan value);
+  Result<PutResult> Put(ShardId id, ByteSpan value);
   Result<Bytes> Get(ShardId id);
-  Result<Dependency> Delete(ShardId id);
+  Result<DeleteResult> Delete(ShardId id);
+
+  // Batched writes with group commit: items are routed and admission-checked
+  // individually, grouped by owning disk, and each per-disk sub-batch commits through
+  // ShardStore::ApplyBatch under one LSM barrier and one shared soft-pointer update
+  // per extent. Items fail independently; the batch dependency is the join of the
+  // successful items. Routing commits are per-item and conditional (the same
+  // stale-commit skip as Put/Delete), so a concurrent MigrateShard is never clobbered.
+  BatchResult PutBatch(const std::vector<std::pair<ShardId, Bytes>>& items);
+  BatchResult DeleteBatch(const std::vector<ShardId>& ids);
 
   // --- Control plane -------------------------------------------------------------------
   // All shards currently stored on in-service disks.
@@ -100,9 +156,10 @@ class NodeServer {
   Status CrashAndRecoverDisk(int disk, uint64_t crash_seed);
 
   // Atomic bulk operations: observers see either none or all of the batch applied
-  // (relative to other bulk operations).
-  Status BulkCreate(const std::vector<std::pair<ShardId, Bytes>>& items);
-  Status BulkRemove(const std::vector<ShardId>& ids);
+  // (relative to other bulk operations). Built on the batched write pipeline; each
+  // item reports its own status (index i mirrors input item i).
+  std::vector<Status> BulkCreate(const std::vector<std::pair<ShardId, Bytes>>& items);
+  std::vector<Status> BulkRemove(const std::vector<ShardId>& ids);
 
   // Clean shutdown of every in-service disk; afterwards all dependencies persist.
   Status FlushAllDisks();
@@ -161,6 +218,10 @@ class NodeServer {
   Counter* get_err_;
   Counter* delete_ok_;
   Counter* delete_err_;
+  Counter* batch_puts_;
+  Counter* batch_deletes_;
+  Counter* batch_item_ok_;
+  Counter* batch_item_err_;
   Counter* list_shards_;
   Counter* migrations_;
   Counter* evacuations_;

@@ -14,6 +14,8 @@ ExtentManager::ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler, uint32_
       owned_metrics_(metrics == nullptr ? std::make_unique<MetricRegistry>() : nullptr),
       health_(DiskHealthOptions{}, metrics == nullptr ? owned_metrics_.get() : metrics) {
   MetricRegistry* reg = owned_metrics_ != nullptr ? owned_metrics_.get() : metrics;
+  metrics_ = reg;
+  batch_soft_wp_updates_ = &reg->counter("extent.batch.soft_wp_updates");
   retry_attempts_ = &reg->counter("extent.retry.attempts");
   retry_transient_ = &reg->counter("extent.retry.transient_faults");
   retry_absorbed_ = &reg->counter("extent.retry.absorbed");
@@ -93,16 +95,6 @@ Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
   SS_COVER("extent_manager.retry_budget_exhausted");
   return Status::IoError(is_write ? "append: transient write faults outlasted retry budget"
                                   : "read: transient read faults outlasted retry budget");
-}
-
-IoRetryStats ExtentManager::retry_stats() const {
-  IoRetryStats stats;
-  stats.attempts = retry_attempts_->Value();
-  stats.transient_faults = retry_transient_->Value();
-  stats.absorbed_faults = retry_absorbed_->Value();
-  stats.exhausted_budgets = retry_exhausted_->Value();
-  stats.permanent_failures = retry_permanent_->Value();
-  return stats;
 }
 
 uint64_t ExtentManager::VirtualNow() const {
@@ -186,9 +178,24 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
     //    monotonically and Reset() rewinds the tracker. Seeded bug #7 breaks the
     //    rewind, making this skip fire and leaving the persisted pointer stale
     //    relative to the data.
+    //
+    // Inside a write batch the update is deferred instead: the batch's appends to
+    // this extent share one superblock update (enqueued at EndWriteBatch, gated on
+    // all the pages it covers), and the append's dependency carries the pending
+    // update's promise in its place.
     const uint32_t covered = state.wp + i + 1;
-    if (covered > state.enqueued_soft_wp) {
-      soft_wp_deps.push_back(scheduler_->EnqueueSoftWp(extent, covered, {page_dep}));
+    if (batch_depth_ > 0) {
+      auto [pend_it, inserted] = pending_soft_wp_.try_emplace(extent);
+      if (inserted) {
+        pend_it->second.promise = Dependency::MakePromise();
+      }
+      pend_it->second.covered = std::max(pend_it->second.covered, covered);
+      pend_it->second.data_deps.push_back(page_dep);
+      soft_wp_deps.push_back(pend_it->second.promise);
+    } else if (covered > state.enqueued_soft_wp) {
+      Dependency soft_dep = scheduler_->EnqueueSoftWp(extent, covered, {page_dep});
+      state.last_soft_wp_dep = soft_dep;
+      soft_wp_deps.push_back(std::move(soft_dep));
       state.enqueued_soft_wp = covered;
     } else {
       SS_COVER("extent_manager.soft_wp_skip");
@@ -232,10 +239,57 @@ Dependency ExtentManager::Reset(ExtentId extent, Dependency input) {
   return ResetLocked(extent, std::move(input));
 }
 
+void ExtentManager::SettlePendingSoftWpLocked(ExtentId extent) {
+  auto it = pending_soft_wp_.find(extent);
+  if (it == pending_soft_wp_.end()) {
+    return;
+  }
+  ExtentState& state = extents_[extent];
+  PendingSoftWp& pend = it->second;
+  if (pend.covered > state.enqueued_soft_wp) {
+    Dependency dep = scheduler_->EnqueueSoftWp(extent, pend.covered, pend.data_deps);
+    state.enqueued_soft_wp = pend.covered;
+    state.last_soft_wp_dep = dep;
+    pend.promise.ResolvePromise(dep);
+    batch_soft_wp_updates_->Increment();
+  } else {
+    // A covering update is already enqueued (an interleaved unbatched append, or a
+    // stale tracker under bug #7). The data domain's FIFO guarantees that update is
+    // gated behind the batch's pages, so resolving to it preserves the ordering.
+    SS_COVER("extent_manager.batch_soft_wp_covered");
+    pend.promise.ResolvePromise(state.last_soft_wp_dep);
+  }
+  pending_soft_wp_.erase(it);
+}
+
+void ExtentManager::BeginWriteBatch() {
+  LockGuard lock(mu_);
+  ++batch_depth_;
+  scheduler_->BeginCoalescing();
+}
+
+void ExtentManager::EndWriteBatch() {
+  LockGuard lock(mu_);
+  if (batch_depth_ == 0) {
+    return;
+  }
+  scheduler_->EndCoalescing();
+  if (--batch_depth_ > 0) {
+    return;  // inner scope of a nested batch
+  }
+  while (!pending_soft_wp_.empty()) {
+    SettlePendingSoftWpLocked(pending_soft_wp_.begin()->first);
+  }
+}
+
 Dependency ExtentManager::ResetLocked(ExtentId extent, Dependency input) {
   ExtentState& state = extents_[extent];
+  // A deferred batch update for this extent must settle first: left pending, it would
+  // later move the persisted pointer forward over pages the reset rewinds.
+  SettlePendingSoftWpLocked(extent);
   Dependency marker = scheduler_->EnqueueReset(extent, {input});
   Dependency zero = scheduler_->EnqueueSoftWp(extent, 0, {input});
+  state.last_soft_wp_dep = zero;
   state.wp = 0;
   if (!BugEnabled(SeededBug::kSoftPointerNotResetPersisted)) {
     state.enqueued_soft_wp = 0;

@@ -25,6 +25,7 @@
 #define SS_SUPERBLOCK_EXTENT_MANAGER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -58,15 +59,6 @@ struct IoRetryOptions {
   uint64_t backoff_base_ticks = 1;
 };
 
-// Thin view over the extent.retry.* registry counters (diagnostics, tests, benches).
-struct IoRetryStats {
-  uint64_t attempts = 0;          // every injector consultation
-  uint64_t transient_faults = 0;  // attempts that failed transiently
-  uint64_t absorbed_faults = 0;   // IOs that succeeded after >= 1 retry
-  uint64_t exhausted_budgets = 0; // IOs that escalated kIoError after all attempts
-  uint64_t permanent_failures = 0;// IOs refused with kDiskFailed
-};
-
 class ExtentManager {
  public:
   // Buffer-pool permits available for in-flight superblock/data staging. Two permits are
@@ -98,6 +90,21 @@ class ExtentManager {
   // persists. Returns the reset's dependency.
   Dependency Reset(ExtentId extent, Dependency input);
 
+  // --- Write batch (group commit) -----------------------------------------------------
+  // Between BeginWriteBatch and the matching EndWriteBatch, Append defers each
+  // extent's soft-write-pointer update: instead of one superblock update per page, the
+  // appends of a batch share a single update per touched extent, enqueued at End and
+  // gated on all the data pages it covers. Append results carry a promise for the
+  // shared update, resolved at End — so no batch append can report persistent before
+  // its covering pointer does, exactly as in the unbatched path. The scope also opens
+  // the IoScheduler's coalescing window. Batches nest; inner Ends are no-ops.
+  //
+  // Interleaved non-batch appends on the same extent stay sound: their per-page
+  // updates share the soft-wp FIFO domain, and any update covering a batch page is
+  // gated (through the data domain's FIFO) on that page reaching the disk first.
+  void BeginWriteBatch();
+  void EndWriteBatch();
+
   // --- Ownership ----------------------------------------------------------------------
   // Claims a free extent for `owner`, persisting the ownership record in the superblock.
   // Data appended to the extent will not persist before the ownership record does.
@@ -125,9 +132,12 @@ class ExtentManager {
   // Error-budget tracker fed by the retry loop; NodeServer's routing policy reads it.
   DiskHealthTracker& health() { return health_; }
   const DiskHealthTracker& health() const { return health_; }
-  IoRetryStats retry_stats() const;
   // Current virtual time (ticks charged by retry backoff so far).
   uint64_t VirtualNow() const;
+
+  // The extent.* / disk.health.* counters live in the registry passed at construction
+  // (or the private one): read them via MetricRegistry::Snapshot().
+  const MetricRegistry& metrics() const { return *metrics_; }
 
  private:
   struct ExtentState {
@@ -136,11 +146,23 @@ class ExtentManager {
     ExtentOwner owner = ExtentOwner::kFree;
     Dependency ownership_dep;        // trivially persistent unless freshly claimed
     Dependency last_reset_dep;       // trivially persistent unless a reset is in flight
+    Dependency last_soft_wp_dep;     // dependency of the newest enqueued soft-wp update
     std::vector<Bytes> image;        // volatile page contents
+  };
+
+  // A deferred (batched) soft-wp update for one extent: the highest page it must
+  // cover, the data pages gating it, and the promise appends handed out for it.
+  struct PendingSoftWp {
+    uint32_t covered = 0;
+    std::vector<Dependency> data_deps;
+    Dependency promise;
   };
 
   Status CheckExtent(ExtentId extent) const;
   Dependency ResetLocked(ExtentId extent, Dependency input);
+  // Enqueues (or skips) the deferred update for `extent` and resolves its promise.
+  // Caller holds mu_.
+  void SettlePendingSoftWpLocked(ExtentId extent);
   // Consults the fault injector for one logical IO on `extent`, retrying transient
   // faults up to the attempt budget with exponential virtual-clock backoff. Returns
   // Ok, kDiskFailed (permanent, no retries), or kIoError (budget exhausted).
@@ -151,9 +173,13 @@ class ExtentManager {
   IoRetryOptions retry_;
   mutable Mutex mu_;
   std::vector<ExtentState> extents_;
+  uint32_t batch_depth_ = 0;  // guarded by mu_
+  std::map<ExtentId, PendingSoftWp> pending_soft_wp_;  // guarded by mu_
   Semaphore buffer_pool_;
   std::unique_ptr<MetricRegistry> owned_metrics_;
+  MetricRegistry* metrics_ = nullptr;  // the registry in use (owned or caller's)
   mutable DiskHealthTracker health_;
+  Counter* batch_soft_wp_updates_;
   Counter* retry_attempts_;
   Counter* retry_transient_;
   Counter* retry_absorbed_;

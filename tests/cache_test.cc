@@ -23,6 +23,10 @@ class BufferCacheTest : public testing::Test {
     }
   }
 
+  uint64_t CacheCounter(std::string_view name) const {
+    return cache_.metrics().Snapshot().counter(name);
+  }
+
   InMemoryDisk disk_;
   IoScheduler scheduler_;
   ExtentManager extents_;
@@ -33,9 +37,9 @@ class BufferCacheTest : public testing::Test {
 TEST_F(BufferCacheTest, MissThenHit) {
   AppendPages(1, 0x11);
   EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).value()[0], 0x11);
-  EXPECT_EQ(cache_.stats().misses, 1u);
+  EXPECT_EQ(CacheCounter("cache.misses"), 1u);
   EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).value()[0], 0x11);
-  EXPECT_EQ(cache_.stats().hits, 1u);
+  EXPECT_EQ(CacheCounter("cache.hits"), 1u);
   EXPECT_EQ(cache_.CachedPages(), 1u);
 }
 
@@ -50,7 +54,7 @@ TEST_F(BufferCacheTest, EvictionRespectsCapacity) {
   AppendPages(6, 0x33);
   ASSERT_TRUE(cache_.ReadPages(extent_, 0, 6).ok());
   EXPECT_LE(cache_.CachedPages(), 4u);
-  EXPECT_GE(cache_.stats().evictions, 2u);
+  EXPECT_GE(CacheCounter("cache.evictions"), 2u);
 }
 
 TEST_F(BufferCacheTest, LruKeepsRecentlyUsed) {
@@ -58,9 +62,9 @@ TEST_F(BufferCacheTest, LruKeepsRecentlyUsed) {
   ASSERT_TRUE(cache_.ReadPages(extent_, 0, 4).ok());  // fill with 0..3
   ASSERT_TRUE(cache_.ReadPages(extent_, 0, 1).ok());  // touch page 0
   ASSERT_TRUE(cache_.ReadPages(extent_, 4, 1).ok());  // evicts LRU (page 1)
-  const uint64_t hits_before = cache_.stats().hits;
+  const uint64_t hits_before = CacheCounter("cache.hits");
   ASSERT_TRUE(cache_.ReadPages(extent_, 0, 1).ok());  // page 0 still cached
-  EXPECT_EQ(cache_.stats().hits, hits_before + 1);
+  EXPECT_EQ(CacheCounter("cache.hits"), hits_before + 1);
 }
 
 TEST_F(BufferCacheTest, DrainExtentRemovesOnlyThatExtent) {
@@ -90,7 +94,7 @@ TEST_F(BufferCacheTest, AbsorbedBlipStillFillsCache) {
   // A single blip is retried away below the cache; the miss fills normally.
   EXPECT_EQ(cache_.ReadPages(extent_, 0, 1).value()[0], 0x79);
   EXPECT_EQ(cache_.CachedPages(), 1u);
-  EXPECT_GE(extents_.retry_stats().absorbed_faults, 1u);
+  EXPECT_GE(extents_.metrics().Snapshot().counter("extent.retry.absorbed"), 1u);
 }
 
 // Regression: `invalidations` used to count drain *calls* (even no-op ones) rather
@@ -101,20 +105,20 @@ TEST_F(BufferCacheTest, DrainCountsPagesActuallyInvalidated) {
   ASSERT_TRUE(cache_.ReadPages(extent_, 0, 2).ok());
   // Draining an extent with no cached pages is a no-op and counts nothing.
   cache_.DrainExtent(untouched);
-  EXPECT_EQ(cache_.stats().invalidations, 0u);
+  EXPECT_EQ(CacheCounter("cache.invalidated_pages"), 0u);
   // Draining the populated extent counts each dropped page.
   cache_.DrainExtent(extent_);
-  EXPECT_EQ(cache_.stats().invalidations, 2u);
+  EXPECT_EQ(CacheCounter("cache.invalidated_pages"), 2u);
 }
 
 TEST_F(BufferCacheTest, ClearCountsDroppedPages) {
   AppendPages(3, 0x5b);
   ASSERT_TRUE(cache_.ReadPages(extent_, 0, 3).ok());
   cache_.Clear();
-  EXPECT_EQ(cache_.stats().invalidations, 3u);
+  EXPECT_EQ(CacheCounter("cache.invalidated_pages"), 3u);
   // An empty-cache Clear adds nothing.
   cache_.Clear();
-  EXPECT_EQ(cache_.stats().invalidations, 3u);
+  EXPECT_EQ(CacheCounter("cache.invalidated_pages"), 3u);
 }
 
 TEST_F(BufferCacheTest, ReadBeyondWritePointerPropagates) {

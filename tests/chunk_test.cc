@@ -181,8 +181,8 @@ TEST_F(ChunkStoreTest, ReclaimEvacuatesReferencedDropsGarbage) {
   EXPECT_EQ(chunks_.Get(moved).value(), BytesOf("live data"));
   // The victim extent was reset.
   EXPECT_EQ(extents_.WritePointer(victim), 0u);
-  EXPECT_EQ(chunks_.stats().chunks_evacuated, 1u);
-  EXPECT_EQ(chunks_.stats().chunks_dropped, 1u);
+  EXPECT_EQ(chunks_.metrics().Snapshot().counter("chunk.evacuated"), 1u);
+  EXPECT_EQ(chunks_.metrics().Snapshot().counter("chunk.dropped"), 1u);
 }
 
 TEST_F(ChunkStoreTest, ReclaimRefusesPinnedExtent) {
@@ -258,7 +258,7 @@ TEST_F(ChunkStoreTest, Bug1OvershootSkipsPageAlignedNeighbour) {
   ASSERT_TRUE(scheduler_.FlushAll().ok());
   // The scan strode over the second chunk, so it was dropped by the reset.
   EXPECT_FALSE(chunks_.Get(client.refs.count(second) ? second : second).ok());
-  EXPECT_EQ(chunks_.stats().chunks_evacuated, 1u);
+  EXPECT_EQ(chunks_.metrics().Snapshot().counter("chunk.evacuated"), 1u);
 }
 
 TEST_F(ChunkStoreTest, CorruptPageResynchronizesScan) {
@@ -277,7 +277,7 @@ TEST_F(ChunkStoreTest, CorruptPageResynchronizesScan) {
   auto scanned = chunks2.ScanExtent(a.extent).value();
   ASSERT_EQ(scanned.size(), 1u);
   EXPECT_EQ(scanned[0].payload, BytesOf("bbb"));
-  EXPECT_GE(chunks2.stats().corrupt_frames_skipped, 1u);
+  EXPECT_GE(chunks2.metrics().Snapshot().counter("chunk.corrupt_frames_skipped"), 1u);
 }
 
 TEST_F(ChunkStoreTest, ReclaimableExtentsExcludesActiveAndEmpty) {

@@ -71,6 +71,11 @@ TEST_P(ConcurrencyBaseline, PutEvacuatePasses) {
   EXPECT_TRUE(result.ok) << result.error;
 }
 
+TEST_P(ConcurrencyBaseline, PutBatchMigratePasses) {
+  McResult result = McExplore(MakePutBatchMigrateBody(), Pct(300, GetParam()));
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrencyBaseline, testing::Values(1, 17, 4242));
 
 // Regression for the routing-commit clobber: the pre-fix Put captured its route, then

@@ -103,6 +103,47 @@ TEST_F(CrashEnumTest, ViolatingPlanReplaysDeterministically) {
   EXPECT_EQ(first.violating_plan, second.violating_plan);
 }
 
+KvOp PutBatch(std::vector<std::pair<ShardId, size_t>> items) {
+  KvOp op;
+  op.kind = KvOpKind::kPutBatch;
+  for (const auto& [id, size] : items) {
+    op.batch.emplace_back(id, Bytes(size, static_cast<uint8_t>(0x40 + id)));
+  }
+  return op;
+}
+
+// The batch crash contract: every enumerated crash state surfaces, per item, either
+// the item's exact value or nothing — never a torn value, never an index entry whose
+// chunks are missing. EnumerateCrashStates' sweep checks exactly that per key.
+TEST_F(CrashEnumTest, BatchPrefixOnlyPersistence) {
+  CrashEnumResult result = EnumerateCrashStates(
+      {PutBatch({{1, 80}, {2, 300}, {3, 120}}), Op(KvOpKind::kFlushIndex)}, options_);
+  EXPECT_TRUE(result.exhausted) << result.states_explored;
+  EXPECT_FALSE(result.violation.has_value()) << *result.violation;
+  EXPECT_GT(result.states_explored, 10u);
+}
+
+// A batch overwriting an already-flushed key must never surface anything outside the
+// {old value, new value} set for that key, in any crash state.
+TEST_F(CrashEnumTest, BatchOverwriteStaysInAllowedSet) {
+  CrashEnumResult result = EnumerateCrashStates(
+      {Put(1, 100, 0xaa), Op(KvOpKind::kFlushIndex),
+       PutBatch({{1, 200}, {2, 90}}), Op(KvOpKind::kFlushIndex)},
+      options_);
+  EXPECT_FALSE(result.violation.has_value()) << *result.violation;
+}
+
+// Regression against the dependency bug the paper's Figure 6 family targets: a batch
+// whose soft-pointer dependency is dropped must be caught by enumeration, proving the
+// enumerator still has teeth through the group-commit path.
+TEST_F(CrashEnumTest, BatchDetectsSeededBug8) {
+  ScopedBug bug(SeededBug::kWriteMissingSoftPointerDep);
+  CrashEnumResult result = EnumerateCrashStates(
+      {PutBatch({{1, 100}, {2, 100}}), Op(KvOpKind::kFlushIndex)}, options_);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_FALSE(result.violating_plan.empty());
+}
+
 TEST_F(CrashEnumTest, RejectsUnsupportedOps) {
   KvOp reboot;
   reboot.kind = KvOpKind::kReboot;

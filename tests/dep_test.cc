@@ -176,11 +176,11 @@ TEST_F(IoSchedulerTest, StatsAccumulate) {
   scheduler_.Pump(1);
   Rng rng(1);
   scheduler_.Crash(rng, 0.0);
-  IoSchedulerStats stats = scheduler_.stats();
-  EXPECT_EQ(stats.records_enqueued, 2u);
-  EXPECT_EQ(stats.records_issued, 1u);
-  EXPECT_EQ(stats.records_dropped_by_crash, 1u);
-  EXPECT_EQ(stats.crashes, 1u);
+  MetricsSnapshot snap = scheduler_.metrics().Snapshot();
+  EXPECT_EQ(snap.counter("io.enqueued"), 2u);
+  EXPECT_EQ(snap.counter("io.issued"), 1u);
+  EXPECT_EQ(snap.counter("io.dropped_by_crash"), 1u);
+  EXPECT_EQ(snap.counter("io.crashes"), 1u);
 }
 
 // Property: every crash state respects (a) per-domain FIFO prefixes and (b) input

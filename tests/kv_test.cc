@@ -146,7 +146,7 @@ TEST_F(ShardStoreTest, ReclaimRecoversSpaceFromDeletedShards) {
   }
   ASSERT_TRUE(store_->FlushAll().ok());
   EXPECT_LT(disk_.LivePages(), live_before);
-  EXPECT_GE(store_->chunks().stats().chunks_dropped, 6u);
+  EXPECT_GE(store_->metrics().Snapshot().counter("chunk.dropped"), 6u);
 }
 
 TEST_F(ShardStoreTest, ReclaimPreservesLiveData) {
@@ -209,7 +209,7 @@ TEST_F(ShardStoreTest, TransientBlipIsInvisibleToTheApi) {
   EXPECT_TRUE(store_->Put(2, ValueOf(2, 10)).ok());
   disk_.fault_injector().FailReadOnce(target);
   EXPECT_EQ(store_->Get(1).value(), ValueOf(1, 10));
-  EXPECT_GE(store_->extents().retry_stats().absorbed_faults, 1u);
+  EXPECT_GE(store_->metrics().Snapshot().counter("extent.retry.absorbed"), 1u);
 }
 
 TEST_F(ShardStoreTest, PermanentFaultSurfacesDiskFailed) {
@@ -238,10 +238,10 @@ TEST_F(ShardStoreTest, StatsAccumulate) {
   ASSERT_TRUE(store_->Put(1, ValueOf(1, 10)).ok());
   (void)store_->Get(1);
   (void)store_->Delete(1);
-  ShardStoreStats stats = store_->stats();
-  EXPECT_EQ(stats.puts, 1u);
-  EXPECT_EQ(stats.gets, 1u);
-  EXPECT_EQ(stats.deletes, 1u);
+  MetricsSnapshot snap = store_->metrics().Snapshot();
+  EXPECT_EQ(snap.counter("store.puts"), 1u);
+  EXPECT_EQ(snap.counter("store.gets"), 1u);
+  EXPECT_EQ(snap.counter("store.deletes"), 1u);
 }
 
 TEST_F(ShardStoreTest, EpochBumpsOnEveryOpen) {

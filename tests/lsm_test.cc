@@ -281,12 +281,12 @@ TEST_F(LsmTest, StatsAccumulate) {
   index_->Delete(2);
   (void)index_->Get(1);
   ASSERT_TRUE(index_->Flush().ok());
-  LsmStats stats = index_->stats();
-  EXPECT_EQ(stats.puts, 1u);
-  EXPECT_EQ(stats.deletes, 1u);
-  EXPECT_GE(stats.gets, 1u);
-  EXPECT_EQ(stats.flushes, 1u);
-  EXPECT_GE(stats.metadata_writes, 1u);
+  MetricsSnapshot snap = index_->metrics().Snapshot();
+  EXPECT_EQ(snap.counter("lsm.puts"), 1u);
+  EXPECT_EQ(snap.counter("lsm.deletes"), 1u);
+  EXPECT_GE(snap.counter("lsm.gets"), 1u);
+  EXPECT_EQ(snap.counter("lsm.flushes"), 1u);
+  EXPECT_GE(snap.counter("lsm.metadata_writes"), 1u);
 }
 
 }  // namespace

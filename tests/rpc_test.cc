@@ -125,10 +125,16 @@ TEST_F(NodeServerTest, ListSkipsOutOfServiceDisks) {
 
 TEST_F(NodeServerTest, BulkCreateThenRemove) {
   std::vector<std::pair<ShardId, Bytes>> batch = {{1, BytesOf("a")}, {2, BytesOf("b")}};
-  ASSERT_TRUE(node_->BulkCreate(batch).ok());
+  std::vector<Status> created = node_->BulkCreate(batch);
+  ASSERT_EQ(created.size(), 2u);
+  EXPECT_TRUE(created[0].ok());
+  EXPECT_TRUE(created[1].ok());
   EXPECT_TRUE(node_->Get(1).ok());
   EXPECT_TRUE(node_->Get(2).ok());
-  ASSERT_TRUE(node_->BulkRemove({1, 2}).ok());
+  std::vector<Status> removed = node_->BulkRemove({1, 2});
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_TRUE(removed[0].ok());
+  EXPECT_TRUE(removed[1].ok());
   EXPECT_EQ(node_->Get(1).code(), StatusCode::kNotFound);
   EXPECT_EQ(node_->Get(2).code(), StatusCode::kNotFound);
 }

@@ -193,7 +193,7 @@ TEST_F(ExtentManagerTest, InjectedWriteFailureSurfacesSynchronously) {
   EXPECT_EQ(extents_.WritePointer(e), 0u);
   // Next append succeeds.
   EXPECT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
-  EXPECT_GE(extents_.retry_stats().exhausted_budgets, 1u);
+  EXPECT_GE(extents_.metrics().Snapshot().counter("extent.retry.exhausted"), 1u);
 }
 
 TEST_F(ExtentManagerTest, InjectedReadFailureSurfaces) {
@@ -213,8 +213,8 @@ TEST_F(ExtentManagerTest, SingleBlipIsAbsorbedByRetry) {
   EXPECT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
   disk_.fault_injector().FailReadOnce(e);
   EXPECT_TRUE(extents_.Read(e, 0, 1).ok());
-  EXPECT_GE(extents_.retry_stats().absorbed_faults, 2u);
-  EXPECT_EQ(extents_.retry_stats().exhausted_budgets, 0u);
+  EXPECT_GE(extents_.metrics().Snapshot().counter("extent.retry.absorbed"), 2u);
+  EXPECT_EQ(extents_.metrics().Snapshot().counter("extent.retry.exhausted"), 0u);
   // Backoff advanced the deterministic virtual clock, not the wall clock.
   EXPECT_GT(extents_.VirtualNow(), 0u);
   EXPECT_EQ(extents_.health().health(), DiskHealth::kHealthy);
@@ -225,12 +225,12 @@ TEST_F(ExtentManagerTest, PermanentFaultShortCircuitsAsDiskFailed) {
   ASSERT_TRUE(extents_.Append(e, BytesOf("x"), Dependency()).ok());
   ScopedFault guard(disk_.fault_injector());
   disk_.fault_injector().FailAlways(e, true);
-  const uint64_t attempts_before = extents_.retry_stats().attempts;
+  const uint64_t attempts_before = extents_.metrics().Snapshot().counter("extent.retry.attempts");
   EXPECT_EQ(extents_.Read(e, 0, 1).code(), StatusCode::kDiskFailed);
   // Permanent faults are not retried: one classifying attempt, no retry loop.
-  EXPECT_EQ(extents_.retry_stats().attempts, attempts_before + 1);
+  EXPECT_EQ(extents_.metrics().Snapshot().counter("extent.retry.attempts"), attempts_before + 1);
   EXPECT_EQ(extents_.health().health(), DiskHealth::kFailed);
-  EXPECT_GE(extents_.retry_stats().permanent_failures, 1u);
+  EXPECT_GE(extents_.metrics().Snapshot().counter("extent.retry.permanent_failures"), 1u);
 }
 
 TEST_F(ExtentManagerTest, RepeatedBurstsDegradeThenFailHealth) {
