@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "src/kv/shard_store.h"
 #include "src/rpc/node_server.h"
 
@@ -188,6 +190,11 @@ struct NodeBenchTotals {
   uint64_t lsm_flushes = 0;
   uint64_t io_enqueued = 0;
   uint64_t put_ok = 0;
+  // Per-stage span latency histograms ("span.<name>.ticks"), merged bucket-wise
+  // across node resets. Every ended span feeds one of these via the node registry,
+  // so a JSON bench run carries the per-stage latency surface of the whole path:
+  // rpc.* roots, store.*, lsm.*, chunk.*, cache.*, io.* children.
+  std::map<std::string, HistogramSnapshot> span_hists;
 
   void Harvest(NodeServer& node) {
     const MetricsSnapshot snap = node.MetricsSnapshot();
@@ -199,9 +206,37 @@ struct NodeBenchTotals {
     lsm_flushes += snap.counter("lsm.flushes");
     io_enqueued += snap.counter("io.enqueued");
     put_ok += snap.counter("rpc.put.ok");
+    for (const auto& [name, hist] : snap.histograms) {
+      if (name.rfind("span.", 0) != 0) {
+        continue;
+      }
+      HistogramSnapshot& acc = span_hists[name];
+      if (acc.counts.empty()) {
+        acc = hist;
+        continue;
+      }
+      acc.count += hist.count;
+      acc.sum += hist.sum;
+      for (size_t i = 0; i < acc.counts.size() && i < hist.counts.size(); ++i) {
+        acc.counts[i] += hist.counts[i];
+      }
+    }
   }
 
   void Export(benchmark::State& state) const {
+    // One count/p50/p99 triple per stage histogram, flattened for the bench JSON
+    // (dots in counter names read poorly in the console table).
+    for (const auto& [name, hist] : span_hists) {
+      std::string flat = name;
+      for (char& c : flat) {
+        if (c == '.') {
+          c = '_';
+        }
+      }
+      state.counters[flat + "_count"] = static_cast<double>(hist.count);
+      state.counters[flat + "_p50"] = static_cast<double>(hist.ValueAtQuantile(0.5));
+      state.counters[flat + "_p99"] = static_cast<double>(hist.ValueAtQuantile(0.99));
+    }
     state.counters["rpc_batch_puts"] = static_cast<double>(batch_puts);
     state.counters["rpc_batch_item_ok"] = static_cast<double>(batch_item_ok);
     state.counters["rpc_put_ok"] = static_cast<double>(put_ok);
@@ -282,6 +317,26 @@ void BM_NodePutBatch(benchmark::State& state) {
   totals.Export(state);
 }
 BENCHMARK(BM_NodePutBatch)->Arg(4)->Arg(16)->Arg(64)->Iterations(1000);
+
+// Read path through the node, so the cache/lsm-lookup/chunk-read span histograms show
+// up alongside the write-path ones above.
+void BM_NodeGet(benchmark::State& state) {
+  std::unique_ptr<NodeServer> node = MakeBenchNode();
+  Bytes value = MakeValue(120, 6);
+  for (ShardId id = 0; id < 64; ++id) {
+    (void)node->Put(id, value);
+  }
+  (void)node->FlushAllDisks();
+  NodeBenchTotals totals;
+  ShardId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node->Get(id++ % 64));
+  }
+  totals.Harvest(*node);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  totals.Export(state);
+}
+BENCHMARK(BM_NodeGet)->Iterations(20000);
 
 void BM_NodeDeleteBatch(benchmark::State& state) {
   const size_t batch_size = static_cast<size_t>(state.range(0));

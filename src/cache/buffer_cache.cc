@@ -35,10 +35,12 @@ void BufferCache::InsertLocked(Key key, Bytes page) {
   pages_[key] = {std::move(page), lru_.begin()};
 }
 
-Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint32_t count) {
+Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint32_t count,
+                                     const SpanScope& scope) {
   const uint32_t page_size = extents_->geometry().page_size;
   Bytes out;
   out.reserve(uint64_t{count} * page_size);
+  bool missed = false;
   for (uint32_t i = 0; i < count; ++i) {
     const uint32_t page = first_page + i;
     const Key key = MakeKey(extent, page);
@@ -53,8 +55,17 @@ Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint3
       }
       misses_->Increment();
     }
+    missed = true;
     SS_COVER("buffer_cache.miss");
-    SS_ASSIGN_OR_RETURN(Bytes data, extents_->Read(extent, page, 1));
+    auto data_or = extents_->Read(extent, page, 1, scope);
+    if (!data_or.ok()) {
+      if (scope.active()) {
+        Span span = scope.Child("cache.miss");
+        span.set_status(data_or.status().code());
+      }
+      return data_or.status();
+    }
+    Bytes data = std::move(data_or).value();
     {
       LockGuard lock(mu_);
       if (pages_.find(key) == pages_.end()) {
@@ -62,6 +73,9 @@ Result<Bytes> BufferCache::ReadPages(ExtentId extent, uint32_t first_page, uint3
       }
     }
     out.insert(out.end(), data.begin(), data.end());
+  }
+  if (scope.active()) {
+    Span span = scope.Child(missed ? "cache.miss" : "cache.hit");
   }
   return out;
 }

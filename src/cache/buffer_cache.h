@@ -31,8 +31,10 @@ class BufferCache {
 
   // Reads `count` pages starting at `first_page`, caching each page. Ranges past the
   // write pointer or injected IO failures propagate the underlying error; failed pages
-  // are not cached.
-  Result<Bytes> ReadPages(ExtentId extent, uint32_t first_page, uint32_t count);
+  // are not cached. `scope`, when active, receives one child span per call: "cache.hit"
+  // when every page was served from cache, "cache.miss" otherwise.
+  Result<Bytes> ReadPages(ExtentId extent, uint32_t first_page, uint32_t count,
+                          const SpanScope& scope = {});
 
   // Drops every cached page of `extent`. Must be called when the extent is reset.
   void DrainExtent(ExtentId extent);

@@ -50,8 +50,12 @@ Result<ExtentId> ChunkStore::PickTargetLocked(uint32_t pages_needed,
 }
 
 Result<ChunkPutResult> ChunkStore::PutInternal(ByteSpan data, Dependency input,
-                                               std::optional<ExtentId> exclude) {
+                                               std::optional<ExtentId> exclude,
+                                               const SpanScope& scope) {
+  Span span = scope.Child("chunk.write");
+  const SpanScope child_scope = span.scope();
   if (data.size() > options_.max_payload_bytes) {
+    span.set_status(StatusCode::kInvalidArgument);
     return Status::InvalidArgument("chunk payload too large");
   }
   Bytes frame;
@@ -76,9 +80,10 @@ Result<ChunkPutResult> ChunkStore::PutInternal(ByteSpan data, Dependency input,
       stale_wp = extents_->WritePointer(target);
     }
     YieldThread();
-    auto appended_or = extents_->Append(target, frame, input);
+    auto appended_or = extents_->Append(target, frame, input, child_scope);
     if (!appended_or.ok()) {
       Unpin(target);
+      span.set_status(appended_or.code());
       return appended_or.status();
     }
     ChunkPutResult result;
@@ -91,11 +96,12 @@ Result<ChunkPutResult> ChunkStore::PutInternal(ByteSpan data, Dependency input,
   LockGuard lock(mu_);
   SS_ASSIGN_OR_RETURN(ExtentId target, PickTargetLocked(pages_needed, exclude));
   ++pin_counts_[target];
-  auto appended_or = extents_->Append(target, frame, input);
+  auto appended_or = extents_->Append(target, frame, input, child_scope);
   if (!appended_or.ok()) {
     if (--pin_counts_[target] == 0) {
       pin_counts_.erase(target);
     }
+    span.set_status(appended_or.code());
     return appended_or.status();
   }
   const AppendResult& appended = appended_or.value();
@@ -111,8 +117,9 @@ Result<ChunkPutResult> ChunkStore::PutInternal(ByteSpan data, Dependency input,
   return result;
 }
 
-Result<ChunkPutResult> ChunkStore::Put(ByteSpan data, Dependency input) {
-  return PutInternal(data, input, std::nullopt);
+Result<ChunkPutResult> ChunkStore::Put(ByteSpan data, Dependency input,
+                                       const SpanScope& scope) {
+  return PutInternal(data, input, std::nullopt, scope);
 }
 
 void ChunkStore::Unpin(ExtentId extent) {
@@ -126,22 +133,36 @@ void ChunkStore::Unpin(ExtentId extent) {
   }
 }
 
-Result<Bytes> ChunkStore::Get(const Locator& loc) {
+Result<Bytes> ChunkStore::Get(const Locator& loc, const SpanScope& scope) {
+  Span span = scope.Child("chunk.read");
+  const SpanScope child_scope = span.scope();
   {
     LockGuard lock(mu_);
     gets_->Increment();
   }
   if (loc.frame_bytes < kChunkOverheadBytes ||
       loc.page_count != extents_->PagesNeeded(loc.frame_bytes)) {
+    span.set_status(StatusCode::kCorruption);
     return Status::Corruption("locator inconsistent with frame size");
   }
-  SS_ASSIGN_OR_RETURN(Bytes raw, cache_->ReadPages(loc.extent, loc.first_page, loc.page_count));
+  auto raw_or = cache_->ReadPages(loc.extent, loc.first_page, loc.page_count, child_scope);
+  if (!raw_or.ok()) {
+    span.set_status(raw_or.code());
+    return raw_or.status();
+  }
+  const Bytes& raw = raw_or.value();
   if (loc.frame_bytes > raw.size()) {
+    span.set_status(StatusCode::kCorruption);
     return Status::Corruption("locator frame larger than page span");
   }
-  SS_ASSIGN_OR_RETURN(Bytes payload,
-                      DecodeChunkFrame(ByteSpan(raw.data(), loc.frame_bytes)));
+  auto payload_or = DecodeChunkFrame(ByteSpan(raw.data(), loc.frame_bytes));
+  if (!payload_or.ok()) {
+    span.set_status(payload_or.code());
+    return payload_or.status();
+  }
+  Bytes payload = std::move(payload_or).value();
   if (ChunkFrameBytes(payload.size()) != loc.frame_bytes) {
+    span.set_status(StatusCode::kCorruption);
     return Status::Corruption("frame length disagrees with locator");
   }
   return payload;

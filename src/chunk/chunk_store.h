@@ -84,11 +84,14 @@ class ChunkStore {
   // index structure. Until then the pin keeps concurrent reclamation away from a chunk
   // it would otherwise judge unreferenced and destroy — the race behind the paper's
   // issue #14, whose seeded variant unpins before the metadata update.
-  Result<ChunkPutResult> Put(ByteSpan data, Dependency input);
+  // `scope`, when active, receives a "chunk.write" child span (with extent.append /
+  // io.submit descendants).
+  Result<ChunkPutResult> Put(ByteSpan data, Dependency input, const SpanScope& scope = {});
   void Unpin(ExtentId extent);
 
-  // Reads and validates the chunk at `loc`.
-  Result<Bytes> Get(const Locator& loc);
+  // Reads and validates the chunk at `loc`. `scope`, when active, receives a
+  // "chunk.read" child span (with cache.hit / cache.miss descendants).
+  Result<Bytes> Get(const Locator& loc, const SpanScope& scope = {});
 
   // Garbage-collects `extent`: evacuates referenced chunks, drops the rest, resets the
   // extent and drains its cache pages. Fails with kUnavailable if the extent is pinned
@@ -118,7 +121,8 @@ class ChunkStore {
   Result<ExtentId> PickTargetLocked(uint32_t pages_needed, std::optional<ExtentId> exclude);
 
   Result<ChunkPutResult> PutInternal(ByteSpan data, Dependency input,
-                                     std::optional<ExtentId> exclude);
+                                     std::optional<ExtentId> exclude,
+                                     const SpanScope& scope = {});
 
   ExtentManager* extents_;
   BufferCache* cache_;

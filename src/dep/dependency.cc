@@ -1,5 +1,8 @@
 #include "src/dep/dependency.h"
 
+#include <set>
+#include <sstream>
+
 namespace ss {
 
 namespace dep_internal {
@@ -99,6 +102,71 @@ void Dependency::MarkLeafFailed() {
   if (node_ != nullptr) {
     node_->failed.store(true, std::memory_order_release);
   }
+}
+
+void Dependency::CollectNodes(std::vector<const void*>& out) const {
+  std::set<const dep_internal::DepNode*> seen;
+  std::vector<const dep_internal::DepNode*> stack;
+  if (node_ != nullptr) {
+    stack.push_back(node_.get());
+  }
+  while (!stack.empty()) {
+    const dep_internal::DepNode* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) {
+      continue;
+    }
+    out.push_back(node);
+    for (const auto& input : node->inputs) {
+      stack.push_back(input.get());
+    }
+  }
+}
+
+std::string Dependency::GraphDot(
+    const std::vector<std::pair<std::string, Dependency>>& roots) {
+  std::ostringstream out;
+  out << "digraph deps {\n  rankdir=LR;\n  node [shape=ellipse];\n";
+  std::set<const dep_internal::DepNode*> seen;
+  std::vector<const dep_internal::DepNode*> stack;
+  size_t label_index = 0;
+  for (const auto& [label, dep] : roots) {
+    const auto* node = static_cast<const dep_internal::DepNode*>(dep.raw());
+    out << "  root" << label_index << " [shape=box,label=\"" << label << "\"];\n";
+    if (node != nullptr) {
+      out << "  root" << label_index << " -> n" << node << ";\n";
+      stack.push_back(node);
+    }
+    ++label_index;
+  }
+  while (!stack.empty()) {
+    const dep_internal::DepNode* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) {
+      continue;
+    }
+    const char* color = "gray";
+    const char* state = "pending";
+    if (node->failed.load(std::memory_order_acquire)) {
+      color = "red";
+      state = "failed";
+    } else if (node->persistent.load(std::memory_order_acquire)) {
+      color = "green";
+      state = "persistent";
+    } else if (node->unresolved_promise.load(std::memory_order_acquire)) {
+      color = "orange";
+      state = "promise";
+    }
+    const char* kind = node->inputs.empty() ? "leaf" : "and";
+    out << "  n" << node << " [color=" << color << ",label=\"" << kind << "\\n" << state
+        << "\"];\n";
+    for (const auto& input : node->inputs) {
+      out << "  n" << node << " -> n" << input.get() << ";\n";
+      stack.push_back(input.get());
+    }
+  }
+  out << "}\n";
+  return out.str();
 }
 
 void Dependency::ResolvePromise(const Dependency& target) {

@@ -20,6 +20,8 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace ss {
@@ -74,6 +76,16 @@ class Dependency {
 
   // Identity of the underlying node, for diagnostics.
   const void* raw() const { return node_.get(); }
+
+  // Appends the identities of every node reachable from this dependency (including
+  // itself) to `out`. Diagnostics only; duplicates are possible on shared subgraphs.
+  void CollectNodes(std::vector<const void*>& out) const;
+
+  // Graphviz digraph of the union of the given labelled dependency graphs, for
+  // flight-recorder artifacts. Roots render as labelled boxes pointing at their node;
+  // interior nodes are coloured by state (persistent=green, failed=red, unresolved
+  // promise=orange, pending=gray). Edges point from a node to its inputs.
+  static std::string GraphDot(const std::vector<std::pair<std::string, Dependency>>& roots);
 
  private:
   explicit Dependency(std::shared_ptr<dep_internal::DepNode> node) : node_(std::move(node)) {}

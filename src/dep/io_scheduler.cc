@@ -44,7 +44,8 @@ Dependency IoScheduler::EnqueueLocked(Record record) {
 }
 
 Dependency IoScheduler::EnqueueDataPage(ExtentId extent, uint32_t page, Bytes data,
-                                        std::vector<Dependency> inputs) {
+                                        std::vector<Dependency> inputs,
+                                        const SpanScope& scope) {
   LockGuard lock(mu_);
   Dependency input = Dependency::AndAll(inputs);
   const uint64_t domain = DomainKey(Kind::kDataPage, extent);
@@ -63,10 +64,16 @@ Dependency IoScheduler::EnqueueDataPage(ExtentId extent, uint32_t page, Bytes da
           it->page + it->pages.size() == uint64_t{page}) {
         it->pages.push_back(std::move(data));
         coalesced_pages_->Increment();
+        if (scope.active()) {
+          Span span = scope.Child("io.coalesce");
+        }
         return it->done;
       }
       break;  // newest record in the domain is not mergeable
     }
+  }
+  if (scope.active()) {
+    Span span = scope.Child("io.submit");
   }
   Record r;
   r.kind = Kind::kDataPage;
@@ -91,8 +98,12 @@ void IoScheduler::EndCoalescing() {
 }
 
 Dependency IoScheduler::EnqueueSoftWp(ExtentId extent, uint32_t wp_pages,
-                                      std::vector<Dependency> inputs) {
+                                      std::vector<Dependency> inputs,
+                                      const SpanScope& scope) {
   LockGuard lock(mu_);
+  if (scope.active()) {
+    Span span = scope.Child("io.submit");
+  }
   Record r;
   r.kind = Kind::kSoftWp;
   r.extent = extent;
@@ -190,7 +201,8 @@ size_t IoScheduler::Pump(size_t max_records) {
   return issued;
 }
 
-Status IoScheduler::FlushAll() {
+Status IoScheduler::FlushAll(const SpanScope& scope) {
+  Span span = scope.Child("io.barrier");
   // Bound iterations defensively; every Pump(1) that makes progress shrinks the queue.
   while (true) {
     {
@@ -200,6 +212,7 @@ Status IoScheduler::FlushAll() {
       }
     }
     if (Pump(1) == 0) {
+      span.set_status(StatusCode::kInternal);
       return Status::Internal("io scheduler stuck: " + DescribeStuck());
     }
   }
@@ -294,6 +307,34 @@ void IoScheduler::CrashDropAll() {
 size_t IoScheduler::PendingCount() const {
   LockGuard lock(mu_);
   return queue_.size();
+}
+
+std::string IoScheduler::PendingDot(std::string_view name_prefix) const {
+  std::vector<std::pair<std::string, Dependency>> roots;
+  {
+    LockGuard lock(mu_);
+    for (const Record& r : queue_) {
+      std::ostringstream label;
+      label << name_prefix;
+      switch (r.kind) {
+        case Kind::kDataPage:
+          label << "data ext=" << r.extent << " page=" << r.page << "+" << r.pages.size();
+          break;
+        case Kind::kSoftWp:
+          label << "softwp ext=" << r.extent << " wp=" << r.soft_wp;
+          break;
+        case Kind::kOwnership:
+          label << "own ext=" << r.extent;
+          break;
+        case Kind::kReset:
+          label << "reset ext=" << r.extent;
+          break;
+      }
+      label << " seq=" << r.seq;
+      roots.emplace_back(label.str(), r.input);
+    }
+  }
+  return Dependency::GraphDot(roots);
 }
 
 std::string IoScheduler::DescribeStuck() const {

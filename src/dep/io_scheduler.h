@@ -29,6 +29,7 @@
 #include "src/dep/dependency.h"
 #include "src/disk/disk.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sync/sync.h"
 
 namespace ss {
@@ -40,10 +41,13 @@ class IoScheduler {
   explicit IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics = nullptr);
 
   // --- Enqueue (called by ExtentManager) ----------------------------------------------
-  // Each call returns the leaf dependency of the new record.
+  // Each call returns the leaf dependency of the new record. `scope`, when active,
+  // receives an "io.submit" child span per new record ("io.coalesce" when the page
+  // merged into an existing record instead).
   Dependency EnqueueDataPage(ExtentId extent, uint32_t page, Bytes data,
-                             std::vector<Dependency> inputs);
-  Dependency EnqueueSoftWp(ExtentId extent, uint32_t wp_pages, std::vector<Dependency> inputs);
+                             std::vector<Dependency> inputs, const SpanScope& scope = {});
+  Dependency EnqueueSoftWp(ExtentId extent, uint32_t wp_pages, std::vector<Dependency> inputs,
+                           const SpanScope& scope = {});
   Dependency EnqueueOwnership(ExtentId extent, ExtentOwner owner,
                               std::vector<Dependency> inputs);
   // A reset marker ordered within the extent's data domain. Issuing it has no direct
@@ -69,8 +73,9 @@ class IoScheduler {
 
   // Pump until the queue drains. Fails with kInternal if no progress is possible while
   // records remain (an unresolved promise or dependency cycle — a forward-progress
-  // violation), or with kIoError if a record failed.
-  Status FlushAll();
+  // violation), or with kIoError if a record failed. `scope`, when active, receives one
+  // "io.barrier" child span covering the drain.
+  Status FlushAll(const SpanScope& scope = {});
 
   // --- Crash ---------------------------------------------------------------------------
   // Simulates a fail-stop crash: persists a random allowed subset of pending records
@@ -93,6 +98,12 @@ class IoScheduler {
 
   // Description of why the queue is stuck (for forward-progress diagnostics).
   std::string DescribeStuck() const;
+
+  // Graphviz digraph of the pending queue's dependency structure: one labelled box per
+  // unissued record pointing at the input dependency it is waiting on. `name_prefix`
+  // (e.g. "disk0 ") distinguishes schedulers when several graphs are merged into one
+  // flight-recorder artifact.
+  std::string PendingDot(std::string_view name_prefix = "") const;
 
   // The io.* counters live in the registry passed at construction (or the private
   // one): read them via MetricRegistry::Snapshot().

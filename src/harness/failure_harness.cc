@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/obs/flight_recorder.h"
+
 namespace ss {
 
 std::string FailureOp::ToString() const {
@@ -191,8 +193,20 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
   std::vector<std::pair<int, Dependency>> dep_log;
 
   auto fail = [&](size_t i, const std::string& what) {
-    return std::optional<std::string>("op#" + std::to_string(i) + " " + ops[i].ToString() +
-                                      ": " + what);
+    const std::string message =
+        "op#" + std::to_string(i) + " " + ops[i].ToString() + ": " + what;
+    if (options_.recorder != nullptr) {
+      FlightRecord record;
+      record.harness = "failure_conformance";
+      record.violation = message;
+      record.ops.reserve(ops.size());
+      for (const FailureOp& o : ops) {
+        record.ops.push_back(o.ToString());
+      }
+      CaptureNode(*node, record);
+      (void)options_.recorder->Write(record);
+    }
+    return std::optional<std::string>(message);
   };
 
   for (size_t i = 0; i < ops.size(); ++i) {

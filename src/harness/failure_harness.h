@@ -38,6 +38,8 @@
 
 namespace ss {
 
+class FlightRecorder;
+
 // Ordered by increasing complexity so the minimizer prefers simpler operations.
 enum class FailureOpKind : uint8_t {
   kGet = 0,
@@ -74,6 +76,11 @@ struct FailureHarnessOptions {
                                       .page_size = 256}};
   uint64_t key_bound = 16;
   size_t max_value_bytes = 600;
+  // When set, any violation captures a flight-recorder artifact from the node (metric
+  // snapshot, rpc.* span trees, trace tail, per-disk dependency DOT and
+  // persisted-vs-volatile extents). Arm only for the one-shot re-run of a minimized
+  // counterexample, not during search/shrinking.
+  FlightRecorder* recorder = nullptr;
 };
 
 FailureOp GenFailureOp(Rng& rng, const std::vector<FailureOp>& prefix,

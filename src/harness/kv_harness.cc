@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "src/chunk/chunk_format.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span.h"
 
 namespace ss {
 
@@ -225,10 +227,28 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
   // Every dependency returned by a mutating op, for the forward-progress property.
   std::vector<std::pair<size_t, Dependency>> dep_log;
   bool faults_armed = false;
+  // Harness-local span tree: each data-plane op opens a root span threaded into the
+  // store, so a violation's artifact carries the causal tree of the failing run. No
+  // metric registry — the store's registry dies on reboot, and the tree outlives it.
+  SpanTree spans;
 
   auto fail = [&](size_t i, const std::string& what) {
     std::ostringstream out;
     out << "op#" << i << " " << (i < ops.size() ? ops[i].ToString() : "<end>") << ": " << what;
+    if (options_.recorder != nullptr) {
+      FlightRecord record;
+      record.harness = "kv_conformance";
+      record.violation = out.str();
+      record.ops.reserve(ops.size());
+      for (const KvOp& o : ops) {
+        record.ops.push_back(o.ToString());
+      }
+      if (store != nullptr) {
+        CaptureStore(*store, record);
+      }
+      record.spans_json = spans.ToJson();
+      (void)options_.recorder->Write(record);
+    }
     return std::optional<std::string>(out.str());
   };
 
@@ -263,7 +283,11 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
     const KvOp& op = ops[i];
     switch (op.kind) {
       case KvOpKind::kGet: {
-        auto got = store->Get(op.id);
+        Span span(&spans, &store->extents(), "harness.get");
+        auto got = store->Get(op.id, span.scope());
+        if (!got.ok()) {
+          span.set_status(got.code());
+        }
         std::optional<Bytes> expected = model.Get(op.id);
         if (got.ok()) {
           if (!expected.has_value()) {
@@ -285,7 +309,11 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         break;
       }
       case KvOpKind::kPut: {
-        auto dep_or = store->Put(op.id, op.value);
+        Span span(&spans, &store->extents(), "harness.put");
+        auto dep_or = store->Put(op.id, op.value, span.scope());
+        if (!dep_or.ok()) {
+          span.set_status(dep_or.code());
+        }
         if (dep_or.ok()) {
           model.Put(op.id, op.value, dep_or.value());
           dep_log.push_back({i, dep_or.value()});
@@ -298,7 +326,11 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         break;
       }
       case KvOpKind::kDelete: {
-        auto dep_or = store->Delete(op.id);
+        Span span(&spans, &store->extents(), "harness.delete");
+        auto dep_or = store->Delete(op.id, span.scope());
+        if (!dep_or.ok()) {
+          span.set_status(dep_or.code());
+        }
         if (dep_or.ok()) {
           model.Delete(op.id, dep_or.value());
           dep_log.push_back({i, dep_or.value()});
@@ -314,7 +346,8 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         for (const auto& [id, value] : op.batch) {
           items.push_back({id, value});
         }
-        StoreBatchResult result = store->ApplyBatch(items);
+        Span span(&spans, &store->extents(), "harness.put_batch");
+        StoreBatchResult result = store->ApplyBatch(items, span.scope());
         if (result.items.size() != op.batch.size()) {
           return fail(i, "batch returned wrong item count");
         }

@@ -28,6 +28,8 @@
 
 namespace ss {
 
+class FlightRecorder;
+
 enum class KvOpKind : uint8_t {
   kGet = 0,
   kPut,
@@ -67,6 +69,12 @@ struct KvHarnessOptions {
   bool bias_arguments = true;
   uint64_t key_bound = 24;
   size_t max_value_bytes = 1200;
+  // When set, any violation captures a flight-recorder artifact (metrics, span tree,
+  // pending-writeback dependency DOT, persisted-vs-volatile extents). Leave null
+  // during search/minimization — shrinking re-runs the property thousands of times —
+  // and arm it on the one-shot re-run of the minimized sequence (see
+  // FlightRecorder::set_case_seed).
+  FlightRecorder* recorder = nullptr;
 };
 
 // Generates one operation, biased by the prefix (key reuse, page-corner sizes).

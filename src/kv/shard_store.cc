@@ -32,10 +32,13 @@ Result<std::unique_ptr<ShardStore>> ShardStore::Open(InMemoryDisk* disk,
   return store;
 }
 
-Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
+Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value, const SpanScope& scope) {
+  Span span = scope.Child("store.put");
+  const SpanScope child_scope = span.scope();
   puts_->Increment();
   const size_t max_payload = chunks_->max_payload_bytes();
   if (value.size() > max_payload * options_.max_chunks_per_shard) {
+    span.set_status(StatusCode::kInvalidArgument);
     return Status::InvalidArgument("shard value too large");
   }
   ShardRecord record;
@@ -43,13 +46,14 @@ Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
   std::vector<Dependency> data_deps;
   for (size_t off = 0; off < value.size(); off += max_payload) {
     const size_t len = std::min(max_payload, value.size() - off);
-    auto chunk_or = chunks_->Put(value.subspan(off, len), Dependency());
+    auto chunk_or = chunks_->Put(value.subspan(off, len), Dependency(), child_scope);
     if (!chunk_or.ok()) {
       // Unpin the chunks already written; they are unreferenced garbage now and will
       // be reclaimed.
       for (const Locator& loc : record.chunks) {
         chunks_->Unpin(loc.extent);
       }
+      span.set_status(chunk_or.code());
       return chunk_or.status();
     }
     record.chunks.push_back(chunk_or.value().locator);
@@ -60,7 +64,7 @@ Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
   // (Figure 2): the index promise already implies the data, but we AND explicitly to
   // mirror the paper's dependency graph shape.
   Dependency data = Dependency::AndAll(data_deps);
-  Dependency dep = index_->Put(id, std::move(record), data).And(data);
+  Dependency dep = index_->Put(id, std::move(record), data, child_scope).And(data);
   // The index now references the chunks; release their reclamation pins.
   for (const Locator& loc : pinned) {
     chunks_->Unpin(loc.extent);
@@ -68,12 +72,15 @@ Result<Dependency> ShardStore::Put(ShardId id, ByteSpan value) {
   return dep;
 }
 
-StoreBatchResult ShardStore::ApplyBatch(const std::vector<StoreBatchItem>& items) {
+StoreBatchResult ShardStore::ApplyBatch(const std::vector<StoreBatchItem>& items,
+                                        const SpanScope& scope) {
   StoreBatchResult result;
   result.items.resize(items.size());
   if (items.empty()) {
     return result;
   }
+  Span span = scope.Child("store.apply_batch");
+  const SpanScope child_scope = span.scope();
   LockGuard batch_lock(batch_mu_);
   batch_applies_->Increment();
   batch_items_->Increment(items.size());
@@ -113,7 +120,7 @@ StoreBatchResult ShardStore::ApplyBatch(const std::vector<StoreBatchItem>& items
     ByteSpan value(*item.value);
     for (size_t off = 0; off < value.size(); off += max_payload) {
       const size_t len = std::min(max_payload, value.size() - off);
-      auto chunk_or = chunks_->Put(value.subspan(off, len), Dependency());
+      auto chunk_or = chunks_->Put(value.subspan(off, len), Dependency(), child_scope);
       if (!chunk_or.ok()) {
         status = chunk_or.status();
         break;
@@ -144,7 +151,8 @@ StoreBatchResult ShardStore::ApplyBatch(const std::vector<StoreBatchItem>& items
     lsm_items.push_back(std::move(s.lsm));
   }
   bool flush_wanted = false;
-  std::vector<Dependency> deps = index_->ApplyBatch(std::move(lsm_items), &flush_wanted);
+  std::vector<Dependency> deps =
+      index_->ApplyBatch(std::move(lsm_items), &flush_wanted, child_scope);
   extents_->EndWriteBatch();
   std::vector<Dependency> ok_deps;
   for (size_t k = 0; k < staged.size(); ++k) {
@@ -160,28 +168,37 @@ StoreBatchResult ShardStore::ApplyBatch(const std::vector<StoreBatchItem>& items
   if (flush_wanted) {
     batch_flushes_->Increment();
     // Best-effort group flush, as in Put; errors surface on the next explicit flush.
-    (void)index_->Flush();
+    (void)index_->Flush(child_scope);
   }
   return result;
 }
 
-Result<Bytes> ShardStore::Get(ShardId id) {
+Result<Bytes> ShardStore::Get(ShardId id, const SpanScope& scope) {
+  Span span = scope.Child("store.get");
+  const SpanScope child_scope = span.scope();
   gets_->Increment();
   Status last_error = Status::Ok();
   for (int attempt = 0; attempt < 4; ++attempt) {
-    SS_ASSIGN_OR_RETURN(std::optional<ShardRecord> record, index_->Get(id));
+    auto record_or = index_->Get(id, child_scope);
+    if (!record_or.ok()) {
+      span.set_status(record_or.code());
+      return record_or.status();
+    }
+    std::optional<ShardRecord> record = std::move(record_or).value();
     if (!record.has_value()) {
+      span.set_status(StatusCode::kNotFound);
       return Status::NotFound("shard not found");
     }
     Bytes out;
     out.reserve(record->total_bytes);
     bool retry = false;
     for (const Locator& loc : record->chunks) {
-      auto chunk_or = chunks_->Get(loc);
+      auto chunk_or = chunks_->Get(loc, child_scope);
       if (!chunk_or.ok()) {
         // A permanently failed extent cannot be read by trying again; surface it now
         // so the caller (and the health machinery above) can act on it.
         if (chunk_or.code() == StatusCode::kDiskFailed) {
+          span.set_status(chunk_or.code());
           return chunk_or.status();
         }
         // A concurrent reclamation may have moved this chunk between the index lookup
@@ -198,19 +215,22 @@ Result<Bytes> ShardStore::Get(ShardId id) {
       continue;
     }
     if (out.size() != record->total_bytes) {
+      span.set_status(StatusCode::kCorruption);
       return Status::Corruption("shard size mismatch across chunks");
     }
     return out;
   }
   SS_COVER("shard_store.get_retry_exhausted");
+  span.set_status(last_error.code());
   return last_error;
 }
 
-Result<Dependency> ShardStore::Delete(ShardId id) {
+Result<Dependency> ShardStore::Delete(ShardId id, const SpanScope& scope) {
+  Span span = scope.Child("store.delete");
   deletes_->Increment();
   // Tombstone regardless of current existence: deleting a missing shard is a no-op
   // with a dependency that persists with the next metadata flush.
-  return index_->Delete(id);
+  return index_->Delete(id, span.scope());
 }
 
 Result<std::vector<ShardId>> ShardStore::List() { return index_->Keys(); }
@@ -232,12 +252,16 @@ Status ShardStore::ReclaimAny() {
   return status;
 }
 
-Status ShardStore::FlushAll() {
+Status ShardStore::FlushAll(const SpanScope& scope) {
+  Span span = scope.Child("store.flush");
+  const SpanScope child_scope = span.scope();
   LockGuard batch_lock(batch_mu_);
   if (index_->NeedsShutdownFlush()) {
-    SS_RETURN_IF_ERROR(index_->Flush());
+    SS_RETURN_IF_ERROR(index_->Flush(child_scope));
   }
-  return scheduler_->FlushAll();
+  Status status = scheduler_->FlushAll(child_scope);
+  span.set_status(status.code());
+  return status;
 }
 
 Result<bool> ShardStore::IsReferenced(const Locator& loc) {

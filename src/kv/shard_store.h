@@ -66,15 +66,20 @@ class ShardStore : public ReclaimClient {
                                                   ShardStoreOptions options = {});
 
   // --- Request plane ---------------------------------------------------------------------
+  // Each operation takes an optional SpanScope: when active, the store records a
+  // store.* child span with the full descendant chain (lsm.*, chunk.*, extent.*,
+  // io.*, cache.*) under the caller's root span. The default inactive scope makes
+  // tracing cost one branch.
+  //
   // Stores `value` under `id`. Returns the operation's dependency: poll IsPersistent()
   // to learn when the put is durable (data chunks + index entry + soft pointers).
-  Result<Dependency> Put(ShardId id, ByteSpan value);
+  Result<Dependency> Put(ShardId id, ByteSpan value, const SpanScope& scope = {});
 
   // Reads the current value. kNotFound if the shard does not exist.
-  Result<Bytes> Get(ShardId id);
+  Result<Bytes> Get(ShardId id, const SpanScope& scope = {});
 
   // Removes the shard (tombstone). Returns the delete's dependency.
-  Result<Dependency> Delete(ShardId id);
+  Result<Dependency> Delete(ShardId id, const SpanScope& scope = {});
 
   // Group commit: stages every item's chunk writes inside one extent write-batch
   // scope (shared soft-pointer update per extent, coalesced data IO), then commits
@@ -84,13 +89,14 @@ class ShardStore : public ReclaimClient {
   // is atomic per item (never a torn value or an index entry without its chunks), and
   // a crash persists a prefix of the batch — with one shared metadata barrier that
   // prefix is in fact none-or-all of the items that reached the index.
-  StoreBatchResult ApplyBatch(const std::vector<StoreBatchItem>& items);
+  StoreBatchResult ApplyBatch(const std::vector<StoreBatchItem>& items,
+                              const SpanScope& scope = {});
 
   // Live shard ids.
   Result<std::vector<ShardId>> List();
 
   // --- Maintenance -----------------------------------------------------------------------
-  Status FlushIndex() { return index_->Flush(); }
+  Status FlushIndex(const SpanScope& scope = {}) { return index_->Flush(scope); }
   Status CompactIndex() { return index_->Compact(); }
 
   // Reclaims one specific extent / the first reclaimable extent (no-op if none).
@@ -105,7 +111,7 @@ class ShardStore : public ReclaimClient {
   // property). Serialized against ApplyBatch: draining mid-batch would find records
   // gated on the batch's still-unresolved soft-pointer promises and misreport a
   // forward-progress violation.
-  Status FlushAll();
+  Status FlushAll(const SpanScope& scope = {});
 
   // --- ReclaimClient ---------------------------------------------------------------------
   Result<bool> IsReferenced(const Locator& loc) override;

@@ -138,10 +138,12 @@ Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkSt
   return index;
 }
 
-Dependency LsmIndex::Put(ShardId id, ShardRecord record, Dependency data_dep) {
+Dependency LsmIndex::Put(ShardId id, ShardRecord record, Dependency data_dep,
+                         const SpanScope& scope) {
   Dependency promise = Dependency::MakePromise();
   bool want_flush = false;
   {
+    Span span = scope.Child("lsm.insert");
     LockGuard lock(mu_);
     puts_->Increment();
     Entry entry;
@@ -155,13 +157,13 @@ Dependency LsmIndex::Put(ShardId id, ShardRecord record, Dependency data_dep) {
   }
   if (want_flush) {
     // Best-effort background-style flush; errors surface on the next explicit flush.
-    (void)Flush();
+    (void)Flush(scope);
   }
   return promise.And(data_dep);
 }
 
 std::vector<Dependency> LsmIndex::ApplyBatch(std::vector<LsmBatchItem> items,
-                                             bool* flush_wanted) {
+                                             bool* flush_wanted, const SpanScope& scope) {
   std::vector<Dependency> deps;
   deps.reserve(items.size());
   if (flush_wanted != nullptr) {
@@ -170,6 +172,7 @@ std::vector<Dependency> LsmIndex::ApplyBatch(std::vector<LsmBatchItem> items,
   if (items.empty()) {
     return deps;
   }
+  Span span = scope.Child("lsm.insert");
   Dependency promise = Dependency::MakePromise();
   {
     LockGuard lock(mu_);
@@ -198,9 +201,10 @@ std::vector<Dependency> LsmIndex::ApplyBatch(std::vector<LsmBatchItem> items,
   return deps;
 }
 
-Dependency LsmIndex::Delete(ShardId id) {
+Dependency LsmIndex::Delete(ShardId id, const SpanScope& scope) {
   Dependency promise = Dependency::MakePromise();
   {
+    Span span = scope.Child("lsm.insert");
     LockGuard lock(mu_);
     deletes_->Increment();
     Entry entry;
@@ -246,12 +250,14 @@ Result<LsmIndex::RunMap> LsmIndex::DeserializeRun(ByteSpan payload) {
   return entries;
 }
 
-Result<LsmIndex::RunMap> LsmIndex::LoadRun(const Locator& loc) {
-  SS_ASSIGN_OR_RETURN(Bytes payload, chunks_->Get(loc));
+Result<LsmIndex::RunMap> LsmIndex::LoadRun(const Locator& loc, const SpanScope& scope) {
+  SS_ASSIGN_OR_RETURN(Bytes payload, chunks_->Get(loc, scope));
   return DeserializeRun(payload);
 }
 
-Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id) {
+Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id, const SpanScope& scope) {
+  Span span = scope.Child("lsm.lookup");
+  const SpanScope child_scope = span.scope();
   Status last_error = Status::Ok();
   for (int attempt = 0; attempt < 4; ++attempt) {
     std::vector<Locator> runs_snapshot;
@@ -268,7 +274,7 @@ Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id) {
     }
     bool retry = false;
     for (auto rit = runs_snapshot.rbegin(); rit != runs_snapshot.rend(); ++rit) {
-      auto run_or = LoadRun(*rit);
+      auto run_or = LoadRun(*rit, child_scope);
       if (!run_or.ok()) {
         // A concurrent compaction/reclamation may have invalidated the snapshot;
         // re-snapshot and retry.
@@ -286,6 +292,7 @@ Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id) {
     }
     YieldThread();
   }
+  span.set_status(last_error.code());
   return last_error;
 }
 
@@ -331,7 +338,7 @@ Result<std::vector<ShardId>> LsmIndex::Keys() {
   return Status::Unavailable("keys: persistent snapshot churn");
 }
 
-Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input) {
+Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input, const SpanScope& scope) {
   ++version_;
   Writer w;
   w.PutU64(version_);
@@ -353,7 +360,7 @@ Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input) {
     // new record is durable.
     const ExtentId full = target;
     target = meta_extents_[1 - active_meta_];
-    SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input));
+    SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input, scope));
     extents_->Reset(full, appended.dep);
     active_meta_ = 1 - active_meta_;
     metadata_writes_->Increment();
@@ -362,7 +369,7 @@ Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input) {
     internal_dirty_ = false;
     return appended.dep;
   }
-  SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input));
+  SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input, scope));
   metadata_writes_->Increment();
   last_meta_dep_ = appended.dep;
   api_dirty_ = false;
@@ -382,9 +389,12 @@ void LsmIndex::ResolvePromisesLocked(uint64_t max_seq, const Dependency& meta_de
   }
 }
 
-Status LsmIndex::Flush() {
+Status LsmIndex::Flush(const SpanScope& scope) {
+  Span span = scope.Child("lsm.flush");
   LockGuard flush_lock(flush_mu_);
-  return FlushLocked();
+  Status status = FlushLocked(span.scope());
+  span.set_status(status.code());
+  return status;
 }
 
 std::vector<LsmIndex::RunMap> LsmIndex::PartitionRun(const RunMap& entries,
@@ -414,7 +424,7 @@ std::vector<LsmIndex::RunMap> LsmIndex::PartitionRun(const RunMap& entries,
   return segments;
 }
 
-Status LsmIndex::FlushLocked() {
+Status LsmIndex::FlushLocked(const SpanScope& scope) {
   RunMap entries;
   std::vector<Dependency> data_deps;
   uint64_t max_seq = 0;
@@ -439,7 +449,7 @@ Status LsmIndex::FlushLocked() {
   std::vector<ChunkPutResult> puts;
   Status status = Status::Ok();
   for (const RunMap& segment : PartitionRun(entries, chunks_->max_payload_bytes())) {
-    auto put_or = chunks_->Put(SerializeRun(segment), data_gate);
+    auto put_or = chunks_->Put(SerializeRun(segment), data_gate, scope);
     if (!put_or.ok()) {
       status = put_or.status();
       break;
@@ -467,7 +477,7 @@ Status LsmIndex::FlushLocked() {
       runs_.push_back(RunRef{put.locator, put.dep});
       runs_dep = runs_dep.And(put.dep);
     }
-    auto meta_or = WriteMetadataLocked(runs_dep);
+    auto meta_or = WriteMetadataLocked(runs_dep, scope);
     if (!meta_or.ok()) {
       for (size_t i = 0; i < puts.size(); ++i) {
         runs_.pop_back();

@@ -83,11 +83,12 @@ class LsmIndex {
   // Inserts/overwrites. `data_dep` is the dependency of the shard data the record points
   // to; the entry will not reach durable index storage before that data does. Returns
   // the entry's dependency (promise resolved by the covering metadata flush, combined
-  // with `data_dep`).
-  Dependency Put(ShardId id, ShardRecord record, Dependency data_dep);
+  // with `data_dep`). `scope`, when active, receives an "lsm.insert" child span.
+  Dependency Put(ShardId id, ShardRecord record, Dependency data_dep,
+                 const SpanScope& scope = {});
 
   // Tombstone. Returns the tombstone's dependency.
-  Dependency Delete(ShardId id);
+  Dependency Delete(ShardId id, const SpanScope& scope = {});
 
   // Group commit: inserts every item under one mu_ hold with consecutive sequence
   // numbers and ONE shared promise registered at the batch's highest sequence — the
@@ -96,17 +97,21 @@ class LsmIndex {
   // (shared promise ∧ the item's data_dep). Unlike Put, a threshold crossing is
   // reported through `flush_wanted` instead of flushing inline, so the caller
   // (ShardStore::ApplyBatch) can close its extent write-batch scope first.
-  std::vector<Dependency> ApplyBatch(std::vector<LsmBatchItem> items, bool* flush_wanted);
+  std::vector<Dependency> ApplyBatch(std::vector<LsmBatchItem> items, bool* flush_wanted,
+                                     const SpanScope& scope = {});
 
-  // nullopt: no live mapping (never written, deleted, or tombstoned).
-  Result<std::optional<ShardRecord>> Get(ShardId id);
+  // nullopt: no live mapping (never written, deleted, or tombstoned). `scope`, when
+  // active, receives an "lsm.lookup" child span (with chunk.read descendants for runs).
+  Result<std::optional<ShardRecord>> Get(ShardId id, const SpanScope& scope = {});
 
   // All live shard ids (merged view of memtable and runs).
   Result<std::vector<ShardId>> Keys();
 
   // --- Maintenance ------------------------------------------------------------------------
-  // Writes the memtable as a new run + metadata record. No-op when clean.
-  Status Flush();
+  // Writes the memtable as a new run + metadata record. No-op when clean. `scope`,
+  // when active, receives an "lsm.flush" child span covering the run and metadata
+  // writes.
+  Status Flush(const SpanScope& scope = {});
 
   // Merges all runs into one, dropping tombstones and superseded versions.
   Status Compact();
@@ -162,16 +167,16 @@ class LsmIndex {
   static Result<RunMap> DeserializeRun(ByteSpan payload);
   // Splits a run into segments that each fit one chunk.
   static std::vector<RunMap> PartitionRun(const RunMap& entries, size_t max_payload);
-  Result<RunMap> LoadRun(const Locator& loc);
+  Result<RunMap> LoadRun(const Locator& loc, const SpanScope& scope = {});
 
   // Serializes and appends the metadata record (runs + counters). Caller holds mu_.
   // The record's write is gated on `input`.
-  Result<Dependency> WriteMetadataLocked(Dependency input);
+  Result<Dependency> WriteMetadataLocked(Dependency input, const SpanScope& scope = {});
 
   // Resolves pending promises covered by `meta_dep` up to `max_seq`.
   void ResolvePromisesLocked(uint64_t max_seq, const Dependency& meta_dep);
 
-  Status FlushLocked();  // caller holds flush_mu_ (not mu_)
+  Status FlushLocked(const SpanScope& scope = {});  // caller holds flush_mu_ (not mu_)
 
   ExtentManager* extents_;
   ChunkStore* chunks_;

@@ -104,6 +104,28 @@ class PctStrategy : public Strategy {
   double next_low_ = -1.0;
 };
 
+// Deterministic replay of a recorded schedule (task ids in scheduling order). Picks
+// the recorded task when it is runnable, the first runnable task otherwise.
+class ReplayStrategy : public Strategy {
+ public:
+  explicit ReplayStrategy(const std::vector<uint32_t>* schedule) : schedule_(schedule) {}
+
+  size_t Pick(const std::vector<uint64_t>& runnable, size_t step) override {
+    if (step < schedule_->size()) {
+      const uint64_t want = (*schedule_)[step];
+      for (size_t i = 0; i < runnable.size(); ++i) {
+        if (runnable[i] == want) {
+          return i;
+        }
+      }
+    }
+    return 0;
+  }
+
+ private:
+  const std::vector<uint32_t>* schedule_;
+};
+
 // Systematic enumeration: a schedule prefix to replay, then first-choice defaults; the
 // driver advances the prefix like an odometer.
 class DfsStrategy : public Strategy {
@@ -519,6 +541,18 @@ McResult McExplore(const std::function<void()>& body, const McOptions& options) 
       return result;
     }
   }
+  return result;
+}
+
+McResult McReplay(const std::function<void()>& body, const std::vector<uint32_t>& schedule,
+                  size_t max_steps) {
+  McResult result;
+  ReplayStrategy strategy(&schedule);
+  McRuntime runtime(&strategy, max_steps);
+  ActiveRuntime() = &runtime;
+  runtime.Run(body, &result);
+  ActiveRuntime() = nullptr;
+  ++result.executions;
   return result;
 }
 

@@ -61,6 +61,15 @@ struct McResult {
 
 McResult McExplore(const std::function<void()>& body, const McOptions& options);
 
+// Re-runs `body` once under the exact schedule of a previous failing execution
+// (McResult::failing_schedule, also persisted in flight-recorder artifacts as
+// `mc_schedule`). At each scheduling point the recorded task is chosen if runnable;
+// once the schedule is exhausted — or the recorded task cannot run, which only
+// happens if `body` is not the body that produced the schedule — the first runnable
+// task is picked. A faithful replay reproduces the original failure deterministically.
+McResult McReplay(const std::function<void()>& body, const std::vector<uint32_t>& schedule,
+                  size_t max_steps = 200000);
+
 }  // namespace ss
 
 #endif  // SS_MC_MC_H_

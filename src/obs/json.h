@@ -1,0 +1,55 @@
+// Minimal append-only JSON writer for the observability layer's machine-readable
+// exits (MetricsSnapshot::ToJson, SpanTree::ToJson, flight-recorder artifacts).
+//
+// Deliberately tiny: no DOM, no parsing — callers stream keys and values in order and
+// the writer tracks nesting and comma placement. Output is compact (no whitespace)
+// except that Raw() lets callers splice pre-serialized JSON fragments, so composite
+// documents (e.g. NodeServer::DumpMetricsJson) can embed sub-objects built elsewhere.
+
+#ifndef SS_OBS_JSON_H_
+#define SS_OBS_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key inside an object; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices `json` verbatim as one value; the caller guarantees it is valid JSON.
+  JsonWriter& Raw(std::string_view json);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  // Emits the separating comma if the current nesting level already holds a value.
+  void BeforeValue();
+
+  std::ostringstream out_;
+  std::vector<bool> has_value_;  // per open container: a value was already emitted
+  bool pending_key_ = false;     // last token was a key; the next value follows ':'
+};
+
+}  // namespace ss
+
+#endif  // SS_OBS_JSON_H_

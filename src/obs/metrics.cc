@@ -1,7 +1,10 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+
+#include "src/obs/json.h"
 
 namespace ss {
 
@@ -53,6 +56,48 @@ std::vector<uint64_t> DefaultTickBuckets() {
   return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
 }
 
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  if (bounds.empty()) {
+    return sum / count;  // a single +inf bucket cannot resolve any quantile
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the quantile sample, 1-based: ceil(q * count), at least 1.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return bounds[i];
+    }
+  }
+  return bounds.back() + 1;  // overflow bucket
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("count").UInt(count);
+  w.Key("sum").UInt(sum);
+  w.Key("bounds").BeginArray();
+  for (uint64_t b : bounds) {
+    w.UInt(b);
+  }
+  w.EndArray();
+  w.Key("counts").BeginArray();
+  for (uint64_t c : counts) {
+    w.UInt(c);
+  }
+  w.EndArray();
+  w.Key("p50").UInt(ValueAtQuantile(0.5));
+  w.Key("p99").UInt(ValueAtQuantile(0.99));
+  w.EndObject();
+  return w.str();
+}
+
 std::string HistogramSnapshot::ToString() const {
   std::ostringstream out;
   out << "count=" << count << " sum=" << sum << " |";
@@ -94,6 +139,28 @@ std::string MetricsSnapshot::ToString() const {
     }
   }
   return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name).UInt(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : histograms) {
+    w.Key(name).Raw(hist.ToJson());
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 uint64_t CounterDelta(const MetricsSnapshot& before, const MetricsSnapshot& after,

@@ -65,7 +65,15 @@ struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
 
+  // Upper bound of the bucket containing the q-quantile sample (q clamped to [0,1]).
+  // Edge cases: an empty histogram returns 0; samples in the overflow bucket report
+  // one past the largest bound (the histogram cannot resolve beyond it); a histogram
+  // with no bounds at all falls back to the mean (sum/count).
+  uint64_t ValueAtQuantile(double q) const;
+
   std::string ToString() const;
+  // {"count":..,"sum":..,"bounds":[..],"counts":[..]}
+  std::string ToJson() const;
 };
 
 // Fixed-bucket histogram. Bounds are frozen at registration; recording is a bucket
@@ -107,6 +115,9 @@ struct MetricsSnapshot {
   int64_t gauge(std::string_view name) const;
 
   std::string ToString() const;
+  // Machine-readable form: {"counters":{..},"gauges":{..},"histograms":{..}}, the
+  // exit the benches and the flight recorder consume.
+  std::string ToJson() const;
 };
 
 // Delta of one counter between two snapshots taken from the same registry set.

@@ -1,0 +1,236 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace ss {
+
+std::string SpanRecord::ToString() const {
+  std::ostringstream out;
+  out << "#" << id << " " << name << " parent=" << parent << " root=" << root
+      << " ticks=" << duration_ticks << " status=" << StatusCodeName(status);
+  if (open) {
+    out << " (open)";
+  }
+  return out.str();
+}
+
+SpanTree::SpanTree(size_t capacity, MetricRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {
+  ring_.reserve(capacity_);
+}
+
+uint64_t SpanTree::StartSpan(std::string_view name, uint64_t parent, uint64_t root,
+                             uint64_t start_ticks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  SpanRecord record;
+  record.id = id;
+  record.parent = parent;
+  record.root = root == 0 ? id : root;
+  record.name = std::string(name);
+  record.start_ticks = start_ticks;
+  const size_t slot = static_cast<size_t>((id - 1) % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(record);
+  } else {
+    ring_.push_back(std::move(record));
+  }
+  return id;
+}
+
+void SpanTree::EndSpan(uint64_t id, StatusCode status, uint64_t duration_ticks) {
+  Histogram* histogram = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id == 0 || id >= next_id_) {
+      return;
+    }
+    const size_t slot = static_cast<size_t>((id - 1) % capacity_);
+    if (slot >= ring_.size() || ring_[slot].id != id) {
+      return;  // overwritten by wraparound; the lifetime counter still covers it
+    }
+    SpanRecord& record = ring_[slot];
+    record.status = status;
+    record.duration_ticks = duration_ticks;
+    record.open = false;
+    if (metrics_ != nullptr) {
+      auto it = histogram_cache_.find(record.name);
+      if (it == histogram_cache_.end()) {
+        it = histogram_cache_
+                 .emplace(record.name,
+                          &metrics_->histogram("span." + record.name + ".ticks"))
+                 .first;
+      }
+      histogram = it->second;
+    }
+  }
+  if (histogram != nullptr) {
+    histogram->Record(duration_ticks);
+  }
+}
+
+std::vector<SpanRecord> SpanTree::SpansLocked() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (const SpanRecord& record : ring_) {
+    if (record.id != 0) {
+      out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<SpanRecord> SpanTree::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SpansLocked();
+}
+
+std::vector<SpanRecord> SpanTree::Tree(uint64_t root) const {
+  std::vector<SpanRecord> all = Spans();
+  std::vector<SpanRecord> out;
+  for (SpanRecord& record : all) {
+    if (record.root == root) {
+      out.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
+uint64_t SpanTree::total_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+std::string SpanTree::ToString(uint64_t root) const {
+  const std::vector<SpanRecord> spans = Tree(root);
+  std::multimap<uint64_t, const SpanRecord*> children;
+  const SpanRecord* root_record = nullptr;
+  for (const SpanRecord& record : spans) {
+    if (record.id == root) {
+      root_record = &record;
+    } else {
+      children.emplace(record.parent, &record);
+    }
+  }
+  std::ostringstream out;
+  if (root_record == nullptr) {
+    out << "span #" << root << " <not retained>\n";
+    return out.str();
+  }
+  // Depth-first with an explicit stack; children sorted by id via the multimap.
+  std::vector<std::pair<const SpanRecord*, int>> stack = {{root_record, 0}};
+  while (!stack.empty()) {
+    auto [record, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) {
+      out << "  ";
+    }
+    out << record->ToString() << "\n";
+    auto [lo, hi] = children.equal_range(record->id);
+    std::vector<const SpanRecord*> kids;
+    for (auto it = lo; it != hi; ++it) {
+      kids.push_back(it->second);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+void SpanToJson(const SpanRecord& record, JsonWriter& w) {
+  w.BeginObject();
+  w.Key("id").UInt(record.id);
+  w.Key("parent").UInt(record.parent);
+  w.Key("root").UInt(record.root);
+  w.Key("name").String(record.name);
+  w.Key("start_ticks").UInt(record.start_ticks);
+  w.Key("duration_ticks").UInt(record.duration_ticks);
+  w.Key("status").String(StatusCodeName(record.status));
+  w.Key("open").Bool(record.open);
+  w.EndObject();
+}
+
+std::string SpansJson(const std::vector<SpanRecord>& spans) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const SpanRecord& record : spans) {
+    SpanToJson(record, w);
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace
+
+std::string SpanTree::ToJson(uint64_t root) const { return SpansJson(Tree(root)); }
+
+std::string SpanTree::ToJson() const { return SpansJson(Spans()); }
+
+Span::Span(SpanTree* tree, const TickSource* clock, std::string_view name, uint64_t parent,
+           uint64_t root)
+    : tree_(tree), clock_(clock) {
+  if (tree_ == nullptr) {
+    return;
+  }
+  start_ = clock_ != nullptr ? clock_->SpanTicksNow() : 0;
+  id_ = tree_->StartSpan(name, parent, root, start_);
+  root_ = root == 0 ? id_ : root;
+  open_ = true;
+}
+
+Span::Span(Span&& other) noexcept
+    : tree_(other.tree_),
+      clock_(other.clock_),
+      id_(other.id_),
+      root_(other.root_),
+      start_(other.start_),
+      ticks_(other.ticks_),
+      status_(other.status_),
+      open_(other.open_) {
+  other.tree_ = nullptr;
+  other.open_ = false;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tree_ = other.tree_;
+    clock_ = other.clock_;
+    id_ = other.id_;
+    root_ = other.root_;
+    start_ = other.start_;
+    ticks_ = other.ticks_;
+    status_ = other.status_;
+    open_ = other.open_;
+    other.tree_ = nullptr;
+    other.open_ = false;
+  }
+  return *this;
+}
+
+Span::~Span() { End(); }
+
+uint64_t Span::End() {
+  if (!open_) {
+    return ticks_;
+  }
+  open_ = false;
+  uint64_t duration = ticks_;
+  if (clock_ != nullptr) {
+    duration += clock_->SpanTicksNow() - start_;
+  }
+  ticks_ = duration;
+  tree_->EndSpan(id_, status_, duration);
+  return duration;
+}
+
+}  // namespace ss

@@ -1,0 +1,175 @@
+// Hierarchical causal span tracing — the "where inside the node" side of the
+// observability layer, complementing the flat per-RPC TraceRing.
+//
+// The node server opens one *root* span per RPC; every layer the request flows
+// through (ShardStore, LsmIndex, ChunkStore, ExtentManager, BufferCache, IoScheduler)
+// records *child* spans via a SpanScope handed down the call chain. The default
+// SpanScope is inactive, so non-traced callers (component unit tests, direct store
+// use) pay exactly one branch per potential span.
+//
+// Latency is measured in virtual-clock ticks (ExtentManager's retry-backoff clock) so
+// recorded distributions are deterministic: a span's duration is the ticks the
+// operation's retries consumed, not wall time. Spans without a clock (e.g. batch
+// roots that fan out over several per-disk clocks) accumulate ticks explicitly via
+// AddTicks.
+//
+// Like MetricRegistry and TraceRing, the tree uses plain std::mutex / std::atomic:
+// recording a span must never become a model-checker scheduling point, and the whole
+// layer stays clean under TSan. Retention is bounded (a ring keyed by span id), with
+// total_started() keeping the lifetime count across wraparound.
+
+#ifndef SS_OBS_SPAN_H_
+#define SS_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace ss {
+
+// Source of virtual-clock ticks for span latency. ExtentManager implements this over
+// its retry-backoff clock (an atomic mirror, so reading it is never a scheduling
+// point); tests can supply fake clocks.
+class TickSource {
+ public:
+  virtual ~TickSource() = default;
+  virtual uint64_t SpanTicksNow() const = 0;
+};
+
+struct SpanRecord {
+  uint64_t id = 0;      // 1-based, monotonically increasing for the tree's lifetime
+  uint64_t parent = 0;  // 0 = root span
+  uint64_t root = 0;    // id of the tree's root span (== id for roots)
+  std::string name;     // e.g. "rpc.put", "lsm.insert", "io.coalesce"
+  uint64_t start_ticks = 0;
+  uint64_t duration_ticks = 0;
+  StatusCode status = StatusCode::kOk;
+  bool open = true;  // still running (EndSpan not yet called)
+
+  std::string ToString() const;
+};
+
+// Bounded store of span records with parent/child causality. Thread-safe; recording
+// uses a plain std::mutex so it is invisible to the model checker.
+class SpanTree {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  // When `metrics` is provided, every ended span additionally records its duration
+  // into the histogram "span.<name>.ticks" — the per-stage latency surface the
+  // benches export.
+  explicit SpanTree(size_t capacity = kDefaultCapacity, MetricRegistry* metrics = nullptr);
+  SpanTree(const SpanTree&) = delete;
+  SpanTree& operator=(const SpanTree&) = delete;
+
+  // Starts a span and returns its id. `root` 0 means the span is its own root.
+  uint64_t StartSpan(std::string_view name, uint64_t parent = 0, uint64_t root = 0,
+                     uint64_t start_ticks = 0);
+  // Ends a span (no-op if the record was already overwritten by wraparound).
+  void EndSpan(uint64_t id, StatusCode status, uint64_t duration_ticks);
+
+  // Retained records, ascending id order. At most capacity() entries.
+  std::vector<SpanRecord> Spans() const;
+  // Retained records belonging to the tree rooted at `root`, ascending id order.
+  std::vector<SpanRecord> Tree(uint64_t root) const;
+
+  // Lifetime span count, unaffected by wraparound.
+  uint64_t total_started() const;
+  size_t capacity() const { return capacity_; }
+
+  // Indented rendering of one tree (children under parents, depth-first).
+  std::string ToString(uint64_t root) const;
+  // JSON array of the tree rooted at `root` / of every retained span.
+  std::string ToJson(uint64_t root) const;
+  std::string ToJson() const;
+
+ private:
+  std::vector<SpanRecord> SpansLocked() const;  // caller holds mu_
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  MetricRegistry* metrics_ = nullptr;
+  std::vector<SpanRecord> ring_;  // slot (id-1) % capacity_
+  uint64_t next_id_ = 1;
+  // Histogram lookup cache: EndSpan is on the per-page hot path, so the
+  // "span.<name>.ticks" name is built (and the registry searched) once per distinct
+  // span name, not once per span. Guarded by mu_; Histogram addresses are stable.
+  std::map<std::string, Histogram*, std::less<>> histogram_cache_;
+};
+
+class Span;
+
+// The handle threaded down the write/read path. Copyable value; the default instance
+// is inactive and every recording site guards with one `active()` branch.
+struct SpanScope {
+  SpanTree* tree = nullptr;
+  const TickSource* clock = nullptr;
+  uint64_t span_id = 0;  // parent for child spans
+  uint64_t root_id = 0;
+
+  bool active() const { return tree != nullptr; }
+  // Opens a child span of this scope (inactive scope -> inactive span).
+  Span Child(std::string_view name) const;
+};
+
+// RAII span handle. Movable, not copyable; the destructor ends the span with the
+// status set via set_status (kOk by default).
+class Span {
+ public:
+  Span() = default;  // inactive
+  // Opens a span in `tree`. `parent`/`root` 0 opens a root span. A null `clock`
+  // yields durations from AddTicks only.
+  Span(SpanTree* tree, const TickSource* clock, std::string_view name, uint64_t parent = 0,
+       uint64_t root = 0);
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  // Ends the span (idempotent) and returns its duration in ticks: the clock delta
+  // since construction plus any AddTicks contributions.
+  uint64_t End();
+
+  void set_status(StatusCode status) { status_ = status; }
+  // Explicit tick contribution for spans without a clock (e.g. batch roots summing
+  // per-disk clock deltas).
+  void AddTicks(uint64_t ticks) { ticks_ += ticks; }
+  // Ticks accumulated via AddTicks so far (excludes the clock delta added at End).
+  uint64_t ticks() const { return ticks_; }
+
+  bool active() const { return tree_ != nullptr; }
+  uint64_t id() const { return id_; }
+  uint64_t root() const { return root_; }
+  // Scope for children of this span.
+  SpanScope scope() const {
+    return active() ? SpanScope{tree_, clock_, id_, root_} : SpanScope{};
+  }
+
+ private:
+  SpanTree* tree_ = nullptr;
+  const TickSource* clock_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t root_ = 0;
+  uint64_t start_ = 0;
+  uint64_t ticks_ = 0;
+  StatusCode status_ = StatusCode::kOk;
+  bool open_ = false;
+};
+
+inline Span SpanScope::Child(std::string_view name) const {
+  if (!active()) {
+    return Span();
+  }
+  return Span(tree, clock, name, span_id, root_id);
+}
+
+}  // namespace ss
+
+#endif  // SS_OBS_SPAN_H_

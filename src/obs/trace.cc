@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/obs/json.h"
+
 namespace ss {
 
 std::string_view TraceKindName(TraceKind kind) {
@@ -46,7 +48,24 @@ std::string TraceEvent::ToString() const {
   if (duration_ticks > 0) {
     out << " ticks=" << duration_ticks;
   }
+  if (root_span > 0) {
+    out << " span=" << root_span;
+  }
   return out.str();
+}
+
+std::string TraceEvent::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seq").UInt(seq);
+  w.Key("kind").String(TraceKindName(kind));
+  w.Key("shard").UInt(shard);
+  w.Key("disk").Int(disk);
+  w.Key("status").String(StatusCodeName(status));
+  w.Key("duration_ticks").UInt(duration_ticks);
+  w.Key("root_span").UInt(root_span);
+  w.EndObject();
+  return w.str();
 }
 
 TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
@@ -54,9 +73,9 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) 
 }
 
 uint64_t TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
-                           uint64_t duration_ticks) {
+                           uint64_t duration_ticks, uint64_t root_span) {
   std::lock_guard<std::mutex> lock(mu_);
-  TraceEvent event{next_seq_, kind, shard, disk, status, duration_ticks};
+  TraceEvent event{next_seq_, kind, shard, disk, status, duration_ticks, root_span};
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {

@@ -50,8 +50,12 @@ struct TraceEvent {
   int32_t disk = -1;   // disk index the operation touched / routed to, -1 if unknown
   StatusCode status = StatusCode::kOk;
   uint64_t duration_ticks = 0;  // virtual-clock ticks consumed, 0 if not measured
+  // Root span id of the operation in the node's SpanTree (0 = no span recorded);
+  // links the flat trace event to its causal span tree.
+  uint64_t root_span = 0;
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 class TraceRing {
@@ -62,10 +66,11 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
-  // Returns the event's lifetime sequence number, which doubles as the trace id the
-  // typed RPC envelopes (PutResult/DeleteResult) hand back to callers.
+  // Returns the event's lifetime sequence number. (The typed RPC envelopes hand back
+  // the operation's root span id as `trace_id`; `root_span` on the event links the
+  // flat record to that tree.)
   uint64_t Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
-                  uint64_t duration_ticks = 0);
+                  uint64_t duration_ticks = 0, uint64_t root_span = 0);
 
   // The retained events, oldest first. At most capacity() entries.
   std::vector<TraceEvent> Events() const;

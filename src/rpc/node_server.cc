@@ -5,11 +5,14 @@
 #include "src/common/cover.h"
 #include "src/common/rng.h"
 #include "src/faults/faults.h"
+#include "src/obs/json.h"
 
 namespace ss {
 
 NodeServer::NodeServer(NodeServerOptions options)
-    : options_(options), trace_(options.trace_capacity) {
+    : options_(options),
+      trace_(options.trace_capacity),
+      spans_(options.span_capacity, &metrics_) {
   put_ok_ = &metrics_.counter("rpc.put.ok");
   put_err_ = &metrics_.counter("rpc.put.err");
   get_ok_ = &metrics_.counter("rpc.get.ok");
@@ -135,27 +138,31 @@ void NodeServer::AbsorbTrackerHealth(int disk, ShardStore& target) {
 }
 
 Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value) {
+  Span span = RootSpan("rpc.put");
   int disk = -1;
   auto routed = Route(id, /*mutating=*/true, &disk);
   if (!routed.ok()) {
     put_err_->Increment();
-    trace_.Record(TraceKind::kPut, id, disk, routed.code());
+    span.set_status(routed.code());
+    trace_.Record(TraceKind::kPut, id, disk, routed.code(), 0, span.id());
     return routed.status();
   }
   std::shared_ptr<ShardStore> target = std::move(routed).value();
   const uint64_t start_ticks = target->extents().VirtualNow();
-  auto dep_or = target->Put(id, value);
+  auto dep_or = target->Put(id, value, span.scope());
   AbsorbTrackerHealth(disk, *target);
   const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
+  span.AddTicks(ticks);
   op_ticks_->Record(ticks);
-  const uint64_t trace_id = trace_.Record(
-      TraceKind::kPut, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks);
+  trace_.Record(TraceKind::kPut, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(),
+                ticks, span.id());
   if (!dep_or.ok()) {
     put_err_->Increment();
+    span.set_status(dep_or.code());
     return dep_or.status();
   }
   put_ok_->Increment();
-  PutResult result{std::move(dep_or).value(), disk, trace_id};
+  PutResult result{std::move(dep_or).value(), disk, span.id()};
   if (options_.legacy_unconditional_route_commit) {
     // Pre-fix routing commit, preserved behind a test-only knob: `disk` was resolved
     // before the store call, so a MigrateShard that committed in between gets its
@@ -183,46 +190,57 @@ Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value) {
 }
 
 Result<Bytes> NodeServer::Get(ShardId id) {
+  Span span = RootSpan("rpc.get");
   int disk = -1;
   auto routed = Route(id, /*mutating=*/false, &disk);
   if (!routed.ok()) {
     get_err_->Increment();
-    trace_.Record(TraceKind::kGet, id, disk, routed.code());
+    span.set_status(routed.code());
+    trace_.Record(TraceKind::kGet, id, disk, routed.code(), 0, span.id());
     return routed.status();
   }
   std::shared_ptr<ShardStore> target = std::move(routed).value();
   const uint64_t start_ticks = target->extents().VirtualNow();
-  auto got = target->Get(id);
+  auto got = target->Get(id, span.scope());
   AbsorbTrackerHealth(disk, *target);
   const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
+  span.AddTicks(ticks);
+  if (!got.ok()) {
+    span.set_status(got.code());
+  }
   op_ticks_->Record(ticks);
-  trace_.Record(TraceKind::kGet, id, disk, got.ok() ? StatusCode::kOk : got.code(), ticks);
+  trace_.Record(TraceKind::kGet, id, disk, got.ok() ? StatusCode::kOk : got.code(), ticks,
+                span.id());
   (got.ok() ? get_ok_ : get_err_)->Increment();
   return got;
 }
 
 Result<DeleteResult> NodeServer::Delete(ShardId id) {
+  Span span = RootSpan("rpc.delete");
   int disk = -1;
   auto routed = Route(id, /*mutating=*/true, &disk);
   if (!routed.ok()) {
     delete_err_->Increment();
-    trace_.Record(TraceKind::kDelete, id, disk, routed.code());
+    span.set_status(routed.code());
+    trace_.Record(TraceKind::kDelete, id, disk, routed.code(), 0, span.id());
     return routed.status();
   }
   std::shared_ptr<ShardStore> target = std::move(routed).value();
   const uint64_t start_ticks = target->extents().VirtualNow();
-  auto dep_or = target->Delete(id);
+  auto dep_or = target->Delete(id, span.scope());
   AbsorbTrackerHealth(disk, *target);
   const uint64_t ticks = target->extents().VirtualNow() - start_ticks;
+  span.AddTicks(ticks);
   op_ticks_->Record(ticks);
-  const uint64_t trace_id = trace_.Record(
-      TraceKind::kDelete, id, disk, dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks);
+  trace_.Record(TraceKind::kDelete, id, disk,
+                dep_or.ok() ? StatusCode::kOk : dep_or.code(), ticks, span.id());
   if (!dep_or.ok()) {
     delete_err_->Increment();
+    span.set_status(dep_or.code());
     return dep_or.status();
   }
   delete_ok_->Increment();
-  DeleteResult result{std::move(dep_or).value(), disk, trace_id};
+  DeleteResult result{std::move(dep_or).value(), disk, span.id()};
   if (options_.legacy_unconditional_route_commit) {
     YieldThread();
     LockGuard lock(mu_);
@@ -248,11 +266,14 @@ Result<DeleteResult> NodeServer::Delete(ShardId id) {
 
 BatchResult NodeServer::PutBatch(const std::vector<std::pair<ShardId, Bytes>>& items) {
   batch_puts_->Increment();
+  Span span = RootSpan("rpc.put_batch");
   BatchResult out;
   out.items.resize(items.size());
+  out.trace_id = span.id();
 
   // Route and admission-check every item individually (same policy as Put), grouping
-  // the admitted ones into per-disk sub-batches.
+  // the admitted ones into per-disk sub-batches. Each item gets a child span under the
+  // batch root; routing rejections close theirs immediately.
   struct Group {
     std::shared_ptr<ShardStore> store;
     std::vector<size_t> indices;  // positions in `items`
@@ -261,12 +282,14 @@ BatchResult NodeServer::PutBatch(const std::vector<std::pair<ShardId, Bytes>>& i
   std::map<int, Group> groups;
   for (size_t i = 0; i < items.size(); ++i) {
     out.items[i].id = items[i].first;
+    out.items[i].span_id = spans_.StartSpan("rpc.batch.item", span.id(), span.id());
     int disk = -1;
     auto routed = Route(items[i].first, /*mutating=*/true, &disk);
     out.items[i].disk = disk;
     if (!routed.ok()) {
       out.items[i].status = routed.status();
       batch_item_err_->Increment();
+      spans_.EndSpan(out.items[i].span_id, routed.code(), 0);
       continue;
     }
     Group& group = groups[disk];
@@ -278,18 +301,23 @@ BatchResult NodeServer::PutBatch(const std::vector<std::pair<ShardId, Bytes>>& i
   // Fan out per disk: each sub-batch commits under one LSM barrier and one shared
   // soft-pointer update per extent (ShardStore::ApplyBatch), then commits its routing
   // entries per item — conditionally, so a migration that moved an item mid-batch
-  // keeps its directory entry (the PR 2 stale-commit fix, item-granular here).
+  // keeps its directory entry (the PR 2 stale-commit fix, item-granular here). The
+  // store-layer children attach to the batch root (per-item attribution inside a group
+  // commit is not meaningful: the items share one barrier).
   std::vector<Dependency> ok_deps;
   for (auto& [disk, group] : groups) {
     const uint64_t start_ticks = group.store->extents().VirtualNow();
-    StoreBatchResult applied = group.store->ApplyBatch(group.batch);
+    StoreBatchResult applied = group.store->ApplyBatch(group.batch, span.scope());
     AbsorbTrackerHealth(disk, *group.store);
-    op_ticks_->Record(group.store->extents().VirtualNow() - start_ticks);
+    const uint64_t ticks = group.store->extents().VirtualNow() - start_ticks;
+    span.AddTicks(ticks);
+    op_ticks_->Record(ticks);
     LockGuard lock(mu_);
     for (size_t k = 0; k < group.indices.size(); ++k) {
       const size_t i = group.indices[k];
       out.items[i].status = applied.items[k].status;
       out.items[i].dep = applied.items[k].dep;
+      spans_.EndSpan(out.items[i].span_id, applied.items[k].status.code(), 0);
       if (!applied.items[k].status.ok()) {
         batch_item_err_->Increment();
         continue;
@@ -306,15 +334,21 @@ BatchResult NodeServer::PutBatch(const std::vector<std::pair<ShardId, Bytes>>& i
     }
   }
   out.dep = Dependency::AndAll(ok_deps);
-  out.trace_id = trace_.Record(TraceKind::kPutBatch, items.size(), -1,
-                               out.all_ok() ? StatusCode::kOk : StatusCode::kUnavailable);
+  if (!out.all_ok()) {
+    span.set_status(StatusCode::kUnavailable);
+  }
+  trace_.Record(TraceKind::kPutBatch, items.size(), -1,
+                out.all_ok() ? StatusCode::kOk : StatusCode::kUnavailable, span.ticks(),
+                span.id());
   return out;
 }
 
 BatchResult NodeServer::DeleteBatch(const std::vector<ShardId>& ids) {
   batch_deletes_->Increment();
+  Span span = RootSpan("rpc.delete_batch");
   BatchResult out;
   out.items.resize(ids.size());
+  out.trace_id = span.id();
   struct Group {
     std::shared_ptr<ShardStore> store;
     std::vector<size_t> indices;
@@ -323,12 +357,14 @@ BatchResult NodeServer::DeleteBatch(const std::vector<ShardId>& ids) {
   std::map<int, Group> groups;
   for (size_t i = 0; i < ids.size(); ++i) {
     out.items[i].id = ids[i];
+    out.items[i].span_id = spans_.StartSpan("rpc.batch.item", span.id(), span.id());
     int disk = -1;
     auto routed = Route(ids[i], /*mutating=*/true, &disk);
     out.items[i].disk = disk;
     if (!routed.ok()) {
       out.items[i].status = routed.status();
       batch_item_err_->Increment();
+      spans_.EndSpan(out.items[i].span_id, routed.code(), 0);
       continue;
     }
     Group& group = groups[disk];
@@ -339,14 +375,17 @@ BatchResult NodeServer::DeleteBatch(const std::vector<ShardId>& ids) {
   std::vector<Dependency> ok_deps;
   for (auto& [disk, group] : groups) {
     const uint64_t start_ticks = group.store->extents().VirtualNow();
-    StoreBatchResult applied = group.store->ApplyBatch(group.batch);
+    StoreBatchResult applied = group.store->ApplyBatch(group.batch, span.scope());
     AbsorbTrackerHealth(disk, *group.store);
-    op_ticks_->Record(group.store->extents().VirtualNow() - start_ticks);
+    const uint64_t ticks = group.store->extents().VirtualNow() - start_ticks;
+    span.AddTicks(ticks);
+    op_ticks_->Record(ticks);
     LockGuard lock(mu_);
     for (size_t k = 0; k < group.indices.size(); ++k) {
       const size_t i = group.indices[k];
       out.items[i].status = applied.items[k].status;
       out.items[i].dep = applied.items[k].dep;
+      spans_.EndSpan(out.items[i].span_id, applied.items[k].status.code(), 0);
       if (!applied.items[k].status.ok()) {
         batch_item_err_->Increment();
         continue;
@@ -366,8 +405,12 @@ BatchResult NodeServer::DeleteBatch(const std::vector<ShardId>& ids) {
     }
   }
   out.dep = Dependency::AndAll(ok_deps);
-  out.trace_id = trace_.Record(TraceKind::kDeleteBatch, ids.size(), -1,
-                               out.all_ok() ? StatusCode::kOk : StatusCode::kUnavailable);
+  if (!out.all_ok()) {
+    span.set_status(StatusCode::kUnavailable);
+  }
+  trace_.Record(TraceKind::kDeleteBatch, ids.size(), -1,
+                out.all_ok() ? StatusCode::kOk : StatusCode::kUnavailable, span.ticks(),
+                span.id());
   return out;
 }
 
@@ -432,18 +475,25 @@ Status NodeServer::RemoveDiskFromService(int disk) {
     }
     target = stores_[disk];
   }
+  Span span = RootSpan("rpc.remove_disk");
   if (BugEnabled(SeededBug::kDiskRemovalLosesShards)) {
     // Buggy path: the store is discarded without a clean shutdown, dropping the
     // unflushed memtable and pending writebacks — "shards could be lost if a disk was
     // removed from service and then later returned" (paper issue #4).
     SS_COVER("rpc.bug4_remove_without_flush");
   } else {
-    SS_RETURN_IF_ERROR(target->FlushAll());
+    const uint64_t start_ticks = target->extents().VirtualNow();
+    Status flushed = target->FlushAll(span.scope());
+    span.AddTicks(target->extents().VirtualNow() - start_ticks);
+    if (!flushed.ok()) {
+      span.set_status(flushed.code());
+      return flushed;
+    }
   }
   LockGuard lock(mu_);
   in_service_[disk] = false;
   stores_[disk].reset();
-  trace_.Record(TraceKind::kRemoveDisk, 0, disk, StatusCode::kOk);
+  trace_.Record(TraceKind::kRemoveDisk, 0, disk, StatusCode::kOk, span.ticks(), span.id());
   return Status::Ok();
 }
 
@@ -457,6 +507,7 @@ Status NodeServer::RestoreDisk(int disk) {
       return Status::Unavailable("already in service");
     }
   }
+  Span span = RootSpan("rpc.restore_disk");
   SS_ASSIGN_OR_RETURN(std::unique_ptr<ShardStore> reopened,
                       ShardStore::Open(disks_[disk].get(), options_.store));
   std::shared_ptr<ShardStore> shared(std::move(reopened));
@@ -469,7 +520,7 @@ Status NodeServer::RestoreDisk(int disk) {
   for (ShardId id : ids) {
     directory_[id] = disk;
   }
-  trace_.Record(TraceKind::kRestoreDisk, 0, disk, StatusCode::kOk);
+  trace_.Record(TraceKind::kRestoreDisk, 0, disk, StatusCode::kOk, 0, span.id());
   return Status::Ok();
 }
 
@@ -477,11 +528,14 @@ Status NodeServer::MigrateShard(ShardId id, int to_disk) {
   if (to_disk < 0 || to_disk >= static_cast<int>(disks_.size())) {
     return Status::InvalidArgument("no such disk");
   }
+  Span span = RootSpan("rpc.migrate_shard");
   LockGuard control(control_mu_);
-  return MigrateShardLocked(id, to_disk);
+  Status status = MigrateShardLocked(id, to_disk, span);
+  span.set_status(status.code());
+  return status;
 }
 
-Status NodeServer::MigrateShardLocked(ShardId id, int to_disk) {
+Status NodeServer::MigrateShardLocked(ShardId id, int to_disk, Span& span) {
   const int from_disk = DiskFor(id);
   std::shared_ptr<ShardStore> source;
   std::shared_ptr<ShardStore> target;
@@ -502,30 +556,63 @@ Status NodeServer::MigrateShardLocked(ShardId id, int to_disk) {
   if (from_disk == to_disk) {
     return Status::Ok();
   }
-  SS_ASSIGN_OR_RETURN(Bytes value, source->Get(id));
+  // Sum the ticks both disks' virtual clocks consume: a migration's latency is the
+  // source read + tombstone plus the target copy + flush.
+  const uint64_t src_start = source->extents().VirtualNow();
+  const uint64_t dst_start = target->extents().VirtualNow();
+  const SpanScope scope = span.scope();
+  uint64_t call_ticks = 0;  // this migration only (the span may cover an evacuation)
+  auto add_ticks = [&] {
+    call_ticks = (source->extents().VirtualNow() - src_start) +
+                 (target->extents().VirtualNow() - dst_start);
+    span.AddTicks(call_ticks);
+  };
+  auto value_or = source->Get(id, scope);
+  if (!value_or.ok()) {
+    add_ticks();
+    return value_or.status();
+  }
+  Bytes value = std::move(value_or).value();
   // Copy first, commit the routing change, then tombstone the source — in that order a
   // crash of this control-plane step never loses the shard (at worst both copies
   // exist, and the directory decides which one serves).
-  SS_ASSIGN_OR_RETURN(Dependency copied, target->Put(id, value));
-  (void)copied;
+  auto copied = target->Put(id, value, scope);
+  if (!copied.ok()) {
+    add_ticks();
+    return copied.status();
+  }
   // The copy must be durable before routing commits: otherwise a crash of the target
   // disk could lose a shard whose original write was already acknowledged persistent.
-  SS_RETURN_IF_ERROR(target->FlushAll());
+  Status flushed = target->FlushAll(scope);
+  if (!flushed.ok()) {
+    add_ticks();
+    return flushed;
+  }
   {
     LockGuard lock(mu_);
     if (!in_service_[to_disk]) {
+      add_ticks();
       return Status::Unavailable("target removed during migration");
     }
     directory_[id] = to_disk;
   }
-  SS_ASSIGN_OR_RETURN(Dependency dropped, source->Delete(id));
-  (void)dropped;
+  auto dropped = source->Delete(id, scope);
+  if (!dropped.ok()) {
+    add_ticks();
+    return dropped.status();
+  }
   // The tombstone must be durable too: left memtable-only, a later crash of the source
   // would resurrect the stale copy and recovery could re-register it.
-  SS_RETURN_IF_ERROR(source->FlushAll());
+  Status drained = source->FlushAll(scope);
+  if (!drained.ok()) {
+    add_ticks();
+    return drained;
+  }
+  add_ticks();
   SS_COVER("rpc.migrate_shard");
   migrations_->Increment();
-  trace_.Record(TraceKind::kMigrateShard, id, to_disk, StatusCode::kOk);
+  trace_.Record(TraceKind::kMigrateShard, id, to_disk, StatusCode::kOk, call_ticks,
+                span.id());
   return Status::Ok();
 }
 
@@ -550,7 +637,8 @@ Status NodeServer::MarkDiskDegraded(int disk) {
   }
   health_[disk] = DiskHealth::kDegraded;
   SS_COVER("rpc.mark_degraded");
-  trace_.Record(TraceKind::kMarkDegraded, 0, disk, StatusCode::kOk);
+  Span span = RootSpan("rpc.mark_degraded");
+  trace_.Record(TraceKind::kMarkDegraded, 0, disk, StatusCode::kOk, 0, span.id());
   return Status::Ok();
 }
 
@@ -564,7 +652,8 @@ Status NodeServer::ResetDiskHealth(int disk) {
   }
   health_[disk] = DiskHealth::kHealthy;
   stores_[disk]->extents().health().Reset();
-  trace_.Record(TraceKind::kResetHealth, 0, disk, StatusCode::kOk);
+  Span span = RootSpan("rpc.reset_health");
+  trace_.Record(TraceKind::kResetHealth, 0, disk, StatusCode::kOk, 0, span.id());
   return Status::Ok();
 }
 
@@ -572,6 +661,9 @@ Status NodeServer::EvacuateDisk(int disk) {
   if (disk < 0 || disk >= static_cast<int>(disks_.size())) {
     return Status::InvalidArgument("no such disk");
   }
+  // One root for the whole evacuation: each shard's migration attaches its store-layer
+  // children here, so the tree shows the full drain.
+  Span span = RootSpan("rpc.evacuate_disk");
   LockGuard control(control_mu_);
   std::shared_ptr<ShardStore> source;
   {
@@ -609,7 +701,7 @@ Status NodeServer::EvacuateDisk(int disk) {
     bool moved = false;
     for (size_t k = 0; k < peers.size(); ++k) {
       const int target = peers[(next_peer + k) % peers.size()];
-      last = MigrateShardLocked(id, target);
+      last = MigrateShardLocked(id, target, span);
       if (last.ok()) {
         next_peer = (next_peer + k + 1) % peers.size();
         moved = true;
@@ -620,13 +712,14 @@ Status NodeServer::EvacuateDisk(int disk) {
       }
     }
     if (!moved) {
+      span.set_status(last.code());
       return Status(last.code(), "evacuation stopped at shard " + std::to_string(id) +
                                      ": " + last.message());
     }
   }
   SS_COVER("rpc.evacuate_disk");
   evacuations_->Increment();
-  trace_.Record(TraceKind::kEvacuateDisk, 0, disk, StatusCode::kOk);
+  trace_.Record(TraceKind::kEvacuateDisk, 0, disk, StatusCode::kOk, span.ticks(), span.id());
   return Status::Ok();
 }
 
@@ -677,7 +770,8 @@ Status NodeServer::CrashAndRecoverDisk(int disk, uint64_t crash_seed) {
   // routing back.
   SS_COVER("rpc.crash_recover_disk");
   crash_recoveries_->Increment();
-  trace_.Record(TraceKind::kCrashRecoverDisk, 0, disk, StatusCode::kOk);
+  Span span = RootSpan("rpc.crash_recover_disk");
+  trace_.Record(TraceKind::kCrashRecoverDisk, 0, disk, StatusCode::kOk, 0, span.id());
   return Status::Ok();
 }
 
@@ -732,13 +826,20 @@ std::vector<Status> NodeServer::BulkRemove(const std::vector<ShardId>& ids) {
 }
 
 Status NodeServer::FlushAllDisks() {
+  Span span = RootSpan("rpc.flush_all");
   for (int d = 0; d < disk_count(); ++d) {
     std::shared_ptr<ShardStore> target = store(d);
     if (target != nullptr) {
-      SS_RETURN_IF_ERROR(target->FlushAll());
+      const uint64_t start_ticks = target->extents().VirtualNow();
+      Status flushed = target->FlushAll(span.scope());
+      span.AddTicks(target->extents().VirtualNow() - start_ticks);
+      if (!flushed.ok()) {
+        span.set_status(flushed.code());
+        return flushed;
+      }
     }
   }
-  trace_.Record(TraceKind::kFlush, 0, -1, StatusCode::kOk);
+  trace_.Record(TraceKind::kFlush, 0, -1, StatusCode::kOk, span.ticks(), span.id());
   return Status::Ok();
 }
 
@@ -768,5 +869,22 @@ MetricsSnapshot NodeServer::MetricsSnapshot() const {
 }
 
 std::string NodeServer::DumpMetrics() const { return MetricsSnapshot().ToString() + trace_.ToString(); }
+
+std::string NodeServer::DumpMetricsJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics");
+  w.Raw(MetricsSnapshot().ToJson());
+  w.Key("spans");
+  w.Raw(spans_.ToJson());
+  w.Key("trace");
+  w.BeginArray();
+  for (const TraceEvent& event : trace_.Events()) {
+    w.Raw(event.ToJson());
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
 
 }  // namespace ss

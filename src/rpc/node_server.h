@@ -27,6 +27,7 @@
 
 #include "src/kv/shard_store.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace ss {
@@ -37,6 +38,8 @@ struct NodeServerOptions {
   ShardStoreOptions store;
   // Retained trace events (see TraceRing); lifetime totals are unaffected.
   size_t trace_capacity = TraceRing::kDefaultCapacity;
+  // Retained span records (see SpanTree); lifetime totals are unaffected.
+  size_t span_capacity = SpanTree::kDefaultCapacity;
   // Regression knob: restores the pre-fix Put/Delete routing commit (capture the
   // routed disk before the store call, then write the directory unconditionally
   // afterwards), which lets a concurrent MigrateShard's routing commit be clobbered
@@ -47,7 +50,9 @@ struct NodeServerOptions {
 
 // Typed request-plane envelopes: every mutating RPC returns the operation's durability
 // dependency plus the routing and tracing context the node resolved for it — the disk
-// the write landed on and the trace-ring sequence number of the recorded event.
+// the write landed on and the id of the operation's root span in the node's SpanTree
+// (SpanTree::Tree(trace_id) yields the full causal tree; the flat trace-ring event
+// carries the same id in its `root_span` field).
 // The implicit Dependency conversion keeps pre-envelope call sites
 // (`Dependency dep = node->Put(...).value()`) compiling unchanged.
 struct PutResult {
@@ -69,12 +74,14 @@ struct DeleteResult {
 };
 
 // Per-item outcome of a batched request-plane call. Failed items carry their status;
-// their dependency is trivially persistent.
+// their dependency is trivially persistent. `span_id` is the item's "rpc.batch.item"
+// child span under the batch's root (0 when spans were not recorded for the item).
 struct BatchItemResult {
   ShardId id = 0;
   Status status;
   Dependency dep;
   int disk = -1;
+  uint64_t span_id = 0;
 };
 
 struct BatchResult {
@@ -172,8 +179,16 @@ class NodeServer {
   ss::MetricsSnapshot MetricsSnapshot() const;
   // Human-readable snapshot + the tail of the trace ring.
   std::string DumpMetrics() const;
+  // Machine-readable node state: {"metrics": ..., "spans": [...], "trace": [...]}.
+  // This is the exit the flight recorder and external tooling scrape.
+  std::string DumpMetricsJson() const;
   MetricRegistry& metrics() { return metrics_; }
   const TraceRing& trace() const { return trace_; }
+  // The node-wide span tree: every request-plane and control-plane root span plus the
+  // store-layer children recorded under it. Span duration histograms
+  // ("span.<name>.ticks") land in metrics().
+  SpanTree& spans() { return spans_; }
+  const SpanTree& spans() const { return spans_; }
 
   // The disk currently owning `id`: its directory entry if present (which migration
   // moves), otherwise the stable hash placement used for new shards — skipping disks
@@ -202,8 +217,14 @@ class NodeServer {
   // are sticky: the merge only ever moves health toward failed).
   void AbsorbTrackerHealth(int disk, ShardStore& target);
 
-  // MigrateShard body; caller holds control_mu_.
-  Status MigrateShardLocked(ShardId id, int to_disk);
+  // MigrateShard body; caller holds control_mu_. Store-layer children and the
+  // virtual-clock ticks the migration consumed are recorded into `span` (the
+  // "rpc.migrate_shard" root, or EvacuateDisk's "rpc.evacuate_disk" root).
+  Status MigrateShardLocked(ShardId id, int to_disk, Span& span);
+
+  // Opens a root span for one RPC (null clock: durations accumulate via AddTicks of
+  // per-store virtual-clock deltas, since the owning disk is not known yet).
+  Span RootSpan(std::string_view name) { return Span(&spans_, nullptr, name); }
 
   NodeServerOptions options_;
   std::vector<std::unique_ptr<InMemoryDisk>> disks_;
@@ -212,6 +233,7 @@ class NodeServer {
   // recording is never a model-checker scheduling point.
   MetricRegistry metrics_;
   TraceRing trace_;
+  SpanTree spans_;
   Counter* put_ok_;
   Counter* put_err_;
   Counter* get_ok_;

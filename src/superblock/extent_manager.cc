@@ -51,8 +51,17 @@ Status ExtentManager::CheckExtent(ExtentId extent) const {
   return Status::Ok();
 }
 
-Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
+Status ExtentManager::CheckIo(ExtentId extent, bool is_write, const SpanScope& scope) const {
   DiskFaultInjector& faults = disk_->fault_injector();
+  // Retries that consumed backoff show up as an "extent.retry" span whose duration is
+  // exactly the ticks charged; clean IOs record nothing.
+  const auto record_retry_span = [&](uint64_t ticks, StatusCode code) {
+    if (scope.active() && ticks > 0) {
+      Span span = scope.Child("extent.retry");
+      span.set_status(code);
+      span.AddTicks(ticks);
+    }
+  };
   // Permanent failures are classified before any attempt: retrying a dead extent only
   // wastes the error budget that the health machinery spends on real transients.
   if (faults.IsPermanentlyFailed(extent)) {
@@ -77,6 +86,7 @@ Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
       if (attempt > 0) {
         SS_COVER("extent_manager.retry_absorbed_fault");
         retry_backoff_ticks_->Record(backoff_spent);
+        record_retry_span(backoff_spent, StatusCode::kOk);
       }
       return Status::Ok();
     }
@@ -88,10 +98,12 @@ Status ExtentManager::CheckIo(ExtentId extent, bool is_write) const {
       backoff_spent += ticks;
       LockGuard lock(retry_mu_);
       virtual_clock_ += ticks;
+      clock_ticks_.store(virtual_clock_, std::memory_order_relaxed);
     }
   }
   retry_exhausted_->Increment();
   retry_backoff_ticks_->Record(backoff_spent);
+  record_retry_span(backoff_spent, StatusCode::kIoError);
   SS_COVER("extent_manager.retry_budget_exhausted");
   return Status::IoError(is_write ? "append: transient write faults outlasted retry budget"
                                   : "read: transient read faults outlasted retry budget");
@@ -107,9 +119,16 @@ uint32_t ExtentManager::PagesNeeded(size_t bytes) const {
   return static_cast<uint32_t>((bytes + page_size - 1) / page_size);
 }
 
-Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Dependency input) {
-  SS_RETURN_IF_ERROR(CheckExtent(extent));
+Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Dependency input,
+                                           const SpanScope& scope) {
+  Span span = scope.Child("extent.append");
+  const SpanScope child_scope = span.scope();
+  if (Status check = CheckExtent(extent); !check.ok()) {
+    span.set_status(check.code());
+    return check;
+  }
   if (data.empty()) {
+    span.set_status(StatusCode::kInvalidArgument);
     return Status::InvalidArgument("append of zero bytes");
   }
   const DiskGeometry& geo = disk_->geometry();
@@ -130,17 +149,20 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
   ExtentState& state = extents_[extent];
   if (state.owner == ExtentOwner::kFree) {
     buffer_pool_.Release(2);
+    span.set_status(StatusCode::kInvalidArgument);
     return Status::InvalidArgument("append to unowned extent");
   }
   if (uint64_t{state.wp} + pages_needed > geo.pages_per_extent) {
     buffer_pool_.Release(2);
+    span.set_status(StatusCode::kResourceExhausted);
     return Status::ResourceExhausted("extent full");
   }
   // Synchronous write-failure surface: a failed append reports the classified error
   // (kIoError past the retry budget, kDiskFailed for permanent faults) to the caller
   // and stages nothing (section 4.4 failure injection).
-  if (Status io = CheckIo(extent, /*is_write=*/true); !io.ok()) {
+  if (Status io = CheckIo(extent, /*is_write=*/true, child_scope); !io.ok()) {
     buffer_pool_.Release(2);
+    span.set_status(io.code());
     return io;
   }
 
@@ -165,8 +187,8 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
       // Data on a freshly claimed extent must not persist before its ownership record.
       inputs.push_back(state.ownership_dep);
     }
-    Dependency page_dep =
-        scheduler_->EnqueueDataPage(extent, state.wp + i, std::move(page), std::move(inputs));
+    Dependency page_dep = scheduler_->EnqueueDataPage(extent, state.wp + i, std::move(page),
+                                                      std::move(inputs), child_scope);
     data_deps.push_back(page_dep);
 
     // Soft-write-pointer update covering this page. Two rules:
@@ -193,7 +215,7 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
       pend_it->second.data_deps.push_back(page_dep);
       soft_wp_deps.push_back(pend_it->second.promise);
     } else if (covered > state.enqueued_soft_wp) {
-      Dependency soft_dep = scheduler_->EnqueueSoftWp(extent, covered, {page_dep});
+      Dependency soft_dep = scheduler_->EnqueueSoftWp(extent, covered, {page_dep}, child_scope);
       state.last_soft_wp_dep = soft_dep;
       soft_wp_deps.push_back(std::move(soft_dep));
       state.enqueued_soft_wp = covered;
@@ -211,10 +233,10 @@ Result<AppendResult> ExtentManager::Append(ExtentId extent, ByteSpan data, Depen
   return result;
 }
 
-Result<Bytes> ExtentManager::Read(ExtentId extent, uint32_t first_page,
-                                  uint32_t page_count) const {
+Result<Bytes> ExtentManager::Read(ExtentId extent, uint32_t first_page, uint32_t page_count,
+                                  const SpanScope& scope) const {
   SS_RETURN_IF_ERROR(CheckExtent(extent));
-  SS_RETURN_IF_ERROR(CheckIo(extent, /*is_write=*/false));
+  SS_RETURN_IF_ERROR(CheckIo(extent, /*is_write=*/false, scope));
   LockGuard lock(mu_);
   const ExtentState& state = extents_[extent];
   if (uint64_t{first_page} + page_count > state.wp) {

@@ -36,6 +36,7 @@
 #include "src/disk/disk.h"
 #include "src/disk/disk_health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sync/sync.h"
 
 namespace ss {
@@ -59,7 +60,9 @@ struct IoRetryOptions {
   uint64_t backoff_base_ticks = 1;
 };
 
-class ExtentManager {
+// The manager is the write path's TickSource: span latency is measured on its
+// virtual retry-backoff clock (see SpanTicksNow below).
+class ExtentManager : public TickSource {
  public:
   // Buffer-pool permits available for in-flight superblock/data staging. Two permits are
   // needed per append; the default leaves headroom, while concurrency tests shrink it to
@@ -78,12 +81,15 @@ class ExtentManager {
   // --- Data path ----------------------------------------------------------------------
   // Appends `data` (1..extent-size bytes) at the write pointer. The write is staged
   // immediately (readable through Read) and scheduled for writeback; it will not be
-  // issued to disk before `input` persists.
-  Result<AppendResult> Append(ExtentId extent, ByteSpan data, Dependency input);
+  // issued to disk before `input` persists. `scope`, when active, receives an
+  // "extent.append" child span (plus "extent.retry" / "io.submit" grandchildren).
+  Result<AppendResult> Append(ExtentId extent, ByteSpan data, Dependency input,
+                              const SpanScope& scope = {});
 
   // Reads `page_count` pages starting at `first_page`. Fails with kInvalidArgument if
   // the range extends past the write pointer, kIoError under fault injection.
-  Result<Bytes> Read(ExtentId extent, uint32_t first_page, uint32_t page_count) const;
+  Result<Bytes> Read(ExtentId extent, uint32_t first_page, uint32_t page_count,
+                     const SpanScope& scope = {}) const;
 
   // Returns the write pointer (pages) to the start of the extent, making existing data
   // unreachable. The reset (and its zero soft pointer) is issued only after `input`
@@ -135,6 +141,13 @@ class ExtentManager {
   // Current virtual time (ticks charged by retry backoff so far).
   uint64_t VirtualNow() const;
 
+  // TickSource: lock-free mirror of the virtual clock. A relaxed atomic load, so span
+  // timestamping deep in the write path never takes the ss::sync retry mutex — reading
+  // the clock is invisible to the model checker and adds no scheduling points.
+  uint64_t SpanTicksNow() const override {
+    return clock_ticks_.load(std::memory_order_relaxed);
+  }
+
   // The extent.* / disk.health.* counters live in the registry passed at construction
   // (or the private one): read them via MetricRegistry::Snapshot().
   const MetricRegistry& metrics() const { return *metrics_; }
@@ -165,8 +178,10 @@ class ExtentManager {
   void SettlePendingSoftWpLocked(ExtentId extent);
   // Consults the fault injector for one logical IO on `extent`, retrying transient
   // faults up to the attempt budget with exponential virtual-clock backoff. Returns
-  // Ok, kDiskFailed (permanent, no retries), or kIoError (budget exhausted).
-  Status CheckIo(ExtentId extent, bool is_write) const;
+  // Ok, kDiskFailed (permanent, no retries), or kIoError (budget exhausted). When
+  // retries occurred and `scope` is active, records an "extent.retry" child span whose
+  // duration is the backoff ticks the IO consumed.
+  Status CheckIo(ExtentId extent, bool is_write, const SpanScope& scope = {}) const;
 
   InMemoryDisk* disk_;
   IoScheduler* scheduler_;
@@ -190,6 +205,9 @@ class ExtentManager {
   Histogram* retry_backoff_ticks_;
   mutable Mutex retry_mu_;  // guards the virtual clock
   mutable uint64_t virtual_clock_ = 0;
+  // Mirror of virtual_clock_, updated wherever the clock advances (still under
+  // retry_mu_); SpanTicksNow reads it without locking.
+  mutable std::atomic<uint64_t> clock_ticks_{0};
 };
 
 }  // namespace ss

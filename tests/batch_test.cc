@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "src/dep/io_scheduler.h"
 #include "src/faults/faults.h"
 #include "src/kv/shard_store.h"
+#include "src/obs/span.h"
 #include "src/rpc/node_server.h"
 
 namespace ss {
@@ -327,7 +331,9 @@ TEST_F(NodeBatchTest, PutBatchRoutesPerItemAndReportsEnvelopes) {
   ASSERT_FALSE(events.empty());
   EXPECT_EQ(events.back().kind, TraceKind::kPutBatch);
   EXPECT_EQ(events.back().shard, items.size());
-  EXPECT_EQ(events.back().seq, result.trace_id);
+  // The envelope's trace id is the batch's root span id; the flat trace event links
+  // back to it through root_span.
+  EXPECT_EQ(events.back().root_span, result.trace_id);
 
   for (const auto& [id, value] : items) {
     auto got = node_->Get(id);
@@ -343,6 +349,49 @@ TEST_F(NodeBatchTest, PutBatchRoutesPerItemAndReportsEnvelopes) {
   EXPECT_TRUE(result.dep.IsPersistent());
   for (const BatchItemResult& item : result.items) {
     EXPECT_TRUE(item.dep.IsPersistent());
+  }
+}
+
+TEST_F(NodeBatchTest, BatchItemsCarryPerItemSpansUnderTheBatchRoot) {
+  Create();
+  // Degrade one item's home so the batch mixes a routing rejection with a commit:
+  // both outcomes must still be attributable through their per-item spans.
+  ASSERT_TRUE(node_->Put(1, Value(50, 1)).ok());
+  const int sick = node_->DiskFor(1);
+  ShardId healthy_key = 2;
+  while (node_->DiskFor(healthy_key) == sick) {
+    ++healthy_key;
+  }
+  ASSERT_TRUE(node_->MarkDiskDegraded(sick).ok());
+
+  BatchResult result = node_->PutBatch({{1, Value(80, 3)}, {healthy_key, Value(80, 4)}});
+  ASSERT_EQ(result.items.size(), 2u);
+  EXPECT_EQ(result.items[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(result.items[1].status.ok());
+
+  // Every item got its own span, distinct from each other and from the batch root.
+  std::set<uint64_t> span_ids;
+  for (const BatchItemResult& item : result.items) {
+    EXPECT_GT(item.span_id, 0u);
+    EXPECT_NE(item.span_id, result.trace_id);
+    span_ids.insert(item.span_id);
+  }
+  EXPECT_EQ(span_ids.size(), result.items.size());
+
+  // The item spans hang directly under the batch root and closed with each item's
+  // final status — the rejected item's span carries the rejection code.
+  std::map<uint64_t, SpanRecord> by_id;
+  for (const SpanRecord& record : node_->spans().Tree(result.trace_id)) {
+    by_id[record.id] = record;
+  }
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    ASSERT_TRUE(by_id.count(result.items[i].span_id)) << "item " << i;
+    const SpanRecord& record = by_id[result.items[i].span_id];
+    EXPECT_EQ(record.name, "rpc.batch.item");
+    EXPECT_EQ(record.parent, result.trace_id);
+    EXPECT_EQ(record.root, result.trace_id);
+    EXPECT_FALSE(record.open);
+    EXPECT_EQ(record.status, result.items[i].status.code()) << "item " << i;
   }
 }
 
@@ -402,7 +451,7 @@ TEST_F(NodeBatchTest, TypedEnvelopesCarryRoutingAndTraceContext) {
   EXPECT_EQ(envelope.disk, node_->DiskFor(7));
   std::vector<TraceEvent> events = node_->trace().Events();
   ASSERT_FALSE(events.empty());
-  EXPECT_EQ(events.back().seq, envelope.trace_id);
+  EXPECT_EQ(events.back().root_span, envelope.trace_id);
   EXPECT_EQ(events.back().kind, TraceKind::kPut);
 
   // Compatibility: the envelope still converts to its dependency.

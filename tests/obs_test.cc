@@ -1,6 +1,7 @@
-// Observability layer: registry find-or-create semantics, histogram bucketing,
-// snapshot merging, trace-ring wraparound, snapshot stability under model-checked
-// concurrency, and the NodeServer surface (every subsystem visible in one snapshot).
+// Observability layer: registry find-or-create semantics, histogram bucketing and
+// quantiles, snapshot merging, trace-ring wraparound, span-tree causality, snapshot
+// stability under model-checked concurrency, and the NodeServer surface (every
+// subsystem visible in one snapshot, spans linked from trace events).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include "src/faults/faults.h"
 #include "src/mc/mc.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/rpc/node_server.h"
 #include "src/sync/sync.h"
@@ -117,6 +119,65 @@ TEST(MetricRegistry, ToStringListsEverySection) {
   EXPECT_NE(out.find("h.one"), std::string::npos);
 }
 
+// --- HistogramSnapshot::ValueAtQuantile ---------------------------------------------
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+  MetricRegistry registry;
+  HistogramSnapshot snap = registry.histogram("h", {1, 2, 4}).Snapshot();
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 0u);
+}
+
+TEST(HistogramQuantile, ReportsBucketUpperBounds) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("h", {10, 20, 40});
+  // 5 samples <= 10, 4 samples <= 20, 1 sample <= 40.
+  for (int i = 0; i < 5; ++i) h.Record(3);
+  for (int i = 0; i < 4; ++i) h.Record(15);
+  h.Record(33);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.ValueAtQuantile(0.10), 10u);  // rank 1
+  EXPECT_EQ(snap.ValueAtQuantile(0.50), 10u);  // rank 5, last sample of bucket 0
+  EXPECT_EQ(snap.ValueAtQuantile(0.51), 20u);  // rank 6, first sample of bucket 1
+  EXPECT_EQ(snap.ValueAtQuantile(0.90), 20u);
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 40u);
+}
+
+TEST(HistogramQuantile, QuantileIsClampedAndZeroMeansMinimum) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("h", {1, 8});
+  h.Record(1);
+  h.Record(6);
+  HistogramSnapshot snap = h.Snapshot();
+  // q below 0 / above 1 clamp; q=0 still resolves the rank-1 sample.
+  EXPECT_EQ(snap.ValueAtQuantile(-3.0), 1u);
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), 1u);
+  EXPECT_EQ(snap.ValueAtQuantile(7.0), 8u);
+}
+
+TEST(HistogramQuantile, OverflowSamplesReportOnePastTheLargestBound) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("h", {4});
+  h.Record(2);
+  h.Record(1000);  // overflow bucket
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 4u);
+  // The histogram cannot resolve beyond its largest bound: it reports bound+1, not
+  // the (unknown) sample value.
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 5u);
+}
+
+TEST(HistogramQuantile, BoundlessHistogramFallsBackToMean) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("h", std::vector<uint64_t>{});
+  h.Record(10);
+  h.Record(30);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 20u);
+  EXPECT_EQ(snap.ValueAtQuantile(0.99), 20u);
+}
+
 // --- TraceRing ----------------------------------------------------------------------
 
 TEST(TraceRing, WrapsAroundKeepingTheNewestEvents) {
@@ -147,6 +208,132 @@ TEST(TraceRing, RecordsStructuredFields) {
   EXPECT_EQ(events[0].duration_ticks, 9u);
   std::string text = ring.ToString();
   EXPECT_NE(text.find("MigrateShard"), std::string::npos);
+}
+
+// Regression: after wraparound, ToString must render the *newest* tail of the ring
+// (the last max_events events by sequence number), not the oldest retained ones.
+TEST(TraceRing, ToStringShowsTheNewestTailAfterWraparound) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Record(TraceKind::kPut, /*shard=*/i, /*disk=*/0, StatusCode::kOk);
+  }
+  // Retained: seqs 6..9. A 2-event rendering must show exactly #8 and #9.
+  std::string text = ring.ToString(/*max_events=*/2);
+  EXPECT_NE(text.find("last 2 of 10"), std::string::npos) << text;
+  EXPECT_EQ(text.find("#6 "), std::string::npos) << text;
+  EXPECT_EQ(text.find("#7 "), std::string::npos) << text;
+  EXPECT_NE(text.find("#8 "), std::string::npos) << text;
+  EXPECT_NE(text.find("#9 "), std::string::npos) << text;
+}
+
+// --- SpanTree -----------------------------------------------------------------------
+
+// A fake clock whose ticks the test advances by hand.
+class FakeTicks : public TickSource {
+ public:
+  uint64_t SpanTicksNow() const override { return now; }
+  uint64_t now = 0;
+};
+
+TEST(SpanTree, ChildSpansRecordCausality) {
+  SpanTree tree;
+  FakeTicks clock;
+  uint64_t root_id = 0;
+  uint64_t child_id = 0;
+  {
+    Span root(&tree, &clock, "rpc.put");
+    root_id = root.id();
+    clock.now = 2;
+    {
+      Span child = root.scope().Child("lsm.insert");
+      child_id = child.id();
+      clock.now = 5;
+    }
+    clock.now = 7;
+  }
+  std::vector<SpanRecord> spans = tree.Tree(root_id);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].id, root_id);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].root, root_id);
+  EXPECT_EQ(spans[0].name, "rpc.put");
+  EXPECT_EQ(spans[0].duration_ticks, 7u);
+  EXPECT_FALSE(spans[0].open);
+  EXPECT_EQ(spans[1].id, child_id);
+  EXPECT_EQ(spans[1].parent, root_id);
+  EXPECT_EQ(spans[1].root, root_id);
+  EXPECT_EQ(spans[1].name, "lsm.insert");
+  EXPECT_EQ(spans[1].start_ticks, 2u);
+  EXPECT_EQ(spans[1].duration_ticks, 3u);
+}
+
+TEST(SpanTree, InactiveScopeProducesNoSpans) {
+  SpanTree tree;
+  SpanScope inactive;
+  EXPECT_FALSE(inactive.active());
+  Span child = inactive.Child("lsm.insert");
+  EXPECT_FALSE(child.active());
+  EXPECT_EQ(tree.total_started(), 0u);
+}
+
+TEST(SpanTree, StatusAndExplicitTicksAreRecorded) {
+  SpanTree tree;
+  Span span(&tree, /*clock=*/nullptr, "rpc.put_batch");
+  span.AddTicks(4);
+  span.AddTicks(2);
+  span.set_status(StatusCode::kUnavailable);
+  const uint64_t id = span.id();
+  EXPECT_EQ(span.End(), 6u);
+  std::vector<SpanRecord> spans = tree.Tree(id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].duration_ticks, 6u);
+  EXPECT_EQ(spans[0].status, StatusCode::kUnavailable);
+}
+
+TEST(SpanTree, TreeFiltersByRootAndWraparoundKeepsTotals) {
+  SpanTree tree(/*capacity=*/4);
+  FakeTicks clock;
+  std::vector<uint64_t> roots;
+  for (int i = 0; i < 6; ++i) {
+    Span root(&tree, &clock, "rpc.get");
+    roots.push_back(root.id());
+    Span child = root.scope().Child("lsm.lookup");
+  }
+  EXPECT_EQ(tree.total_started(), 12u);
+  // Capacity 4: only the last two trees survive; earlier roots render empty.
+  EXPECT_TRUE(tree.Tree(roots[0]).empty());
+  EXPECT_EQ(tree.Tree(roots.back()).size(), 2u);
+  EXPECT_LE(tree.Spans().size(), 4u);
+}
+
+TEST(SpanTree, EndedSpansFeedPerStageHistograms) {
+  MetricRegistry registry;
+  SpanTree tree(SpanTree::kDefaultCapacity, &registry);
+  FakeTicks clock;
+  {
+    Span root(&tree, &clock, "rpc.put");
+    clock.now = 3;
+    { Span child = root.scope().Child("lsm.insert"); }
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_TRUE(snap.histograms.count("span.rpc.put.ticks"));
+  ASSERT_TRUE(snap.histograms.count("span.lsm.insert.ticks"));
+  EXPECT_EQ(snap.histograms.at("span.rpc.put.ticks").count, 1u);
+  EXPECT_EQ(snap.histograms.at("span.rpc.put.ticks").sum, 3u);
+}
+
+TEST(SpanTree, RenderingsShowHierarchy) {
+  SpanTree tree;
+  Span root(&tree, nullptr, "rpc.put");
+  { Span child = root.scope().Child("store.put"); }
+  const uint64_t root_id = root.id();
+  root.End();
+  std::string text = tree.ToString(root_id);
+  EXPECT_NE(text.find("rpc.put"), std::string::npos);
+  EXPECT_NE(text.find("store.put"), std::string::npos);
+  std::string json = tree.ToJson(root_id);
+  EXPECT_NE(json.find("\"name\":\"store.put\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent\":" + std::to_string(root_id)), std::string::npos) << json;
 }
 
 // --- Concurrency: snapshots are safe and exact against concurrent recorders ---------
@@ -255,6 +442,57 @@ TEST_F(NodeObsTest, DumpMetricsShowsCountersAndTrace) {
   EXPECT_NE(dump.find("lsm.puts"), std::string::npos);
   EXPECT_NE(dump.find("trace"), std::string::npos);
   EXPECT_NE(dump.find("put"), std::string::npos);
+}
+
+TEST_F(NodeObsTest, EveryTraceEventLinksToARootSpanWithRealTicks) {
+  ASSERT_TRUE(node_->Put(1, BytesOf("abc")).ok());
+  ASSERT_TRUE(node_->Put(2, BytesOf("def")).ok());
+  ASSERT_TRUE(node_->Get(1).ok());
+  ASSERT_TRUE(node_->Delete(2).ok());
+  ASSERT_TRUE(node_->FlushAllDisks().ok());
+  ASSERT_TRUE(node_->MigrateShard(1, 1 - node_->DiskFor(1)).ok());
+  ASSERT_TRUE(node_->MarkDiskDegraded(0).ok());
+  ASSERT_TRUE(node_->ResetDiskHealth(0).ok());
+  ASSERT_TRUE(node_->CrashAndRecoverDisk(0, /*crash_seed=*/1).ok());
+  for (const TraceEvent& event : node_->trace().Events()) {
+    EXPECT_GT(event.root_span, 0u) << event.ToString();
+    // Each linked root span must actually exist (or have aged out — not here, the
+    // tree's capacity far exceeds this test's span count) with a matching name class.
+    std::vector<SpanRecord> tree = node_->spans().Tree(event.root_span);
+    ASSERT_FALSE(tree.empty()) << event.ToString();
+    EXPECT_EQ(tree.front().id, event.root_span);
+    EXPECT_EQ(tree.front().name.rfind("rpc.", 0), 0u) << tree.front().name;
+    EXPECT_FALSE(tree.front().open) << tree.front().ToString();
+  }
+  // The Put's causal tree carries store/lsm/chunk children under the rpc root. (Its
+  // duration stays 0 here: the virtual clock only advances on retry backoff, and no
+  // faults are armed.)
+  std::vector<TraceEvent> events = node_->trace().Events();
+  ASSERT_FALSE(events.empty());
+  std::set<std::string> child_names;
+  for (const SpanRecord& record : node_->spans().Tree(events[0].root_span)) {
+    child_names.insert(record.name);
+  }
+  EXPECT_TRUE(child_names.count("store.put"));
+  EXPECT_TRUE(child_names.count("lsm.insert"));
+  EXPECT_TRUE(child_names.count("chunk.write"));
+}
+
+TEST_F(NodeObsTest, DumpMetricsJsonIsMachineReadable) {
+  ASSERT_TRUE(node_->Put(3, BytesOf("xyz")).ok());
+  ASSERT_TRUE(node_->Get(3).ok());
+  std::string json = node_->DumpMetricsJson();
+  // Top-level sections.
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  // Metric snapshot content, span-name content, trace-event content.
+  EXPECT_NE(json.find("\"rpc.put.ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rpc.put\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"Put\""), std::string::npos);
+  // Per-stage span histograms flow into the same snapshot.
+  EXPECT_NE(json.find("\"span.rpc.put.ticks\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.lsm.insert.ticks\""), std::string::npos);
 }
 
 TEST_F(NodeObsTest, TraceRingCapacityIsConfigurable) {
