@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Sync-primitive lint: raw standard-library synchronization primitives are only legal
+# inside src/sync/ (the ss::Mutex / ss::CondVar / ss::Thread wrappers themselves).
+# Everywhere else must go through the wrappers so the lock-order witness, TSan, and
+# the model checker all see the same acquisitions. Run from the repo root; exits
+# non-zero and prints every offending line when the invariant is broken.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+PATTERN='std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|thread|jthread)\b'
+
+violations=$(grep -rnE "$PATTERN" src tests --include='*.h' --include='*.cc' \
+  | grep -v '^src/sync/' || true)
+
+if [ -n "$violations" ]; then
+  echo "error: raw std synchronization primitives outside src/sync/:" >&2
+  echo "$violations" >&2
+  echo >&2
+  echo "Use ss::Mutex / ss::LockGuard / ss::CondVar / ss::Thread from src/sync/sync.h" >&2
+  echo "instead, so the lock-order witness and the model checker can observe the" >&2
+  echo "acquisition. See DESIGN.md, 'Static & dynamic analysis'." >&2
+  exit 1
+fi
+
+echo "sync-primitive lint: clean (raw std primitives confined to src/sync/)"

@@ -64,7 +64,7 @@ class BufferCache {
   Counter* misses_;
   Counter* evictions_;
   Counter* invalidated_pages_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{MutexAttr{"cache.buffer", lockrank::kCache}};
   std::map<Key, std::pair<Bytes, std::list<Key>::iterator>> pages_;
   std::list<Key> lru_;  // front = most recently used
 };

@@ -128,7 +128,7 @@ class ChunkStore {
   BufferCache* cache_;
   ChunkStoreOptions options_;
 
-  mutable Mutex mu_;        // allocator + pin-set state
+  mutable Mutex mu_{MutexAttr{"chunk.store", lockrank::kChunk}};  // allocator + pin-set state
   std::optional<ExtentId> active_;
   std::map<ExtentId, uint32_t> pin_counts_;
   std::set<ExtentId> reclaiming_;  // excluded from allocation while a reclaim runs
@@ -142,7 +142,7 @@ class ChunkStore {
   Counter* chunks_dropped_;
   Counter* corrupt_frames_skipped_;
 
-  Mutex reclaim_mu_;  // one reclamation at a time
+  Mutex reclaim_mu_{MutexAttr{"chunk.reclaim", lockrank::kChunkReclaim}};  // one reclamation at a time
 };
 
 }  // namespace ss

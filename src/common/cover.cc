@@ -1,14 +1,14 @@
 #include "src/common/cover.h"
 
-#include <mutex>
+#include "src/sync/sync.h"
 
 namespace ss {
 namespace {
-// Leaf lock protecting the counter map. Deliberately a plain std::mutex (never a model-
-// checker scheduling point): coverage is observability, not behaviour.
-std::mutex& CoverMutex() {
-  static std::mutex mu;
-  return mu;
+// Leaf lock protecting the counter map (never a model-checker scheduling point):
+// coverage is observability, not behaviour. Still named for the lock-order witness.
+Mutex& CoverMutex() {
+  static Mutex* mu = new Mutex(MutexAttr{"common.cover", lockrank::kCover, /*leaf=*/true});
+  return *mu;
 }
 }  // namespace
 
@@ -18,23 +18,23 @@ Coverage& Coverage::Global() {
 }
 
 void Coverage::Hit(const std::string& label) {
-  std::lock_guard<std::mutex> lock(CoverMutex());
+  LockGuard lock(CoverMutex());
   ++counts_[label];
 }
 
 uint64_t Coverage::Count(const std::string& label) const {
-  std::lock_guard<std::mutex> lock(CoverMutex());
+  LockGuard lock(CoverMutex());
   auto it = counts_.find(label);
   return it == counts_.end() ? 0 : it->second;
 }
 
 void Coverage::Reset() {
-  std::lock_guard<std::mutex> lock(CoverMutex());
+  LockGuard lock(CoverMutex());
   counts_.clear();
 }
 
 std::vector<std::pair<std::string, uint64_t>> Coverage::Snapshot() const {
-  std::lock_guard<std::mutex> lock(CoverMutex());
+  LockGuard lock(CoverMutex());
   return {counts_.begin(), counts_.end()};
 }
 

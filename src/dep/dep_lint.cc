@@ -1,0 +1,156 @@
+#include "src/dep/dep_lint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "src/sync/sync.h"
+
+namespace ss {
+namespace {
+
+// Minimal JSON escaping for violation messages (they embed record labels only, but
+// stay correct on quotes/backslashes).
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+bool DefaultEnabled() {
+  const char* env = std::getenv("SS_DEPLINT");
+  if (env != nullptr && env[0] != '\0') {
+    return env[0] == '1';
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<int>& EnabledState() {
+  // -1 = not yet resolved against the default; 0/1 = explicit.
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+struct HandlerRegistry {
+  // Leaf: handler bookkeeping is observability and must not become a model-checker
+  // scheduling point. Unranked — fan-out happens with no scheduler lock held.
+  Mutex mu{MutexAttr{"dep.lint", 0, /*leaf=*/true}};
+  std::vector<std::pair<int, DepLintHandler>> handlers;
+  int next_id = 1;
+};
+
+HandlerRegistry& Registry() {
+  static HandlerRegistry* registry = new HandlerRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+std::string_view DepLintKindName(DepLintViolation::Kind kind) {
+  switch (kind) {
+    case DepLintViolation::Kind::kCycle:
+      return "cycle";
+    case DepLintViolation::Kind::kOrphanData:
+      return "orphan_data";
+    case DepLintViolation::Kind::kPointerBeforeBarrier:
+      return "pointer_before_barrier";
+  }
+  return "unknown";
+}
+
+std::string DepLintReport::Summary() const {
+  if (violations.empty()) {
+    return "clean";
+  }
+  std::ostringstream out;
+  out << violations.size() << " violation(s); first: ["
+      << DepLintKindName(violations.front().kind) << "] " << violations.front().message;
+  return out.str();
+}
+
+std::string DepLintReport::ToString() const {
+  std::ostringstream out;
+  out << "dependency lint: " << violations.size() << " violation(s)";
+  for (const DepLintViolation& v : violations) {
+    out << "\n  [" << DepLintKindName(v.kind) << "] " << v.message;
+  }
+  return out.str();
+}
+
+std::string DepLintReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"violations\":[";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    out << (i != 0 ? "," : "") << "{\"kind\":\"" << DepLintKindName(violations[i].kind)
+        << "\",\"message\":\"" << Escape(violations[i].message) << "\"}";
+  }
+  out << "],\"dot\":\"" << Escape(dot) << "\"}";
+  return out.str();
+}
+
+bool DepLintEnabled() {
+  const int state = EnabledState().load(std::memory_order_relaxed);
+  if (state >= 0) {
+    return state != 0;
+  }
+  // Default-on applies only to native runs: a model-checked execution deterministically
+  // explores the instant between a data enqueue and its covering pointer enqueue, where
+  // a coverage snapshot is legitimately incomplete. Harnesses that want the lint under
+  // the checker opt in explicitly (ScopedDepLint) at quiescent points.
+  if (ActiveSchedHooks() != nullptr) {
+    return false;
+  }
+  return DefaultEnabled();
+}
+
+void SetDepLintEnabled(bool enabled) {
+  EnabledState().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+int AddDepLintHandler(DepLintHandler handler) {
+  HandlerRegistry& registry = Registry();
+  LockGuard lock(registry.mu);
+  const int id = registry.next_id++;
+  registry.handlers.emplace_back(id, std::move(handler));
+  return id;
+}
+
+void RemoveDepLintHandler(int id) {
+  HandlerRegistry& registry = Registry();
+  LockGuard lock(registry.mu);
+  for (auto it = registry.handlers.begin(); it != registry.handlers.end(); ++it) {
+    if (it->first == id) {
+      registry.handlers.erase(it);
+      return;
+    }
+  }
+}
+
+void NotifyDepLintHandlers(const DepLintReport& report) {
+  std::vector<std::pair<int, DepLintHandler>> handlers;
+  {
+    HandlerRegistry& registry = Registry();
+    LockGuard lock(registry.mu);
+    handlers = registry.handlers;
+  }
+  for (const auto& [id, handler] : handlers) {
+    handler(report);
+  }
+}
+
+}  // namespace ss

@@ -1,0 +1,99 @@
+// Soft-updates dependency linter (static-analysis pass over the live write graph).
+//
+// The IoScheduler's pending queue *is* the soft-updates dependency structure: records
+// carry input dependencies (writes they must follow) and done leaves (writes others
+// may wait on), plus per-domain FIFO ordering the medium enforces. The linter walks
+// that structure at every flush/barrier and checks the three invariants the
+// crash-consistency argument rests on:
+//
+//   1. Acyclicity — the record graph (dependency edges plus domain-FIFO edges) has no
+//      cycle; a cycle means the queue can never drain (forward-progress violation the
+//      pump would otherwise only discover by getting stuck).
+//   2. No orphan durable writes — every pending data-page write in an extent's
+//      current reset epoch is covered by the epoch's final soft write pointer (the
+//      latest pending soft-wp record, or the on-disk pointer when none is pending).
+//      An uncovered write would persist bytes no pointer ever makes reachable:
+//      leaked-on-crash storage, exactly the class seeded bug #7 plants.
+//   3. Barrier-before-pointer — every pending soft-wp record that exposes a page has
+//      a dependency path (record graph, so FIFO edges count) to that page's data
+//      record: the pointer can never reach the disk before the data it points at.
+//
+// Violations render the pending queue as Graphviz DOT (flight-recorder artifact) and,
+// when the lint runs from FlushAll, fail the flush with kInternal. The pass is on by
+// default in debug (!NDEBUG) builds and in harnesses that opt in via ScopedDepLint
+// (or SS_DEPLINT=1 in the environment); release builds skip it unless asked.
+
+#ifndef SS_DEP_DEP_LINT_H_
+#define SS_DEP_DEP_LINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss {
+
+struct DepLintViolation {
+  enum class Kind : uint8_t { kCycle, kOrphanData, kPointerBeforeBarrier };
+  Kind kind = Kind::kCycle;
+  std::string message;
+};
+
+std::string_view DepLintKindName(DepLintViolation::Kind kind);
+
+struct DepLintReport {
+  std::vector<DepLintViolation> violations;
+  // DOT rendering of the pending dependency graph at lint time (empty when clean).
+  std::string dot;
+
+  bool ok() const { return violations.empty(); }
+  // One line: count + first violation.
+  std::string Summary() const;
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+// Global switch. Defaults to enabled in !NDEBUG builds or when SS_DEPLINT=1 is set
+// in the environment; disabled otherwise. The default never applies under an active
+// model-checker run (a mid-append coverage snapshot is legitimately incomplete at
+// some explored scheduling points) — use ScopedDepLint to opt in there explicitly.
+bool DepLintEnabled();
+void SetDepLintEnabled(bool enabled);
+
+// RAII enable/disable for harness scopes.
+class ScopedDepLint {
+ public:
+  explicit ScopedDepLint(bool enabled = true) : prev_(DepLintEnabled()) {
+    SetDepLintEnabled(enabled);
+  }
+  ~ScopedDepLint() { SetDepLintEnabled(prev_); }
+  ScopedDepLint(const ScopedDepLint&) = delete;
+  ScopedDepLint& operator=(const ScopedDepLint&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Handlers run synchronously for each failing report (flight recorder, test hooks).
+using DepLintHandler = std::function<void(const DepLintReport&)>;
+int AddDepLintHandler(DepLintHandler handler);
+void RemoveDepLintHandler(int id);
+// Fans `report` out to every registered handler (called by IoScheduler::FlushAll).
+void NotifyDepLintHandlers(const DepLintReport& report);
+
+class ScopedDepLintHandler {
+ public:
+  explicit ScopedDepLintHandler(DepLintHandler handler)
+      : id_(AddDepLintHandler(std::move(handler))) {}
+  ~ScopedDepLintHandler() { RemoveDepLintHandler(id_); }
+  ScopedDepLintHandler(const ScopedDepLintHandler&) = delete;
+  ScopedDepLintHandler& operator=(const ScopedDepLintHandler&) = delete;
+
+ private:
+  int id_;
+};
+
+}  // namespace ss
+
+#endif  // SS_DEP_DEP_LINT_H_

@@ -123,6 +123,28 @@ void Dependency::CollectNodes(std::vector<const void*>& out) const {
   }
 }
 
+bool Dependency::HasUnresolvedPromise() const {
+  std::set<const dep_internal::DepNode*> seen;
+  std::vector<const dep_internal::DepNode*> stack;
+  if (node_ != nullptr) {
+    stack.push_back(node_.get());
+  }
+  while (!stack.empty()) {
+    const dep_internal::DepNode* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) {
+      continue;
+    }
+    if (node->unresolved_promise.load(std::memory_order_acquire)) {
+      return true;
+    }
+    for (const auto& input : node->inputs) {
+      stack.push_back(input.get());
+    }
+  }
+  return false;
+}
+
 std::string Dependency::GraphDot(
     const std::vector<std::pair<std::string, Dependency>>& roots) {
   std::ostringstream out;

@@ -81,6 +81,11 @@ class Dependency {
   // itself) to `out`. Diagnostics only; duplicates are possible on shared subgraphs.
   void CollectNodes(std::vector<const void*>& out) const;
 
+  // True if any reachable node is a still-unresolved promise — the dependency's
+  // requirements are not fully known yet (the dependency linter skips reachability
+  // conclusions it cannot yet prove).
+  bool HasUnresolvedPromise() const;
+
   // Graphviz digraph of the union of the given labelled dependency graphs, for
   // flight-recorder artifacts. Roots render as labelled boxes pointing at their node;
   // interior nodes are coloured by state (persistent=green, failed=red, unresolved

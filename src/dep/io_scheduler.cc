@@ -1,5 +1,7 @@
 #include "src/dep/io_scheduler.h"
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -17,6 +19,7 @@ IoScheduler::IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics) : disk_(di
   failed_io_ = &metrics->counter("io.failed");
   crashes_ = &metrics->counter("io.crashes");
   coalesced_pages_ = &metrics->counter("io.coalesced_pages");
+  deplint_violations_ = &metrics->counter("io.deplint.violations");
 }
 
 uint64_t IoScheduler::DomainKey(Kind kind, ExtentId extent) const {
@@ -203,6 +206,15 @@ size_t IoScheduler::Pump(size_t max_records) {
 
 Status IoScheduler::FlushAll(const SpanScope& scope) {
   Span span = scope.Child("io.barrier");
+  if (DepLintEnabled()) {
+    DepLintReport report = Lint();
+    if (!report.ok()) {
+      deplint_violations_->Increment(report.violations.size());
+      NotifyDepLintHandlers(report);
+      span.set_status(StatusCode::kInternal);
+      return Status::Internal("dependency lint: " + report.Summary());
+    }
+  }
   // Bound iterations defensively; every Pump(1) that makes progress shrinks the queue.
   while (true) {
     {
@@ -309,32 +321,218 @@ size_t IoScheduler::PendingCount() const {
   return queue_.size();
 }
 
-std::string IoScheduler::PendingDot(std::string_view name_prefix) const {
+std::string IoScheduler::LabelLocked(const Record& r) const {
+  std::ostringstream label;
+  switch (r.kind) {
+    case Kind::kDataPage:
+      label << "data ext=" << r.extent << " page=" << r.page << "+" << r.pages.size();
+      break;
+    case Kind::kSoftWp:
+      label << "softwp ext=" << r.extent << " wp=" << r.soft_wp;
+      break;
+    case Kind::kOwnership:
+      label << "own ext=" << r.extent;
+      break;
+    case Kind::kReset:
+      label << "reset ext=" << r.extent;
+      break;
+  }
+  label << " seq=" << r.seq;
+  return label.str();
+}
+
+std::string IoScheduler::PendingDotLocked(std::string_view name_prefix) const {
   std::vector<std::pair<std::string, Dependency>> roots;
-  {
-    LockGuard lock(mu_);
-    for (const Record& r : queue_) {
-      std::ostringstream label;
-      label << name_prefix;
-      switch (r.kind) {
-        case Kind::kDataPage:
-          label << "data ext=" << r.extent << " page=" << r.page << "+" << r.pages.size();
-          break;
-        case Kind::kSoftWp:
-          label << "softwp ext=" << r.extent << " wp=" << r.soft_wp;
-          break;
-        case Kind::kOwnership:
-          label << "own ext=" << r.extent;
-          break;
-        case Kind::kReset:
-          label << "reset ext=" << r.extent;
-          break;
-      }
-      label << " seq=" << r.seq;
-      roots.emplace_back(label.str(), r.input);
-    }
+  for (const Record& r : queue_) {
+    roots.emplace_back(std::string(name_prefix) + LabelLocked(r), r.input);
   }
   return Dependency::GraphDot(roots);
+}
+
+std::string IoScheduler::PendingDot(std::string_view name_prefix) const {
+  LockGuard lock(mu_);
+  return PendingDotLocked(name_prefix);
+}
+
+DepLintReport IoScheduler::Lint() const {
+  DepLintReport report;
+  LockGuard lock(mu_);
+  const size_t n = queue_.size();
+  if (n == 0) {
+    return report;
+  }
+
+  // Record graph: edge i -> j means record i may not be issued before record j.
+  // Dependency edges come from j's done leaf appearing in i's input closure; FIFO
+  // edges from domain order. Soft-updates reasoning must use *this* graph — a
+  // pointer update is ordered after a data page just as firmly by the softwp
+  // domain's FIFO as by an explicit dependency.
+  std::map<const void*, size_t> done_owner;
+  for (size_t i = 0; i < n; ++i) {
+    done_owner[queue_[i].done.raw()] = i;
+  }
+  std::vector<std::vector<size_t>> edges(n);
+  std::vector<bool> input_unknown(n, false);  // input closure has an unresolved promise
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<const void*> nodes;
+    queue_[i].input.CollectNodes(nodes);
+    for (const void* node : nodes) {
+      auto it = done_owner.find(node);
+      if (it != done_owner.end() && it->second != i) {
+        edges[i].push_back(it->second);
+      }
+    }
+    input_unknown[i] = queue_[i].input.HasUnresolvedPromise();
+    for (size_t j = 0; j < n; ++j) {
+      if (queue_[j].domain == queue_[i].domain && queue_[j].seq < queue_[i].seq) {
+        edges[i].push_back(j);
+      }
+    }
+  }
+
+  // --- 1. Acyclicity -------------------------------------------------------------------
+  // Colored DFS; on a back edge, the cycle is the stack suffix from the target.
+  std::vector<uint8_t> color(n, 0);  // 0=white 1=on stack 2=done
+  std::vector<size_t> stack;
+  std::vector<size_t> cycle;
+  std::function<bool(size_t)> dfs = [&](size_t v) {
+    color[v] = 1;
+    stack.push_back(v);
+    for (size_t next : edges[v]) {
+      if (color[next] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), next);
+        cycle.assign(it, stack.end());
+        return true;
+      }
+      if (color[next] == 0 && dfs(next)) {
+        return true;
+      }
+    }
+    color[v] = 2;
+    stack.pop_back();
+    return false;
+  };
+  for (size_t i = 0; i < n && cycle.empty(); ++i) {
+    if (color[i] == 0) {
+      stack.clear();
+      dfs(i);
+    }
+  }
+  if (!cycle.empty()) {
+    std::ostringstream msg;
+    msg << "record cycle (queue can never drain):";
+    for (size_t idx : cycle) {
+      msg << " [" << LabelLocked(queue_[idx]) << "] ->";
+    }
+    msg << " [" << LabelLocked(queue_[cycle.front()]) << "]";
+    report.violations.push_back({DepLintViolation::Kind::kCycle, msg.str()});
+  }
+
+  // --- Per-extent epoch structure ------------------------------------------------------
+  // A pending reset starts a new epoch for its extent: data enqueued before it is
+  // deliberately being discarded (exempt from coverage), and pointer/data pairs are
+  // only comparable within one epoch.
+  std::set<ExtentId> extents;
+  for (const Record& r : queue_) {
+    extents.insert(r.extent);
+  }
+  auto epoch_of = [this](ExtentId extent, uint64_t seq) {
+    size_t epoch = 0;
+    for (const Record& r : queue_) {
+      if (r.kind == Kind::kReset && r.extent == extent && r.seq < seq) {
+        ++epoch;
+      }
+    }
+    return epoch;
+  };
+
+  for (ExtentId extent : extents) {
+    size_t last_epoch = 0;
+    const Record* final_wp = nullptr;  // pending soft-wp with the highest seq
+    for (const Record& r : queue_) {
+      if (r.extent != extent) {
+        continue;
+      }
+      if (r.kind == Kind::kReset) {
+        ++last_epoch;
+      }
+      if (r.kind == Kind::kSoftWp) {
+        final_wp = &r;  // queue_ is seq-ordered, so the last hit wins
+      }
+    }
+    // The coverage every pointer update for this extent will have produced once the
+    // queue drains: the last pending soft-wp (later FIFO entries overwrite earlier
+    // ones), or the pointer already on disk when none is pending.
+    const uint32_t final_cov =
+        final_wp != nullptr ? final_wp->soft_wp : disk_->ReadSoftWp(extent);
+
+    // --- 2. No orphan durable writes ---------------------------------------------------
+    for (const Record& r : queue_) {
+      if (r.kind != Kind::kDataPage || r.extent != extent) {
+        continue;
+      }
+      if (epoch_of(extent, r.seq) != last_epoch) {
+        continue;  // superseded: a pending reset discards this epoch's data
+      }
+      const uint64_t end_page = uint64_t{r.page} + r.pages.size();
+      if (end_page > final_cov) {
+        std::ostringstream msg;
+        msg << "[" << LabelLocked(r) << "] persists pages the final write pointer ("
+            << final_cov << ") never exposes: orphan durable write";
+        report.violations.push_back({DepLintViolation::Kind::kOrphanData, msg.str()});
+      }
+    }
+
+    // --- 3. Barrier-before-pointer -----------------------------------------------------
+    // Every pending pointer update must be ordered (record-graph path) after every
+    // same-epoch pending data page it exposes.
+    for (size_t wi = 0; wi < n; ++wi) {
+      const Record& w = queue_[wi];
+      if (w.kind != Kind::kSoftWp || w.extent != extent) {
+        continue;
+      }
+      const size_t w_epoch = epoch_of(extent, w.seq);
+      // Reachability from w over the record graph.
+      std::vector<bool> reach(n, false);
+      std::vector<size_t> work = {wi};
+      bool unknown = input_unknown[wi];
+      while (!work.empty()) {
+        const size_t v = work.back();
+        work.pop_back();
+        if (reach[v]) {
+          continue;
+        }
+        reach[v] = true;
+        unknown = unknown || input_unknown[v];
+        for (size_t next : edges[v]) {
+          work.push_back(next);
+        }
+      }
+      for (size_t ri = 0; ri < n; ++ri) {
+        const Record& r = queue_[ri];
+        if (r.kind != Kind::kDataPage || r.extent != extent || r.seq >= w.seq ||
+            r.page >= w.soft_wp || epoch_of(extent, r.seq) != w_epoch) {
+          continue;
+        }
+        if (reach[ri]) {
+          continue;
+        }
+        if (unknown) {
+          continue;  // an unresolved promise may still supply the ordering
+        }
+        std::ostringstream msg;
+        msg << "[" << LabelLocked(w) << "] can reach the disk before ["
+            << LabelLocked(r) << "] it exposes: pointer before barrier";
+        report.violations.push_back(
+            {DepLintViolation::Kind::kPointerBeforeBarrier, msg.str()});
+      }
+    }
+  }
+
+  if (!report.ok()) {
+    report.dot = PendingDotLocked("");
+  }
+  return report;
 }
 
 std::string IoScheduler::DescribeStuck() const {

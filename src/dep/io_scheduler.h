@@ -26,6 +26,7 @@
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/dep/dep_lint.h"
 #include "src/dep/dependency.h"
 #include "src/disk/disk.h"
 #include "src/obs/metrics.h"
@@ -74,8 +75,15 @@ class IoScheduler {
   // Pump until the queue drains. Fails with kInternal if no progress is possible while
   // records remain (an unresolved promise or dependency cycle — a forward-progress
   // violation), or with kIoError if a record failed. `scope`, when active, receives one
-  // "io.barrier" child span covering the drain.
+  // "io.barrier" child span covering the drain. When the dependency linter is enabled
+  // (see dep_lint.h) the pending graph is linted first; a violation fails the flush
+  // with kInternal after fanning the report out to the registered lint handlers and
+  // bumping io.deplint.violations.
   Status FlushAll(const SpanScope& scope = {});
+
+  // Soft-updates dependency lint over the pending queue (see dep_lint.h for the three
+  // invariants). Read-only; callable at any point, not just barriers.
+  DepLintReport Lint() const;
 
   // --- Crash ---------------------------------------------------------------------------
   // Simulates a fail-stop crash: persists a random allowed subset of pending records
@@ -126,6 +134,9 @@ class IoScheduler {
   };
 
   uint64_t DomainKey(Kind kind, ExtentId extent) const;
+  // Human-readable record label shared by PendingDot and the lint messages.
+  std::string LabelLocked(const Record& record) const;
+  std::string PendingDotLocked(std::string_view name_prefix) const;
   Dependency EnqueueLocked(Record record);
   // True if `record` may be issued now: inputs persistent and it is the oldest
   // unissued record of its domain within `queue`.
@@ -133,7 +144,7 @@ class IoScheduler {
   // Applies the record's effect to the disk. Returns the disk status.
   Status IssueLocked(Record& record);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{MutexAttr{"io.scheduler", lockrank::kIo}};
   InMemoryDisk* disk_;
   std::deque<Record> queue_;
   uint64_t next_seq_ = 0;
@@ -146,6 +157,7 @@ class IoScheduler {
   Counter* failed_io_;
   Counter* crashes_;
   Counter* coalesced_pages_;
+  Counter* deplint_violations_;
 };
 
 }  // namespace ss

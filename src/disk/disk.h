@@ -78,7 +78,7 @@ class DiskFaultInjector {
   bool AnyArmed() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{MutexAttr{"disk", lockrank::kDisk}};
   std::vector<ExtentId> read_once_;
   std::vector<ExtentId> write_once_;
   std::vector<ExtentId> always_;

@@ -79,7 +79,7 @@ class DiskHealthTracker {
  private:
   void RecordTransientLocked();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{MutexAttr{"disk.health", lockrank::kHealth}};
   DiskHealthOptions options_;
   DiskHealth health_ = DiskHealth::kHealthy;
   uint32_t windowed_errors_ = 0;

@@ -173,6 +173,16 @@ std::vector<FailureOp> ShrinkFailureOp(const FailureOp& op) {
 }
 
 std::optional<std::string> FailureConformanceHarness::Run(const std::vector<FailureOp>& ops) {
+  // Recorder armed means this is the diagnostic re-run of a minimized sequence: lint
+  // the dependency graph at every barrier and persist analysis reports as artifacts.
+  std::optional<ScopedDepLint> lint;
+  std::optional<ScopedLockOrderFlightSink> lockorder_sink;
+  std::optional<ScopedDepLintFlightSink> deplint_sink;
+  if (options_.recorder != nullptr) {
+    lint.emplace(true);
+    lockorder_sink.emplace(options_.recorder);
+    deplint_sink.emplace(options_.recorder);
+  }
   auto node_or = NodeServer::Create(options_.node);
   if (!node_or.ok()) {
     return "node create failed: " + node_or.status().ToString();

@@ -215,6 +215,17 @@ std::vector<KvOp> ShrinkKvOp(const KvOp& op) {
 }
 
 std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& ops) {
+  // With the recorder armed this is the one-shot diagnostic re-run: turn the
+  // dependency linter on for every barrier the run crosses and persist any analysis
+  // report (lock-order witness, dep lint) as its own flight artifact.
+  std::optional<ScopedDepLint> lint;
+  std::optional<ScopedLockOrderFlightSink> lockorder_sink;
+  std::optional<ScopedDepLintFlightSink> deplint_sink;
+  if (options_.recorder != nullptr) {
+    lint.emplace(true);
+    lockorder_sink.emplace(options_.recorder);
+    deplint_sink.emplace(options_.recorder);
+  }
   InMemoryDisk disk(options_.geometry);
   ShardStoreOptions store_options = options_.store;
   auto store_or = ShardStore::Open(&disk, store_options);

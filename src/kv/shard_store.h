@@ -153,7 +153,7 @@ class ShardStore : public ReclaimClient {
   // Held across ApplyBatch's staging window (and FlushAll's drain): between
   // BeginWriteBatch and EndWriteBatch the scheduler holds records gated on promises
   // only the batch itself resolves, so a concurrent drain must wait.
-  Mutex batch_mu_;
+  Mutex batch_mu_{MutexAttr{"kv.store.batch", lockrank::kStoreBatch}};
 };
 
 }  // namespace ss

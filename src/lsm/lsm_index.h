@@ -183,8 +183,8 @@ class LsmIndex {
   LsmOptions options_;
   Rng meta_rng_;
 
-  mutable Mutex mu_;        // memtable, runs, metadata state
-  Mutex flush_mu_;          // serializes Flush/Compact
+  mutable Mutex mu_{MutexAttr{"lsm.index", lockrank::kLsm}};      // memtable, runs, metadata state
+  Mutex flush_mu_{MutexAttr{"lsm.flush", lockrank::kLsmFlush}};  // serializes Flush/Compact
   // A live run: its chunk locator plus the dependency under which that chunk (or its
   // most recent evacuated copy) becomes durable. Metadata records are gated on the
   // conjunction of these, so a persisted metadata record never references a run chunk

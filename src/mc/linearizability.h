@@ -44,7 +44,9 @@ class LinHistory {
  private:
   void Finish(uint64_t invoke, LinOp op);
 
-  mutable Mutex mu_;
+  // Unranked on purpose: history recording happens from model-checked workload
+  // threads at arbitrary points, so only the order graph constrains it.
+  mutable Mutex mu_{MutexAttr{"mc.lin.history", 0}};
   uint64_t clock_ = 1;
   std::vector<LinOp> ops_;
 };

@@ -1,16 +1,14 @@
 #include "src/mc/mc.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <sstream>
-#include <thread>
 
 #include "src/common/rng.h"
 #include "src/sync/sync.h"
+#include "src/sync/witness.h"
 
 namespace ss {
 namespace {
@@ -33,10 +31,12 @@ enum class TaskState : uint8_t {
 
 struct Task {
   uint64_t id = 0;
-  std::unique_ptr<std::thread> thread;
-  // Per-task baton.
-  std::mutex m;
-  std::condition_variable cv;
+  Thread thread;
+  // Per-task baton. Leaf mode: these locks *implement* the scheduling points, so
+  // routing them back through SchedHooks would recurse; they stay native but remain
+  // visible to the lock-order witness like every other ss primitive.
+  Mutex m{MutexAttr{"mc.task.baton", lockrank::kSched, /*leaf=*/true}};
+  CondVar cv{CondVarAttr{/*leaf=*/true}};
   bool can_run = false;
 
   TaskState state = TaskState::kRunnable;
@@ -153,22 +153,29 @@ class DfsStrategy : public Strategy {
 
 class McRuntime : public SchedHooks {
  public:
-  explicit McRuntime(Strategy* strategy, size_t max_steps)
-      : strategy_(strategy), max_steps_(max_steps) {}
+  McRuntime(Strategy* strategy, size_t max_steps, bool check_lock_order = true)
+      : strategy_(strategy), max_steps_(max_steps), check_lock_order_(check_lock_order) {}
 
   // --- Driver side --------------------------------------------------------------------
 
   // Runs `body` as task 0 and schedules until every task finished. Fills result fields.
   void Run(const std::function<void()>& body, McResult* result) {
+    const uint64_t witness_before = LockWitness::Global().violation_count();
     SetActiveSchedHooks(this);
     SpawnInternal(body);
     ScheduleLoop();
     SetActiveSchedHooks(nullptr);
     // Reap threads.
     for (auto& task : tasks_) {
-      if (task->thread != nullptr && task->thread->joinable()) {
-        task->thread->join();
-      }
+      task->thread.Join();
+    }
+    // Lock-order violations observed during this execution are counterexamples in
+    // their own right, even when the explored schedule happened not to deadlock: the
+    // failing schedule replays to the same inversion.
+    if (check_lock_order_ && !failed_ &&
+        LockWitness::Global().violation_count() > witness_before) {
+      failed_ = true;
+      error_ = "lock-order violation: " + LockWitness::Global().LastMessage();
     }
     result->total_steps += steps_;
     if (failed_) {
@@ -302,7 +309,7 @@ class McRuntime : public SchedHooks {
       strategy_->OnSpawn(raw->id);
     }
     tasks_.push_back(std::move(task));
-    raw->thread = std::make_unique<std::thread>([this, raw, body = std::move(body)]() {
+    raw->thread = Thread::SpawnNative([this, raw, body = std::move(body)]() {
       current_task_ = raw;
       WaitForBaton(raw);
       try {
@@ -367,30 +374,34 @@ class McRuntime : public SchedHooks {
   }
 
   void WaitForBaton(Task* task) {
-    std::unique_lock<std::mutex> lock(task->m);
-    task->cv.wait(lock, [task] { return task->can_run; });
+    LockGuard lock(task->m);
+    while (!task->can_run) {
+      task->cv.Wait(task->m);
+    }
     task->can_run = false;
   }
 
   void GiveBaton(Task* task) {
     {
-      std::lock_guard<std::mutex> lock(task->m);
+      LockGuard lock(task->m);
       task->can_run = true;
     }
-    task->cv.notify_one();
+    task->cv.NotifyOne();
   }
 
   void HandBatonToScheduler() {
     {
-      std::lock_guard<std::mutex> lock(sched_m_);
+      LockGuard lock(sched_m_);
       sched_turn_ = true;
     }
-    sched_cv_.notify_one();
+    sched_cv_.NotifyOne();
   }
 
   void WaitForSchedulerTurn() {
-    std::unique_lock<std::mutex> lock(sched_m_);
-    sched_cv_.wait(lock, [this] { return sched_turn_; });
+    LockGuard lock(sched_m_);
+    while (!sched_turn_) {
+      sched_cv_.Wait(sched_m_);
+    }
     sched_turn_ = false;
   }
 
@@ -452,12 +463,15 @@ class McRuntime : public SchedHooks {
 
   Strategy* strategy_;
   size_t max_steps_;
+  // When set, an execution fails if the lock-order witness records any new violation
+  // during it — lock-order cycles become model-checking counterexamples.
+  bool check_lock_order_;
   std::vector<std::unique_ptr<Task>> tasks_;
   uint64_t next_id_ = 0;
   std::map<uintptr_t, uint64_t> mutex_owner_;
 
-  std::mutex sched_m_;
-  std::condition_variable sched_cv_;
+  Mutex sched_m_{MutexAttr{"mc.sched", lockrank::kSched, /*leaf=*/true}};
+  CondVar sched_cv_{CondVarAttr{/*leaf=*/true}};
   bool sched_turn_ = false;
 
   size_t steps_ = 0;
@@ -497,7 +511,7 @@ McResult McExplore(const std::function<void()>& body, const McOptions& options) 
     std::vector<DfsStrategy::Node> path;
     for (size_t i = 0; i < options.iterations; ++i) {
       DfsStrategy strategy(&path);
-      McRuntime runtime(&strategy, options.max_steps);
+      McRuntime runtime(&strategy, options.max_steps, options.check_lock_order);
       ActiveRuntime() = &runtime;
       runtime.Run(body, &result);
       ActiveRuntime() = nullptr;
@@ -532,7 +546,7 @@ McResult McExplore(const std::function<void()>& body, const McOptions& options) 
     } else {
       strategy = std::make_unique<RandomStrategy>(exec_seed);
     }
-    McRuntime runtime(strategy.get(), options.max_steps);
+    McRuntime runtime(strategy.get(), options.max_steps, options.check_lock_order);
     ActiveRuntime() = &runtime;
     runtime.Run(body, &result);
     ActiveRuntime() = nullptr;

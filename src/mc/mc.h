@@ -35,6 +35,9 @@ struct McOptions {
   size_t max_steps = 200000;
   // Stop after the first failing execution (default) or keep counting failures.
   bool stop_on_failure = true;
+  // Fail any execution during which the lock-order witness records a new violation,
+  // so latent lock-order cycles surface as counterexamples with replayable schedules.
+  bool check_lock_order = true;
 };
 
 struct McResult {

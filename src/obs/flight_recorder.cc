@@ -113,6 +113,23 @@ FlightRecord MakeMcFlightRecord(const McResult& result, std::string_view name) {
   return record;
 }
 
+FlightRecord MakeLockOrderFlightRecord(const LockOrderReport& report) {
+  FlightRecord record;
+  record.harness = "lockorder";
+  record.violation = report.message;
+  record.analysis_json = report.ToJson();
+  return record;
+}
+
+FlightRecord MakeDepLintFlightRecord(const DepLintReport& report) {
+  FlightRecord record;
+  record.harness = "deplint";
+  record.violation = "dependency lint: " + report.Summary();
+  record.analysis_json = report.ToJson();
+  record.dependency_dot = report.dot;
+  return record;
+}
+
 FlightRecorder::FlightRecorder(std::string dir) : dir_(std::move(dir)) {
   if (dir_.empty()) {
     const char* env = std::getenv("SS_FLIGHT_DIR");
@@ -151,6 +168,8 @@ Result<std::string> FlightRecorder::Write(const FlightRecord& record) {
   w.String(record.dependency_dot);
   w.Key("disks");
   RawOrNull(w, record.disks_json);
+  w.Key("analysis");
+  RawOrNull(w, record.analysis_json);
   w.EndObject();
 
   std::error_code ec;
@@ -177,6 +196,24 @@ Result<std::string> FlightRecorder::Write(const FlightRecord& record) {
   }
   ++written_;
   return path;
+}
+
+ScopedLockOrderFlightSink::ScopedLockOrderFlightSink(FlightRecorder* recorder) {
+  if (recorder == nullptr) {
+    return;
+  }
+  handler_ = std::make_unique<ScopedLockOrderHandler>([recorder](const LockOrderReport& report) {
+    (void)recorder->Write(MakeLockOrderFlightRecord(report));
+  });
+}
+
+ScopedDepLintFlightSink::ScopedDepLintFlightSink(FlightRecorder* recorder) {
+  if (recorder == nullptr) {
+    return;
+  }
+  handler_ = std::make_unique<ScopedDepLintHandler>([recorder](const DepLintReport& report) {
+    (void)recorder->Write(MakeDepLintFlightRecord(report));
+  });
 }
 
 }  // namespace ss

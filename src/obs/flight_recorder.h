@@ -28,11 +28,14 @@
 #define SS_OBS_FLIGHT_RECORDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/dep/dep_lint.h"
 #include "src/mc/mc.h"
+#include "src/sync/witness.h"
 
 namespace ss {
 
@@ -53,6 +56,9 @@ struct FlightRecord {
   std::string trace_json;     // JSON array of TraceEvent::ToJson()
   std::string dependency_dot; // DOT graph of unpersisted writes (IoScheduler queue)
   std::string disks_json;     // persisted-vs-volatile extent summary per disk
+  std::string analysis_json;  // static/dynamic analysis report (lock-order witness
+                              // LockOrderReport::ToJson(), dep linter
+                              // DepLintReport::ToJson())
 };
 
 // Fills `record` from a live single-disk store: metric snapshot, pending-writeback
@@ -69,6 +75,14 @@ void CaptureNode(NodeServer& node, FlightRecord& record);
 // Builds a record for a failed model-checking result: the error message and the
 // replayable schedule. `name` labels the body (e.g. "put_migrate_race").
 FlightRecord MakeMcFlightRecord(const McResult& result, std::string_view name);
+
+// Builds a record for a lock-order witness violation: the report (both acquisition
+// stacks) lands in `analysis_json`.
+FlightRecord MakeLockOrderFlightRecord(const LockOrderReport& report);
+
+// Builds a record for a dependency-lint failure: the violation list lands in
+// `analysis_json` and the offending pending graph in `dependency_dot`.
+FlightRecord MakeDepLintFlightRecord(const DepLintReport& report);
 
 // Writes artifacts. Not thread-safe; arm one recorder per (re-)run.
 class FlightRecorder {
@@ -92,6 +106,27 @@ class FlightRecorder {
   std::string dir_;
   uint64_t case_seed_ = 0;
   size_t written_ = 0;
+};
+
+// RAII sink: while alive, every lock-order witness violation detected on a native run
+// is written to `recorder` as a flight artifact. Harnesses arm one next to the
+// recorder itself.
+class ScopedLockOrderFlightSink {
+ public:
+  explicit ScopedLockOrderFlightSink(FlightRecorder* recorder);
+
+ private:
+  std::unique_ptr<ScopedLockOrderHandler> handler_;
+};
+
+// RAII sink: while alive, every dependency-lint failure reported at a flush/barrier
+// is written to `recorder` as a flight artifact.
+class ScopedDepLintFlightSink {
+ public:
+  explicit ScopedDepLintFlightSink(FlightRecorder* recorder);
+
+ private:
+  std::unique_ptr<ScopedDepLintHandler> handler_;
 };
 
 }  // namespace ss

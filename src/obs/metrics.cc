@@ -176,7 +176,7 @@ MetricRegistry::Shard& MetricRegistry::ShardFor(std::string_view name) const {
 
 Counter& MetricRegistry::counter(std::string_view name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  LockGuard lock(shard.mu);
   auto it = shard.counters.find(name);
   if (it == shard.counters.end()) {
     it = shard.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -186,7 +186,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  LockGuard lock(shard.mu);
   auto it = shard.gauges.find(name);
   if (it == shard.gauges.end()) {
     it = shard.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -196,7 +196,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 
 Histogram& MetricRegistry::histogram(std::string_view name, std::vector<uint64_t> bounds) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  LockGuard lock(shard.mu);
   auto it = shard.histograms.find(name);
   if (it == shard.histograms.end()) {
     it = shard.histograms
@@ -214,7 +214,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 
 void MetricRegistry::SnapshotInto(MetricsSnapshot& out) const {
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    LockGuard lock(shard.mu);
     for (const auto& [name, counter] : shard.counters) {
       out.counters[name] += counter->Value();
     }

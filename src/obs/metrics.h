@@ -5,11 +5,11 @@
 // Two properties drive the design:
 //
 //  * Metrics are observability, not behaviour. Like the `Coverage` singleton in
-//    common/cover.cc, the registry uses plain std::mutex / std::atomic rather than the
-//    ss::sync wrappers, so incrementing a counter is never a model-checker scheduling
-//    point and never perturbs the interleavings the mc harness explores. Relaxed
-//    atomics keep the hot path to a single uncontended RMW and keep the whole layer
-//    clean under TSan.
+//    common/cover.cc, the registry's shard locks are *leaf-mode* ss::Mutex instances:
+//    never a model-checker scheduling point, so incrementing a counter never perturbs
+//    the interleavings the mc harness explores, yet still named and ranked for the
+//    lock-order witness. Relaxed atomics keep the hot path to a single uncontended
+//    RMW and keep the whole layer clean under TSan.
 //  * Registration is rare, increments are hot. The registry shards its name map by
 //    hash across a small fixed set of mutexes; callers look a metric up once at
 //    construction time, hold the returned pointer (addresses are stable for the
@@ -27,10 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/sync/sync.h"
 
 namespace ss {
 
@@ -144,7 +145,7 @@ class MetricRegistry {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu{MutexAttr{"obs.metrics.shard", lockrank::kObs + 5, /*leaf=*/true}};
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;

@@ -25,7 +25,7 @@ SpanTree::SpanTree(size_t capacity, MetricRegistry* metrics)
 
 uint64_t SpanTree::StartSpan(std::string_view name, uint64_t parent, uint64_t root,
                              uint64_t start_ticks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const uint64_t id = next_id_++;
   SpanRecord record;
   record.id = id;
@@ -45,7 +45,7 @@ uint64_t SpanTree::StartSpan(std::string_view name, uint64_t parent, uint64_t ro
 void SpanTree::EndSpan(uint64_t id, StatusCode status, uint64_t duration_ticks) {
   Histogram* histogram = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (id == 0 || id >= next_id_) {
       return;
     }
@@ -87,7 +87,7 @@ std::vector<SpanRecord> SpanTree::SpansLocked() const {
 }
 
 std::vector<SpanRecord> SpanTree::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return SpansLocked();
 }
 
@@ -103,7 +103,7 @@ std::vector<SpanRecord> SpanTree::Tree(uint64_t root) const {
 }
 
 uint64_t SpanTree::total_started() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return next_id_ - 1;
 }
 

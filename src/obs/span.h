@@ -13,17 +13,18 @@
 // roots that fan out over several per-disk clocks) accumulate ticks explicitly via
 // AddTicks.
 //
-// Like MetricRegistry and TraceRing, the tree uses plain std::mutex / std::atomic:
+// Like MetricRegistry and TraceRing, the tree's lock is a leaf-mode ss::Mutex:
 // recording a span must never become a model-checker scheduling point, and the whole
-// layer stays clean under TSan. Retention is bounded (a ring keyed by span id), with
-// total_started() keeping the lifetime count across wraparound.
+// layer stays clean under TSan — yet the lock remains visible to the lock-order
+// witness (EndSpan calls into the metric registry under it, so the nesting is
+// checked). Retention is bounded (a ring keyed by span id), with total_started()
+// keeping the lifetime count across wraparound.
 
 #ifndef SS_OBS_SPAN_H_
 #define SS_OBS_SPAN_H_
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,7 +57,7 @@ struct SpanRecord {
 };
 
 // Bounded store of span records with parent/child causality. Thread-safe; recording
-// uses a plain std::mutex so it is invisible to the model checker.
+// holds a leaf-mode lock so it never becomes a model-checker scheduling point.
 class SpanTree {
  public:
   static constexpr size_t kDefaultCapacity = 1024;
@@ -92,7 +93,9 @@ class SpanTree {
  private:
   std::vector<SpanRecord> SpansLocked() const;  // caller holds mu_
 
-  mutable std::mutex mu_;
+  // Ranked below the metric-registry shards: EndSpan publishes the duration
+  // histogram while holding this lock.
+  mutable Mutex mu_{MutexAttr{"obs.span", lockrank::kObs, /*leaf=*/true}};
   const size_t capacity_;
   MetricRegistry* metrics_ = nullptr;
   std::vector<SpanRecord> ring_;  // slot (id-1) % capacity_

@@ -74,7 +74,7 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) 
 
 uint64_t TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusCode status,
                            uint64_t duration_ticks, uint64_t root_span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   TraceEvent event{next_seq_, kind, shard, disk, status, duration_ticks, root_span};
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -85,7 +85,7 @@ uint64_t TraceRing::Record(TraceKind kind, uint64_t shard, int32_t disk, StatusC
 }
 
 std::vector<TraceEvent> TraceRing::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -99,7 +99,7 @@ std::vector<TraceEvent> TraceRing::Events() const {
 }
 
 uint64_t TraceRing::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return next_seq_;
 }
 

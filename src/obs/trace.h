@@ -8,19 +8,20 @@
 // `total_recorded()` keeps the lifetime count so oracles can still assert on exact
 // event totals after wraparound.
 //
-// Like MetricRegistry, the ring uses a plain std::mutex: recording an event must not
-// become a model-checker scheduling point.
+// Like MetricRegistry, the ring's lock is a leaf-mode ss::Mutex: recording an event
+// must not become a model-checker scheduling point, but the lock stays visible to the
+// lock-order witness.
 
 #ifndef SS_OBS_TRACE_H_
 #define SS_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/sync/sync.h"
 
 namespace ss {
 
@@ -81,7 +82,7 @@ class TraceRing {
   std::string ToString(size_t max_events = 16) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{MutexAttr{"obs.trace", lockrank::kObs, /*leaf=*/true}};
   const size_t capacity_;
   std::vector<TraceEvent> ring_;  // indexed by seq % capacity_ once full
   uint64_t next_seq_ = 0;

@@ -29,7 +29,10 @@ NodeServer::NodeServer(NodeServerOptions options)
   crash_recoveries_ = &metrics_.counter("rpc.crash_recoveries");
   stale_commit_skipped_ = &metrics_.counter("rpc.routing.stale_commit_skipped");
   placement_rerouted_ = &metrics_.counter("rpc.routing.placement_rerouted");
+  lockorder_violations_ = &metrics_.counter("sync.lockorder.violations");
   op_ticks_ = &metrics_.histogram("rpc.op.backoff_ticks");
+  lockorder_handler_ = std::make_unique<ScopedLockOrderHandler>(
+      [this](const LockOrderReport&) { lockorder_violations_->Increment(); });
 }
 
 Result<std::unique_ptr<NodeServer>> NodeServer::Create(NodeServerOptions options) {

@@ -229,8 +229,8 @@ class NodeServer {
   NodeServerOptions options_;
   std::vector<std::unique_ptr<InMemoryDisk>> disks_;
 
-  // Node-level observability. Deliberately ordinary (std::mutex / std::atomic inside):
-  // recording is never a model-checker scheduling point.
+  // Node-level observability. Leaf-mode locks / relaxed atomics inside: recording is
+  // never a model-checker scheduling point.
   MetricRegistry metrics_;
   TraceRing trace_;
   SpanTree spans_;
@@ -250,15 +250,21 @@ class NodeServer {
   Counter* crash_recoveries_;
   Counter* stale_commit_skipped_;
   Counter* placement_rerouted_;
+  Counter* lockorder_violations_;
   Histogram* op_ticks_;
+  // Feeds each lock-order witness report into the node's metrics (constructed after
+  // metrics_, destroyed before it).
+  std::unique_ptr<ScopedLockOrderHandler> lockorder_handler_;
 
-  mutable Mutex mu_;  // service state + health + directory
+  // service state + health + directory
+  mutable Mutex mu_{MutexAttr{"rpc.node", lockrank::kNode}};
   std::vector<std::shared_ptr<ShardStore>> stores_;
   std::vector<bool> in_service_;
   std::vector<DiskHealth> health_;
   std::map<ShardId, int> directory_;  // live shards -> owning disk
 
-  Mutex control_mu_;  // serializes bulk control-plane operations
+  // serializes bulk control-plane operations
+  Mutex control_mu_{MutexAttr{"rpc.control", lockrank::kControl}};
 };
 
 }  // namespace ss

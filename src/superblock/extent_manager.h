@@ -186,7 +186,7 @@ class ExtentManager : public TickSource {
   InMemoryDisk* disk_;
   IoScheduler* scheduler_;
   IoRetryOptions retry_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{MutexAttr{"extent.manager", lockrank::kExtent}};
   std::vector<ExtentState> extents_;
   uint32_t batch_depth_ = 0;  // guarded by mu_
   std::map<ExtentId, PendingSoftWp> pending_soft_wp_;  // guarded by mu_
@@ -203,7 +203,7 @@ class ExtentManager : public TickSource {
   // Ticks a single IO spent in backoff before resolving; recorded only for IOs that
   // actually retried, so clean traffic doesn't flood the zero bucket.
   Histogram* retry_backoff_ticks_;
-  mutable Mutex retry_mu_;  // guards the virtual clock
+  mutable Mutex retry_mu_{MutexAttr{"extent.clock", lockrank::kClock}};  // guards the virtual clock
   mutable uint64_t virtual_clock_ = 0;
   // Mirror of virtual_clock_, updated wherever the clock advances (still under
   // retry_mu_); SpanTicksNow reads it without locking.

@@ -13,41 +13,60 @@ SchedHooks* ActiveSchedHooks() { return g_hooks.load(std::memory_order_acquire);
 void SetActiveSchedHooks(SchedHooks* hooks) { g_hooks.store(hooks, std::memory_order_release); }
 
 void Mutex::Lock() {
-  if (SchedHooks* hooks = ActiveSchedHooks()) {
-    hooks->MutexLock(id());
-    return;
+  // The witness observes the acquisition *attempt*: if the lock participates in a
+  // cycle the report exists even when this particular interleaving deadlocks.
+  LockWitness::Global().OnAcquire(attr_.name, attr_.rank);
+  if (!attr_.leaf) {
+    if (SchedHooks* hooks = ActiveSchedHooks()) {
+      hooks->MutexLock(id());
+      return;
+    }
   }
   native_.lock();
 }
 
 void Mutex::Unlock() {
-  if (SchedHooks* hooks = ActiveSchedHooks()) {
-    hooks->MutexUnlock(id());
-    return;
+  LockWitness::Global().OnRelease(attr_.name);
+  if (!attr_.leaf) {
+    if (SchedHooks* hooks = ActiveSchedHooks()) {
+      hooks->MutexUnlock(id());
+      return;
+    }
   }
   native_.unlock();
 }
 
 void CondVar::Wait(Mutex& mu) {
-  if (SchedHooks* hooks = ActiveSchedHooks()) {
-    hooks->CondWait(id(), mu.id());
-    return;
+  // A wait releases the mutex and reacquires it on wake; the witness must see both
+  // sides or the held-lock stack would stay stale across the sleep.
+  LockWitness::Global().OnRelease(mu.attr_.name);
+  if (!attr_.leaf && !mu.attr_.leaf) {
+    if (SchedHooks* hooks = ActiveSchedHooks()) {
+      hooks->CondWait(id(), mu.id());
+      LockWitness::Global().OnAcquire(mu.attr_.name, mu.attr_.rank);
+      return;
+    }
   }
   native_.wait(mu.native_);
+  LockWitness::Global().OnAcquire(mu.attr_.name, mu.attr_.rank);
 }
 
 void CondVar::NotifyOne() {
-  if (SchedHooks* hooks = ActiveSchedHooks()) {
-    hooks->CondNotifyOne(id());
-    return;
+  if (!attr_.leaf) {
+    if (SchedHooks* hooks = ActiveSchedHooks()) {
+      hooks->CondNotifyOne(id());
+      return;
+    }
   }
   native_.notify_one();
 }
 
 void CondVar::NotifyAll() {
-  if (SchedHooks* hooks = ActiveSchedHooks()) {
-    hooks->CondNotifyAll(id());
-    return;
+  if (!attr_.leaf) {
+    if (SchedHooks* hooks = ActiveSchedHooks()) {
+      hooks->CondNotifyAll(id());
+      return;
+    }
   }
   native_.notify_all();
 }
@@ -61,6 +80,13 @@ Thread Thread::Spawn(std::function<void()> body) {
   } else {
     t.native_ = std::make_unique<std::thread>(std::move(body));
   }
+  return t;
+}
+
+Thread Thread::SpawnNative(std::function<void()> body) {
+  Thread t;
+  t.joined_ = false;
+  t.native_ = std::make_unique<std::thread>(std::move(body));
   return t;
 }
 

@@ -1,11 +1,21 @@
 // Scheduler-aware synchronization primitives.
 //
-// ShardStore implementation code never uses std::mutex / std::thread directly; it uses
-// the primitives in this header. In normal execution they delegate to the standard
-// library. When a stateless model checker run is active (ss::mc installs SchedHooks),
-// every primitive instead becomes a *scheduling point* routed through the checker, which
-// serializes threads and systematically explores interleavings — the same trick Loom and
-// Shuttle use in Rust (paper section 6).
+// Contract (enforced by scripts/check_sync_primitives.sh and the CI sync-lint job):
+// no code under src/ outside src/sync/ may use the raw standard-library primitives
+// (mutexes, lock guards, threads) directly — everything goes through the wrappers in
+// this header. The rule exists because three analyses each need to see *every*
+// synchronization event, and a single raw mutex is a blind spot for all of them:
+//   * the model checker (ss::mc installs SchedHooks): every primitive becomes a
+//     scheduling point routed through the checker, which serializes threads and
+//     systematically explores interleavings — the same trick Loom and Shuttle use in
+//     Rust (paper section 6),
+//   * the lock-order witness (src/sync/witness.h): named locks feed a global
+//     acquisition-order graph whose cycles are latent deadlocks,
+//   * the TSan CI job: one primitive layer keeps suppressions and annotations in one
+//     place.
+// Locks that must *not* perturb model-checked interleavings (observability,
+// checker-internal batons) are not exempt — they use leaf mode (MutexAttr::leaf),
+// which always takes the native mutex but stays visible to the witness.
 
 #ifndef SS_SYNC_SYNC_H_
 #define SS_SYNC_SYNC_H_
@@ -18,6 +28,8 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "src/sync/witness.h"
 
 namespace ss {
 
@@ -46,19 +58,26 @@ class SchedHooks {
 SchedHooks* ActiveSchedHooks();
 void SetActiveSchedHooks(SchedHooks* hooks);
 
-// Mutual exclusion. Non-recursive.
+// Mutual exclusion. Non-recursive. The optional MutexAttr names the lock's class for
+// the lock-order witness, assigns its layer rank, and selects leaf mode (never a
+// model-checker scheduling point — for locks whose acquisition is observability, not
+// behaviour).
 class Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const MutexAttr& attr) : attr_(attr) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock();
   void Unlock();
 
+  const MutexAttr& attr() const { return attr_; }
+
  private:
   friend class CondVar;
   uintptr_t id() const { return reinterpret_cast<uintptr_t>(this); }
+  MutexAttr attr_{};
   std::mutex native_;
 };
 
@@ -74,10 +93,18 @@ class LockGuard {
   Mutex& mu_;
 };
 
-// Condition variable. As with std::condition_variable, always wait in a predicate loop.
+// Condition-variable attributes: leaf mode mirrors MutexAttr::leaf — notifications
+// never become scheduling points. A CondVar used with a leaf Mutex must itself be
+// leaf (the checker cannot wake a native waiter).
+struct CondVarAttr {
+  bool leaf = false;
+};
+
+// Condition variable. As with the standard library's, always wait in a predicate loop.
 class CondVar {
  public:
   CondVar() = default;
+  explicit CondVar(const CondVarAttr& attr) : attr_(attr) {}
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
@@ -88,6 +115,7 @@ class CondVar {
 
  private:
   uintptr_t id() const { return reinterpret_cast<uintptr_t>(this); }
+  CondVarAttr attr_{};
   std::condition_variable_any native_;
 };
 
@@ -133,6 +161,10 @@ class Thread {
  public:
   Thread() = default;
   static Thread Spawn(std::function<void()> body);
+  // Always spawns a native OS thread, even while SchedHooks are installed. Only for
+  // machinery that *implements* the checker (the managed-task carrier threads in
+  // ss::mc) — everything else uses Spawn.
+  static Thread SpawnNative(std::function<void()> body);
 
   Thread(Thread&& other) noexcept { *this = std::move(other); }
   Thread& operator=(Thread&& other) noexcept {
@@ -177,7 +209,7 @@ class Semaphore {
 };
 
 // Give other threads a chance to run (scheduling point under the checker, no-op /
-// std::this_thread::yield natively).
+// yield natively).
 void YieldThread();
 
 }  // namespace ss

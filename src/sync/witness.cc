@@ -1,0 +1,392 @@
+#include "src/sync/witness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "src/sync/sync.h"
+
+namespace ss {
+namespace {
+
+struct HeldLock {
+  const char* name;
+  uint32_t rank;
+};
+
+// Per-thread state. The held stack only contains *named* locks; anonymous locks are
+// invisible to the witness by design.
+struct ThreadState {
+  std::vector<HeldLock> held;
+  // (from, to) name-pointer pairs already pushed through the global graph, so hot
+  // nesting pairs skip the global lock after their first acquisition. Invalidated by
+  // epoch when the witness is Reset().
+  std::unordered_set<uint64_t> seen_pairs;
+  uint64_t seen_epoch = 0;
+  uint64_t id = 0;
+  bool in_witness = false;  // reentrancy guard: handlers may take ss locks
+};
+
+ThreadState& Tls() {
+  static thread_local ThreadState state;
+  return state;
+}
+
+uint64_t PairKey(const char* from, const char* to) {
+  // Name pointers are static storage; mix the two addresses.
+  const auto a = reinterpret_cast<uintptr_t>(from);
+  const auto b = reinterpret_cast<uintptr_t>(to);
+  return (uint64_t{a} * 0x9e3779b97f4a7c15ULL) ^ uint64_t{b};
+}
+
+// Minimal JSON string escaping (class names are identifiers, but messages embed them
+// freely, so stay correct on quotes/backslashes/control bytes).
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct WitnessState {
+  std::mutex mu;
+  // Acquisition-order graph over lock classes: edges[from][to] = first observation.
+  std::map<std::string, std::map<std::string, LockOrderEdge>, std::less<>> edges;
+  std::set<std::string> reported;  // dedup keys of violations already reported
+  std::deque<LockOrderReport> reports;
+  std::vector<std::pair<int, LockWitness::Handler>> handlers;
+  int next_handler_id = 1;
+  uint64_t next_thread_id = 1;
+  uint64_t acquire_seq = 0;
+  uint64_t epoch = 1;  // bumped by Reset() to invalidate per-thread pair caches
+  std::atomic<uint64_t> violations{0};
+  std::atomic<bool> enabled{true};
+};
+
+WitnessState& State() {
+  static WitnessState* state = new WitnessState();
+  return *state;
+}
+
+constexpr size_t kMaxRetainedReports = 32;
+
+// Finds a path `from_node` ... `to_node` in the order graph (DFS, iterative).
+// Returns the node sequence including both endpoints, or empty if unreachable.
+std::vector<std::string> FindPath(
+    const std::map<std::string, std::map<std::string, LockOrderEdge>, std::less<>>& edges,
+    const std::string& from_node, const std::string& to_node) {
+  std::map<std::string, std::string> parent;  // child -> predecessor on the DFS tree
+  std::vector<std::string> stack = {from_node};
+  std::set<std::string> visited = {from_node};
+  while (!stack.empty()) {
+    std::string node = stack.back();
+    stack.pop_back();
+    if (node == to_node) {
+      std::vector<std::string> path = {node};
+      while (node != from_node) {
+        node = parent.at(node);
+        path.push_back(node);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    auto it = edges.find(node);
+    if (it == edges.end()) {
+      continue;
+    }
+    for (const auto& [next, edge] : it->second) {
+      if (visited.insert(next).second) {
+        parent[next] = node;
+        stack.push_back(next);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string LockOrderReport::ToString() const {
+  std::ostringstream out;
+  out << message;
+  for (const LockOrderEdge& edge : edges) {
+    out << "\n  " << edge.from << " -> " << edge.to << " (thread " << edge.thread
+        << ", held:";
+    for (const std::string& held : edge.held_stack) {
+      out << " " << held;
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+std::string LockOrderReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"kind\":\"" << (kind == Kind::kCycle ? "cycle" : "rank_inversion") << "\"";
+  out << ",\"message\":\"" << Escape(message) << "\"";
+  out << ",\"cycle\":[";
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    out << (i != 0 ? "," : "") << "\"" << Escape(cycle[i]) << "\"";
+  }
+  out << "],\"edges\":[";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const LockOrderEdge& edge = edges[i];
+    out << (i != 0 ? "," : "") << "{\"from\":\"" << Escape(edge.from) << "\",\"to\":\""
+        << Escape(edge.to) << "\",\"thread\":" << edge.thread << ",\"seq\":" << edge.seq
+        << ",\"held_stack\":[";
+    for (size_t j = 0; j < edge.held_stack.size(); ++j) {
+      out << (j != 0 ? "," : "") << "\"" << Escape(edge.held_stack[j]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+LockWitness& LockWitness::Global() {
+  static LockWitness* witness = new LockWitness();
+  return *witness;
+}
+
+void LockWitness::set_enabled(bool enabled) { State().enabled.store(enabled); }
+
+bool LockWitness::enabled() const { return State().enabled.load(); }
+
+uint64_t LockWitness::violation_count() const { return State().violations.load(); }
+
+std::vector<LockOrderReport> LockWitness::Reports() const {
+  WitnessState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return {st.reports.begin(), st.reports.end()};
+}
+
+std::string LockWitness::LastMessage() const {
+  WitnessState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.reports.empty() ? "" : st.reports.back().message;
+}
+
+void LockWitness::Reset() {
+  WitnessState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.edges.clear();
+  st.reported.clear();
+  st.reports.clear();
+  ++st.epoch;
+  st.violations.store(0);
+}
+
+int LockWitness::AddHandler(Handler handler) {
+  WitnessState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const int id = st.next_handler_id++;
+  st.handlers.emplace_back(id, std::move(handler));
+  return id;
+}
+
+void LockWitness::RemoveHandler(int id) {
+  WitnessState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (auto it = st.handlers.begin(); it != st.handlers.end(); ++it) {
+    if (it->first == id) {
+      st.handlers.erase(it);
+      return;
+    }
+  }
+}
+
+void LockWitness::OnAcquire(const char* name, uint32_t rank) {
+  if (name == nullptr || name[0] == '\0') {
+    return;
+  }
+  ThreadState& tls = Tls();
+  if (tls.in_witness) {
+    return;  // a violation handler is taking ss locks; don't recurse
+  }
+  tls.in_witness = true;
+  WitnessState& st = State();
+  if (!st.enabled.load(std::memory_order_relaxed) || tls.held.empty()) {
+    tls.held.push_back({name, rank});
+    tls.in_witness = false;
+    return;
+  }
+
+  // Collect the (from -> name) pairs that need the global graph: every *distinct*
+  // held class not yet pushed through by this thread. Rank inversions are checked
+  // against the highest-ranked held lock.
+  std::vector<const HeldLock*> new_from;
+  const HeldLock* rank_clash = nullptr;
+  for (const HeldLock& held : tls.held) {
+    if (held.name == name || std::string_view(held.name) == name) {
+      continue;  // same class: instance-level nesting is outside the class graph
+    }
+    if (rank != 0 && held.rank != 0 && rank < held.rank &&
+        (rank_clash == nullptr || held.rank > rank_clash->rank)) {
+      rank_clash = &held;
+    }
+    const uint64_t key = PairKey(held.name, name);
+    if (tls.seen_epoch == st.epoch && tls.seen_pairs.count(key) != 0) {
+      continue;
+    }
+    new_from.push_back(&held);
+  }
+  if (new_from.empty() && rank_clash == nullptr) {
+    tls.held.push_back({name, rank});
+    tls.in_witness = false;
+    return;
+  }
+
+  std::vector<LockOrderReport> fresh;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (tls.seen_epoch != st.epoch) {
+      tls.seen_pairs.clear();
+      tls.seen_epoch = st.epoch;
+    }
+    if (tls.id == 0) {
+      tls.id = st.next_thread_id++;
+    }
+    std::vector<std::string> held_names;
+    held_names.reserve(tls.held.size() + 1);
+    for (const HeldLock& held : tls.held) {
+      held_names.emplace_back(held.name);
+    }
+    held_names.emplace_back(name);
+
+    if (rank_clash != nullptr) {
+      const std::string key =
+          std::string("rank:") + rank_clash->name + ">" + name;
+      if (st.reported.insert(key).second) {
+        LockOrderReport report;
+        report.kind = LockOrderReport::Kind::kRankInversion;
+        report.cycle = {rank_clash->name, name};
+        LockOrderEdge edge{rank_clash->name, name, held_names, tls.id, ++st.acquire_seq};
+        report.edges.push_back(edge);
+        std::ostringstream msg;
+        msg << "lock rank inversion: acquiring \"" << name << "\" (rank " << rank
+            << ") while holding \"" << rank_clash->name << "\" (rank " << rank_clash->rank
+            << ")";
+        report.message = msg.str();
+        st.violations.fetch_add(1);
+        st.reports.push_back(report);
+        if (st.reports.size() > kMaxRetainedReports) {
+          st.reports.pop_front();
+        }
+        fresh.push_back(std::move(report));
+      }
+    }
+
+    for (const HeldLock* from : new_from) {
+      tls.seen_pairs.insert(PairKey(from->name, name));
+      auto& out_edges = st.edges[from->name];
+      auto [edge_it, inserted] = out_edges.try_emplace(name);
+      if (!inserted) {
+        continue;  // edge already known (recorded by another thread)
+      }
+      edge_it->second =
+          LockOrderEdge{from->name, name, held_names, tls.id, ++st.acquire_seq};
+      // Lazy cycle detection: the new edge from->name closes a cycle iff `from` was
+      // already reachable from `name`.
+      std::vector<std::string> path = FindPath(st.edges, name, from->name);
+      if (path.empty()) {
+        continue;
+      }
+      LockOrderReport report;
+      report.kind = LockOrderReport::Kind::kCycle;
+      report.cycle = path;           // name ... from
+      report.cycle.push_back(name);  // close the loop via the new edge
+      // Dedup by the cycle's class set.
+      std::set<std::string> classes(path.begin(), path.end());
+      std::string key = "cycle:";
+      for (const std::string& cls : classes) {
+        key += cls + "|";
+      }
+      if (!st.reported.insert(key).second) {
+        continue;
+      }
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        report.edges.push_back(st.edges.at(path[i]).at(path[i + 1]));
+      }
+      report.edges.push_back(edge_it->second);  // from -> name, the closing edge
+      std::ostringstream msg;
+      msg << "lock-order cycle:";
+      for (const std::string& cls : report.cycle) {
+        msg << " " << cls << (cls == report.cycle.back() ? "" : " ->");
+      }
+      report.message = msg.str();
+      st.violations.fetch_add(1);
+      st.reports.push_back(report);
+      if (st.reports.size() > kMaxRetainedReports) {
+        st.reports.pop_front();
+      }
+      fresh.push_back(std::move(report));
+    }
+  }
+
+  if (!fresh.empty() && ActiveSchedHooks() == nullptr) {
+    // Native runs fan out to handlers (flight recorder, metrics) outside the witness
+    // lock. Under the model checker the callbacks are suppressed: the run's harness
+    // reads the retained reports, so the violation becomes a counterexample without
+    // the handler perturbing the schedule.
+    std::vector<std::pair<int, Handler>> handlers;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      handlers = st.handlers;
+    }
+    for (const LockOrderReport& report : fresh) {
+      for (const auto& [id, handler] : handlers) {
+        handler(report);
+      }
+    }
+  }
+  tls.held.push_back({name, rank});
+  tls.in_witness = false;
+}
+
+void LockWitness::OnRelease(const char* name) {
+  if (name == nullptr || name[0] == '\0') {
+    return;
+  }
+  ThreadState& tls = Tls();
+  if (tls.in_witness) {
+    return;
+  }
+  // Locks are usually released in LIFO order, but out-of-order release is legal:
+  // search from the top.
+  for (auto it = tls.held.rbegin(); it != tls.held.rend(); ++it) {
+    if (it->name == name || std::string_view(it->name) == name) {
+      tls.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace ss

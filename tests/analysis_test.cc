@@ -1,0 +1,266 @@
+// Tests for the concurrency & crash-ordering analysis passes: the lock-order witness
+// (inversion detection, acquisition stacks, flight artifacts, model-checker
+// integration) and the soft-updates dependency linter (seeded bug #7's orphaned
+// writes, pointer-before-barrier, DOT rendering into flight artifacts).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/dep/dep_lint.h"
+#include "src/faults/faults.h"
+#include "src/mc/mc.h"
+#include "src/obs/flight_recorder.h"
+#include "src/superblock/extent_manager.h"
+#include "src/sync/sync.h"
+#include "src/sync/witness.h"
+
+namespace ss {
+namespace {
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// A fresh artifact directory under the test temp root; removed first so written()
+// and file names start from zero.
+std::string FreshFlightDir(const std::string& leaf) {
+  const std::string dir = testing::TempDir() + "analysis_" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// --- Lock-order witness --------------------------------------------------------------
+
+// The regression the witness exists for: two threads take the same pair of locks in
+// opposite orders. Neither run deadlocks (the threads are serialized), but the order
+// graph closes a cycle and the report pairs the acquisition stacks of both directions.
+TEST(LockWitness, TwoThreadInvertedOrderReportsCycleWithBothStacks) {
+  LockWitness::Global().Reset();
+  Mutex a{MutexAttr{"analysis.order.a", 0}};
+  Mutex b{MutexAttr{"analysis.order.b", 0}};
+
+  Thread forward = Thread::Spawn([&] {
+    LockGuard la(a);
+    LockGuard lb(b);
+  });
+  forward.Join();
+  EXPECT_EQ(LockWitness::Global().violation_count(), 0u);  // one order alone is fine
+
+  Thread backward = Thread::Spawn([&] {
+    LockGuard lb(b);
+    LockGuard la(a);
+  });
+  backward.Join();
+
+  EXPECT_EQ(LockWitness::Global().violation_count(), 1u);
+  std::vector<LockOrderReport> reports = LockWitness::Global().Reports();
+  ASSERT_EQ(reports.size(), 1u);
+  const LockOrderReport& report = reports.front();
+  EXPECT_EQ(report.kind, LockOrderReport::Kind::kCycle);
+  EXPECT_NE(report.message.find("analysis.order.a"), std::string::npos) << report.message;
+  EXPECT_NE(report.message.find("analysis.order.b"), std::string::npos) << report.message;
+
+  // Both directions of the inversion, each with the acquiring thread's held stack.
+  ASSERT_EQ(report.edges.size(), 2u);
+  EXPECT_NE(report.edges[0].thread, report.edges[1].thread);
+  for (const LockOrderEdge& edge : report.edges) {
+    ASSERT_FALSE(edge.held_stack.empty());
+  }
+  // The same inversion again is deduplicated, not re-reported.
+  Thread again = Thread::Spawn([&] {
+    LockGuard lb(b);
+    LockGuard la(a);
+  });
+  again.Join();
+  EXPECT_EQ(LockWitness::Global().violation_count(), 1u);
+}
+
+// Rank inversions need no second thread: taking a lower-ranked (outer) lock while an
+// inner one is held contradicts the declared layer order immediately.
+TEST(LockWitness, RankInversionReportedOnSingleThread) {
+  LockWitness::Global().Reset();
+  Mutex inner{MutexAttr{"analysis.rank.inner", 90}};
+  Mutex outer{MutexAttr{"analysis.rank.outer", 15}};
+  {
+    LockGuard hold(inner);
+    LockGuard oops(outer);
+  }
+  EXPECT_EQ(LockWitness::Global().violation_count(), 1u);
+  std::vector<LockOrderReport> reports = LockWitness::Global().Reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports.front().kind, LockOrderReport::Kind::kRankInversion);
+  EXPECT_NE(reports.front().message.find("rank"), std::string::npos)
+      << reports.front().message;
+}
+
+// Round trip through the flight recorder: a violation detected while a sink is armed
+// lands on disk as a lockorder artifact whose analysis payload carries the cycle and
+// both acquisition stacks.
+TEST(LockWitness, ViolationWritesFlightArtifact) {
+  LockWitness::Global().Reset();
+  const std::string dir = FreshFlightDir("lockorder_flight");
+  FlightRecorder recorder(dir);
+  ScopedLockOrderFlightSink sink(&recorder);
+
+  Mutex a{MutexAttr{"analysis.flight.a", 0}};
+  Mutex b{MutexAttr{"analysis.flight.b", 0}};
+  Thread forward = Thread::Spawn([&] {
+    LockGuard la(a);
+    LockGuard lb(b);
+  });
+  forward.Join();
+  Thread backward = Thread::Spawn([&] {
+    LockGuard lb(b);
+    LockGuard la(a);
+  });
+  backward.Join();
+
+  ASSERT_EQ(recorder.written(), 1u);
+  const std::string text = ReadFileText(dir + "/flight-0-lockorder.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"harness\":\"lockorder\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"kind\":\"cycle\""), std::string::npos) << text;
+  EXPECT_NE(text.find("analysis.flight.a"), std::string::npos) << text;
+  EXPECT_NE(text.find("analysis.flight.b"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"held_stack\""), std::string::npos) << text;
+}
+
+// --- Witness under the model checker -------------------------------------------------
+
+// A lock-order cycle inside a model-checked body fails the execution and hands back a
+// replayable schedule, exactly like any other MC_CHECK violation.
+TEST(LockWitnessMc, CycleBecomesModelCheckingCounterexample) {
+  LockWitness::Global().Reset();
+  auto body = [] {
+    auto a = std::make_shared<Mutex>(MutexAttr{"analysis.mc.a", 0});
+    auto b = std::make_shared<Mutex>(MutexAttr{"analysis.mc.b", 0});
+    Thread t = Thread::Spawn([a, b] {
+      LockGuard la(*a);
+      LockGuard lb(*b);
+    });
+    t.Join();
+    LockGuard lb(*b);
+    LockGuard la(*a);
+  };
+
+  McOptions options;
+  options.strategy = McOptions::Strategy::kRandom;
+  options.iterations = 20;
+  options.seed = 1;
+  McResult result = McExplore(body, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("lock-order violation"), std::string::npos) << result.error;
+  ASSERT_FALSE(result.failing_schedule.empty());
+
+  // The schedule replays to the same counterexample (after clearing dedup state).
+  LockWitness::Global().Reset();
+  McResult replay = McReplay(body, result.failing_schedule);
+  EXPECT_FALSE(replay.ok);
+  EXPECT_NE(replay.error.find("lock-order violation"), std::string::npos) << replay.error;
+
+  // Opting out per exploration ignores the witness (e.g. a body that tests the
+  // witness itself).
+  LockWitness::Global().Reset();
+  options.check_lock_order = false;
+  McResult unchecked = McExplore(body, options);
+  EXPECT_TRUE(unchecked.ok) << unchecked.error;
+}
+
+// --- Soft-updates dependency linter --------------------------------------------------
+
+DiskGeometry SmallGeo() {
+  return DiskGeometry{.extent_count = 8, .pages_per_extent = 8, .page_size = 64};
+}
+
+// Seeded bug #7 (stale soft-pointer tracker after reset) leaves post-reset appends
+// with no covering soft-wp update: the linter flags the orphaned pages at the flush
+// barrier, fails the flush, and renders the offending subgraph as DOT into a flight
+// artifact. The healthy path before the bug passes the same lint.
+TEST(DepLint, CatchesSeededBug7OrphanedWritesAtBarrier) {
+  FaultRegistry::Global().DisableAll();
+  InMemoryDisk disk(SmallGeo());
+  IoScheduler scheduler(&disk);
+  ExtentManager extents(&disk, &scheduler);
+
+  ScopedDepLint lint(true);
+  const std::string dir = FreshFlightDir("deplint_flight");
+  FlightRecorder recorder(dir);
+  ScopedDepLintFlightSink sink(&recorder);
+  DepLintReport captured;
+  bool saw_report = false;
+  ScopedDepLintHandler capture([&](const DepLintReport& report) {
+    captured = report;
+    saw_report = true;
+  });
+
+  const ExtentId e = extents.ClaimExtent(ExtentOwner::kChunkData).value();
+  ASSERT_TRUE(extents.Append(e, Bytes(300, 1), Dependency()).ok());
+  ASSERT_TRUE(scheduler.FlushAll().ok());  // healthy graph passes the lint
+  EXPECT_FALSE(saw_report);
+
+  {
+    ScopedBug bug(SeededBug::kSoftPointerNotResetPersisted);
+    extents.Reset(e, Dependency());
+    ASSERT_TRUE(extents.Append(e, Bytes(64, 2), Dependency()).ok());
+  }
+  Status flush = scheduler.FlushAll();
+  ASSERT_FALSE(flush.ok());
+  EXPECT_EQ(flush.code(), StatusCode::kInternal);
+  EXPECT_NE(flush.message().find("dependency lint"), std::string::npos) << flush.ToString();
+
+  ASSERT_TRUE(saw_report);
+  ASSERT_FALSE(captured.violations.empty());
+  EXPECT_EQ(captured.violations.front().kind, DepLintViolation::Kind::kOrphanData)
+      << captured.ToString();
+  EXPECT_NE(captured.dot.find("digraph"), std::string::npos);
+
+  // The artifact carries the DOT subgraph and the violation list.
+  ASSERT_EQ(recorder.written(), 1u);
+  const std::string text = ReadFileText(dir + "/flight-0-deplint.json");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"harness\":\"deplint\""), std::string::npos) << text;
+  EXPECT_NE(text.find("orphan_data"), std::string::npos) << text;
+  EXPECT_NE(text.find("digraph"), std::string::npos) << text;
+
+  // The counter moved with the violation.
+  EXPECT_GE(scheduler.metrics().Snapshot().counter("io.deplint.violations"), 1u);
+}
+
+// A soft write pointer enqueued with no dependency path to the data it exposes is the
+// barrier-before-pointer violation: the pointer could reach the disk first.
+TEST(DepLint, FlagsPointerWithNoBarrierToItsData) {
+  InMemoryDisk disk(SmallGeo());
+  IoScheduler scheduler(&disk);
+  scheduler.EnqueueDataPage(1, 0, Bytes(64, 3), {});
+  scheduler.EnqueueSoftWp(1, 1, {});  // exposes page 0, no dependency on it
+
+  DepLintReport report = scheduler.Lint();
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const DepLintViolation& v : report.violations) {
+    found = found || v.kind == DepLintViolation::Kind::kPointerBeforeBarrier;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+  EXPECT_NE(report.dot.find("digraph"), std::string::npos);
+}
+
+// The correctly-wired enqueue (pointer depends on its data) is lint-clean.
+TEST(DepLint, AcceptsPointerWithBarrierDependency) {
+  InMemoryDisk disk(SmallGeo());
+  IoScheduler scheduler(&disk);
+  Dependency data = scheduler.EnqueueDataPage(1, 0, Bytes(64, 3), {});
+  scheduler.EnqueueSoftWp(1, 1, {data});
+  DepLintReport report = scheduler.Lint();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.dot.empty());
+}
+
+}  // namespace
+}  // namespace ss

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <thread>
+#include "src/sync/sync.h"
 
 #include "src/disk/disk.h"
 #include "src/faults/faults.h"
@@ -117,18 +117,18 @@ TEST(FaultInjector, ReadAndWriteBurstsAreIndependent) {
 TEST(FaultInjector, ConcurrentArmingFromTwoThreadsLosesNothing) {
   DiskFaultInjector injector;
   constexpr int kPerThread = 200;
-  std::thread a([&] {
+  Thread a = Thread::Spawn([&] {
     for (int i = 0; i < kPerThread; ++i) {
       injector.FailReadOnce(1);
     }
   });
-  std::thread b([&] {
+  Thread b = Thread::Spawn([&] {
     for (int i = 0; i < kPerThread; ++i) {
       injector.FailReadOnce(1);
     }
   });
-  a.join();
-  b.join();
+  a.Join();
+  b.Join();
   // Every armed entry is consumable exactly once.
   int fired = 0;
   while (injector.ShouldFailRead(1)) {

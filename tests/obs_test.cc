@@ -338,7 +338,7 @@ TEST(SpanTree, RenderingsShowHierarchy) {
 
 // --- Concurrency: snapshots are safe and exact against concurrent recorders ---------
 //
-// Recording uses plain atomics / std::mutex on purpose (never a model-checker
+// Recording uses plain atomics / leaf-mode locks on purpose (never a model-checker
 // scheduling point), so the mc harness only controls the ss::Thread interleaving;
 // the assertion is that a quiesced registry always shows exact totals and a
 // mid-flight snapshot never tears the registry structure.
