@@ -1,0 +1,171 @@
+// Cluster-tier benchmarks: what quorum replication costs over the single node.
+//
+//  * BM_QuorumPut / BM_QuorumGet — client ops/sec through a healthy N=3 R=2 W=2
+//    cluster across value sizes; the per-op cost is 3 replica RPCs (2 awaited).
+//  * BM_QuorumPutDegraded — the same writes with one replica crashed: every op pays
+//    the unreachable contact plus a hint store, the steady state of a failed node.
+//  * BM_QuorumGetWithRepair — reads against a cluster where every key has one stale
+//    replica, so reads keep running into the repair path.
+//  * BM_HintReplayDrain — Tick() cost of draining a hint backlog after a restart.
+//  * BM_QuorumThroughLossyNet — puts at increasing drop rates: the price of the
+//    retry layer absorbing a lossy network.
+//
+//   $ ./build/bench/bench_cluster_quorum
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/coordinator.h"
+
+using namespace ss;
+using namespace ss::cluster;
+
+namespace {
+
+ClusterOptions BenchOptions() {
+  ClusterOptions options;
+  options.initial_nodes = 3;
+  options.replication = 3;
+  options.read_quorum = 2;
+  options.write_quorum = 2;
+  options.vnodes = 16;
+  options.node.disk_count = 1;
+  options.node.geometry = DiskGeometry{.extent_count = 128, .pages_per_extent = 64,
+                                       .page_size = 256};
+  return options;
+}
+
+std::unique_ptr<ClusterCoordinator> BenchCluster(const ClusterOptions& options) {
+  return std::move(ClusterCoordinator::Create(options).value());
+}
+
+Bytes MakeValue(size_t size, uint8_t tag) {
+  Bytes out(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>(tag + i);
+  }
+  return out;
+}
+
+constexpr int kKeySpace = 32;
+
+void BM_QuorumPut(benchmark::State& state) {
+  auto cluster = BenchCluster(BenchOptions());
+  const Bytes value = MakeValue(static_cast<size_t>(state.range(0)), 1);
+  ShardId key = 0;
+  for (auto _ : state) {
+    QuorumResult r = cluster->Put(key++ % kKeySpace, value);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_QuorumPut)->Arg(64)->Arg(512)->Arg(2048)->Iterations(4000);
+
+void BM_QuorumGet(benchmark::State& state) {
+  auto cluster = BenchCluster(BenchOptions());
+  const Bytes value = MakeValue(static_cast<size_t>(state.range(0)), 2);
+  for (ShardId key = 0; key < kKeySpace; ++key) {
+    (void)cluster->Put(key, value);
+  }
+  ShardId key = 0;
+  for (auto _ : state) {
+    QuorumResult r = cluster->Get(key++ % kKeySpace);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_QuorumGet)->Arg(64)->Arg(512)->Arg(2048)->Iterations(4000);
+
+void BM_QuorumPutDegraded(benchmark::State& state) {
+  auto cluster = BenchCluster(BenchOptions());
+  (void)cluster->CrashNode(2);
+  const Bytes value = MakeValue(512, 3);
+  ShardId key = 0;
+  uint64_t degraded = 0;
+  for (auto _ : state) {
+    QuorumResult r = cluster->Put(key++ % kKeySpace, value);
+    if (r.outcome == QuorumOutcome::kDegraded) {
+      ++degraded;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["degraded"] = static_cast<double>(degraded);
+  state.counters["hints"] = static_cast<double>(cluster->HintCount());
+}
+BENCHMARK(BM_QuorumPutDegraded)->Iterations(4000);
+
+void BM_QuorumGetWithRepair(benchmark::State& state) {
+  auto cluster = BenchCluster(BenchOptions());
+  const Bytes old_value = MakeValue(512, 4);
+  const Bytes new_value = MakeValue(512, 5);
+  for (ShardId key = 0; key < kKeySpace; ++key) {
+    (void)cluster->Put(key, old_value);
+  }
+  ShardId key = 0;
+  for (auto _ : state) {
+    // Each round re-creates divergence (one owner misses the overwrite) and then
+    // reads until the rotation hits the stale owner and repairs it.
+    state.PauseTiming();
+    const int lagger = cluster->OwnersOf(key % kKeySpace).back();
+    cluster->net().PartitionLink(ClusterNet::kClientId, lagger);
+    (void)cluster->Put(key % kKeySpace, new_value);
+    cluster->net().HealLink(ClusterNet::kClientId, lagger);
+    state.ResumeTiming();
+    for (int i = 0; i < 3; ++i) {
+      QuorumResult r = cluster->Get(key % kKeySpace);
+      benchmark::DoNotOptimize(r);
+    }
+    ++key;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
+  state.counters["repairs"] = static_cast<double>(
+      cluster->MetricsSnapshot().counter("cluster.read_repairs"));
+}
+BENCHMARK(BM_QuorumGetWithRepair)->Iterations(1000);
+
+void BM_HintReplayDrain(benchmark::State& state) {
+  const int backlog = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cluster = BenchCluster(BenchOptions());
+    (void)cluster->CrashNode(2);
+    const Bytes value = MakeValue(256, 6);
+    for (ShardId key = 0; key < static_cast<ShardId>(backlog); ++key) {
+      (void)cluster->Put(key, value);
+    }
+    (void)cluster->RestartNode(2);
+    state.ResumeTiming();
+    cluster->Tick();
+    benchmark::DoNotOptimize(cluster->HintCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * backlog);
+}
+BENCHMARK(BM_HintReplayDrain)->Arg(8)->Arg(32)->Arg(128)->Iterations(50);
+
+void BM_QuorumThroughLossyNet(benchmark::State& state) {
+  ClusterOptions options = BenchOptions();
+  options.net.drop_rate = static_cast<double>(state.range(0)) / 1000.0;
+  auto cluster = BenchCluster(options);
+  const Bytes value = MakeValue(512, 7);
+  ShardId key = 0;
+  uint64_t failed = 0;
+  for (auto _ : state) {
+    QuorumResult r = cluster->Put(key++ % kKeySpace, value);
+    if (!r.ok()) {
+      ++failed;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const MetricsSnapshot snap = cluster->MetricsSnapshot();
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["rpc_retries"] = static_cast<double>(snap.counter("cluster.rpc.retries"));
+  state.counters["hints"] = static_cast<double>(snap.counter("cluster.hints.stored"));
+}
+BENCHMARK(BM_QuorumThroughLossyNet)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Iterations(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

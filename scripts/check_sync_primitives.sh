@@ -4,6 +4,12 @@
 # Everywhere else must go through the wrappers so the lock-order witness, TSan, and
 # the model checker all see the same acquisitions. Run from the repo root; exits
 # non-zero and prints every offending line when the invariant is broken.
+#
+# Second invariant: no wall clocks anywhere in src/. Every timed behaviour — extent
+# retry backoff, the cluster tier's network delays, per-op timeouts, and heartbeat
+# rounds — runs on explicitly advanced virtual tick clocks, which is what makes
+# harness failures replayable from seeds and model-checked schedules deterministic.
+# A std::chrono clock or a sleep call would silently break that.
 
 set -u
 
@@ -24,4 +30,19 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+CLOCK_PATTERN='std::chrono::(system_clock|steady_clock|high_resolution_clock)|\bgettimeofday\b|\bclock_gettime\b|std::this_thread::sleep|\busleep\b|\bnanosleep\b'
+
+clock_violations=$(grep -rnE "$CLOCK_PATTERN" src --include='*.h' --include='*.cc' || true)
+
+if [ -n "$clock_violations" ]; then
+  echo "error: wall-clock usage in src/:" >&2
+  echo "$clock_violations" >&2
+  echo >&2
+  echo "All timing in src/ runs on virtual tick clocks (ClusterNet's cluster clock," >&2
+  echo "ExtentManager's retry clock): determinism and seed replay depend on it." >&2
+  echo "Thread timing belongs in harness options, not wall-clock sleeps." >&2
+  exit 1
+fi
+
 echo "sync-primitive lint: clean (raw std primitives confined to src/sync/)"
+echo "wall-clock lint: clean (src/ runs entirely on virtual tick clocks)"

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Benchmark snapshot emitter: runs the storage benches and writes one normalized
+# BENCH_<area>.json per area at the repo root, so CI can diff throughput and
+# fault-handling cost across commits without parsing Google Benchmark's raw output.
+#
+#   area     binary                what it measures
+#   kv       bench_kv_ops          single-node KV op throughput
+#   fault    bench_fault_recovery  retry/health machinery cost under fault storms
+#   cluster  bench_cluster_quorum  quorum replication: clean/degraded/lossy paths
+#
+# Usage: scripts/emit_bench_json.sh [area ...]    (default: all areas)
+# Honors BUILD_DIR (default: build) and BENCH_ARGS (extra benchmark flags, e.g.
+# --benchmark_filter=BM_QuorumPut). Requires the benches to be built:
+#   cmake --build "$BUILD_DIR" -j --target bench_kv_ops bench_fault_recovery bench_cluster_quorum
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+bench_binary() {
+  case "$1" in
+    kv) echo bench_kv_ops ;;
+    fault) echo bench_fault_recovery ;;
+    cluster) echo bench_cluster_quorum ;;
+    *) echo "error: unknown bench area '$1' (want: kv fault cluster)" >&2; return 1 ;;
+  esac
+}
+
+# Normalizes one Google Benchmark JSON document: keeps the context fields worth
+# diffing, flattens each benchmark to (name, timing, throughput), and moves every
+# user counter (degraded ops, hints, retries, ...) under "counters".
+normalize() {
+  local area="$1" binary="$2"
+  jq --arg area "$area" --arg bench "$binary" '
+    def known: ["name","run_name","run_type","repetitions","repetition_index",
+                "threads","iterations","real_time","cpu_time","time_unit",
+                "items_per_second","bytes_per_second","family_index",
+                "per_family_instance_index","aggregate_name"];
+    {
+      area: $area,
+      bench: $bench,
+      context: {
+        date: .context.date,
+        host: .context.host_name,
+        cpus: .context.num_cpus,
+        build: .context.library_build_type
+      },
+      results: [ .benchmarks[] | {
+        name: .name,
+        iterations: .iterations,
+        real_time: .real_time,
+        cpu_time: .cpu_time,
+        time_unit: .time_unit,
+        items_per_second: (.items_per_second // null),
+        bytes_per_second: (.bytes_per_second // null),
+        counters: (to_entries
+                   | map(select(.key as $k | known | index($k) | not))
+                   | from_entries)
+      }]
+    }'
+}
+
+areas=("$@")
+if [ "${#areas[@]}" -eq 0 ]; then
+  areas=(kv fault cluster)
+fi
+
+for area in "${areas[@]}"; do
+  binary=$(bench_binary "$area")
+  path="$BUILD_DIR/bench/$binary"
+  if [ ! -x "$path" ]; then
+    echo "error: $path not built (cmake --build $BUILD_DIR --target $binary)" >&2
+    exit 1
+  fi
+  out="BENCH_${area}.json"
+  echo "== $binary -> $out"
+  # shellcheck disable=SC2086
+  "$path" --benchmark_format=json ${BENCH_ARGS:-} | normalize "$area" "$binary" > "$out"
+  jq -r '.results[] | "  \(.name): \(.real_time | floor)\(.time_unit)"' "$out"
+done
+
+echo "bench snapshots written: $(printf 'BENCH_%s.json ' "${areas[@]}")"

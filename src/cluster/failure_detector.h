@@ -1,0 +1,66 @@
+// Heartbeat-driven per-node failure detector for the cluster tier.
+//
+// Mirrors PR 1's per-disk health ladder one level up: each member node walks
+// healthy -> suspect -> down as consecutive heartbeat misses accumulate, and snaps
+// back to healthy on the first successful heartbeat (triggering hinted-handoff
+// replay in the coordinator). The detector itself is deliberately passive state — it
+// neither sends heartbeats nor locks anything. ClusterCoordinator::Tick() drives one
+// heartbeat round through ClusterNet (so partitions, crashes, and delays all count
+// as misses) and feeds the observations in under its own lock; that keeps the
+// detector trivially deterministic and lets the harness read a consistent ladder.
+
+#ifndef SS_CLUSTER_FAILURE_DETECTOR_H_
+#define SS_CLUSTER_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ss {
+namespace cluster {
+
+enum class NodeHealth : uint8_t { kHealthy = 0, kSuspect = 1, kDown = 2 };
+
+const char* NodeHealthName(NodeHealth health);
+
+struct FailureDetectorOptions {
+  // Consecutive misses before healthy -> suspect, and before suspect -> down.
+  uint32_t suspect_after_misses = 2;
+  uint32_t down_after_misses = 4;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorOptions options = {});
+
+  void AddNode(int node);     // starts healthy
+  void RemoveNode(int node);
+
+  struct Transition {
+    int node = 0;
+    NodeHealth from = NodeHealth::kHealthy;
+    NodeHealth to = NodeHealth::kHealthy;
+  };
+
+  // Feeds one heartbeat observation; returns the ladder transition it caused, if
+  // any. A success resets the miss count and recovers the node to healthy from any
+  // state; a miss climbs the ladder at the configured thresholds.
+  std::vector<Transition> Observe(int node, bool heartbeat_ok);
+
+  NodeHealth Health(int node) const;  // kDown for unknown nodes
+  uint32_t Misses(int node) const;
+  std::vector<int> Nodes() const;
+
+ private:
+  struct NodeState {
+    NodeHealth health = NodeHealth::kHealthy;
+    uint32_t misses = 0;
+  };
+  FailureDetectorOptions options_;
+  std::map<int, NodeState> nodes_;
+};
+
+}  // namespace cluster
+}  // namespace ss
+
+#endif  // SS_CLUSTER_FAILURE_DETECTOR_H_

@@ -1,0 +1,110 @@
+#include "src/cluster/hash_ring.h"
+
+namespace ss {
+namespace cluster {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// One ring point for (node, vnode). The node id is mixed twice so adjacent node ids
+// land far apart on the ring.
+uint64_t PointHash(int node, uint32_t vnode) {
+  return SplitMix64(SplitMix64(static_cast<uint64_t>(static_cast<int64_t>(node))) ^
+                    (0xd6e8feb86659fd93ull * (vnode + 1)));
+}
+
+}  // namespace
+
+uint64_t HashRing::HashKey(uint64_t key) { return SplitMix64(key ^ 0xa0761d6478bd642full); }
+
+void HashRing::AddNode(int node) {
+  LockGuard lock(mu_);
+  if (members_.count(node) != 0) {
+    return;
+  }
+  members_[node] = vnodes_;
+  for (uint32_t v = 0; v < vnodes_; ++v) {
+    // Collisions across members are astronomically unlikely but must not silently
+    // reassign an existing point; probe forward instead.
+    uint64_t p = PointHash(node, v);
+    while (points_.count(p) != 0) {
+      ++p;
+    }
+    points_[p] = node;
+  }
+}
+
+void HashRing::RemoveNode(int node) {
+  LockGuard lock(mu_);
+  if (members_.erase(node) == 0) {
+    return;
+  }
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == node) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HashRing::Contains(int node) const {
+  LockGuard lock(mu_);
+  return members_.count(node) != 0;
+}
+
+std::vector<int> HashRing::Owners(uint64_t key, uint32_t replicas) const {
+  LockGuard lock(mu_);
+  std::vector<int> owners;
+  if (points_.empty() || replicas == 0) {
+    return owners;
+  }
+  owners.reserve(replicas);
+  auto it = points_.lower_bound(HashKey(key));
+  // Walk clockwise (wrapping) collecting distinct nodes until we have `replicas` or
+  // exhausted the membership.
+  for (size_t steps = 0; steps < points_.size() && owners.size() < replicas; ++steps) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    const int node = it->second;
+    bool seen = false;
+    for (int o : owners) {
+      seen = seen || (o == node);
+    }
+    if (!seen) {
+      owners.push_back(node);
+    }
+    ++it;
+  }
+  return owners;
+}
+
+std::vector<int> HashRing::Nodes() const {
+  LockGuard lock(mu_);
+  std::vector<int> out;
+  out.reserve(members_.size());
+  for (const auto& [node, vnodes] : members_) {
+    out.push_back(node);
+  }
+  return out;
+}
+
+size_t HashRing::node_count() const {
+  LockGuard lock(mu_);
+  return members_.size();
+}
+
+size_t HashRing::point_count() const {
+  LockGuard lock(mu_);
+  return points_.size();
+}
+
+}  // namespace cluster
+}  // namespace ss

@@ -1,0 +1,62 @@
+// Virtual-node consistent-hash ring: the cluster tier's placement function.
+//
+// Each member node projects `vnodes` points onto a 64-bit ring (SplitMix64 over
+// (node, vnode)); a key's replica set is the first N *distinct* nodes clockwise from
+// the key's own hash point. Virtual nodes smooth the load distribution and keep
+// rebalance churn bounded: adding or removing one node moves only the keys whose
+// clockwise walk crossed that node's points, so roughly 1/nodes of the keyspace per
+// membership change instead of half of it (the classic consistent-hashing argument;
+// the cluster_test RingRebalance* cases assert the bound empirically).
+//
+// The ring is deliberately dumb: no health, no network, no data. ClusterCoordinator
+// composes it with the failure detector (who is *reachable*) and the hinted-handoff
+// table (who is *owed* writes); the ring answers only "who owns this key right now".
+
+#ifndef SS_CLUSTER_HASH_RING_H_
+#define SS_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sync/sync.h"
+
+namespace ss {
+namespace cluster {
+
+class HashRing {
+ public:
+  // `vnodes` points per member; more points = smoother distribution, larger ring.
+  explicit HashRing(uint32_t vnodes = 16) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+  // Adds/removes a member. Adding an existing member or removing an absent one is a
+  // no-op (membership changes are idempotent so the coordinator can retry them).
+  void AddNode(int node);
+  void RemoveNode(int node);
+  bool Contains(int node) const;
+
+  // The first `replicas` distinct members clockwise from hash(key), in ring order
+  // (the first entry is the key's primary). Returns fewer when the ring has fewer
+  // members; empty when the ring is empty.
+  std::vector<int> Owners(uint64_t key, uint32_t replicas) const;
+
+  std::vector<int> Nodes() const;
+  size_t node_count() const;
+  size_t point_count() const;
+
+  // The ring position of `key` (exposed for tests asserting placement stability).
+  static uint64_t HashKey(uint64_t key);
+
+ private:
+  // Ranked between the coordinator (outer) and the network (inner): the coordinator
+  // resolves owners while orchestrating an op but never calls back out of the ring.
+  mutable Mutex mu_{MutexAttr{"cluster.ring", lockrank::kClusterRing}};
+  uint32_t vnodes_;
+  std::map<uint64_t, int> points_;  // ring position -> owning node
+  std::map<int, uint32_t> members_; // node -> vnode count (for introspection)
+};
+
+}  // namespace cluster
+}  // namespace ss
+
+#endif  // SS_CLUSTER_HASH_RING_H_

@@ -1,0 +1,86 @@
+#include "src/cluster/replica.h"
+
+#include <utility>
+
+namespace ss {
+namespace cluster {
+
+namespace {
+constexpr size_t kHeaderBytes = 9;  // version:8 + flags:1
+constexpr uint8_t kTombstoneFlag = 0x01;
+}  // namespace
+
+Bytes EncodeReplicaRecord(const ReplicaRecord& record) {
+  Bytes out;
+  out.reserve(kHeaderBytes + record.value.size());
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<uint8_t>((record.version >> shift) & 0xff));
+  }
+  out.push_back(record.tombstone ? kTombstoneFlag : 0);
+  out.insert(out.end(), record.value.begin(), record.value.end());
+  return out;
+}
+
+Result<ReplicaRecord> DecodeReplicaRecord(ByteSpan data) {
+  if (data.size() < kHeaderBytes) {
+    return Status::Corruption("replica: record shorter than header");
+  }
+  ReplicaRecord record;
+  for (int i = 0; i < 8; ++i) {
+    record.version |= static_cast<uint64_t>(data[i]) << (8 * i);
+  }
+  const uint8_t flags = data[8];
+  if ((flags & ~kTombstoneFlag) != 0) {
+    return Status::Corruption("replica: unknown record flags");
+  }
+  record.tombstone = (flags & kTombstoneFlag) != 0;
+  record.value.assign(data.begin() + kHeaderBytes, data.end());
+  return record;
+}
+
+Result<std::unique_ptr<ClusterNode>> ClusterNode::Create(int id, NodeServerOptions options) {
+  Result<std::unique_ptr<NodeServer>> server = NodeServer::Create(std::move(options));
+  if (!server.ok()) {
+    return server.status();
+  }
+  return std::unique_ptr<ClusterNode>(new ClusterNode(id, std::move(server.value())));
+}
+
+Result<std::optional<ReplicaRecord>> ClusterNode::ReadLocked(ShardId key) {
+  Result<Bytes> raw = server_->Get(key);
+  if (!raw.ok()) {
+    if (raw.status().code() == StatusCode::kNotFound) {
+      return std::optional<ReplicaRecord>{};
+    }
+    return raw.status();
+  }
+  Result<ReplicaRecord> record = DecodeReplicaRecord(ByteSpan(raw.value()));
+  if (!record.ok()) {
+    return record.status();
+  }
+  return std::optional<ReplicaRecord>(std::move(record.value()));
+}
+
+Status ClusterNode::HandleWrite(ShardId key, const ReplicaRecord& record) {
+  LockGuard lock(mu_);
+  Result<std::optional<ReplicaRecord>> current = ReadLocked(key);
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (current.value().has_value() && current.value()->version >= record.version) {
+    // Already at least as new (duplicate delivery, replayed hint, stale rebalance
+    // copy): the write's goal state is reached.
+    return Status::Ok();
+  }
+  const Bytes encoded = EncodeReplicaRecord(record);
+  Result<PutResult> put = server_->Put(key, ByteSpan(encoded));
+  return put.status();
+}
+
+Result<std::optional<ReplicaRecord>> ClusterNode::HandleRead(ShardId key) {
+  LockGuard lock(mu_);
+  return ReadLocked(key);
+}
+
+}  // namespace cluster
+}  // namespace ss

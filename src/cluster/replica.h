@@ -1,0 +1,77 @@
+// Per-node replica plane of the cluster tier.
+//
+// A ClusterNode wraps one ss::NodeServer (a whole storage host: N disks, LSM, chunk
+// store, IO scheduler — everything the single-node paper validates) behind the two
+// message handlers the quorum protocol needs:
+//   * HandleWrite — last-write-wins by coordinator-assigned version: the record is
+//     applied only if its version is newer than what the replica stores. The guard
+//     makes writes idempotent (ClusterNet may duplicate deliveries) and makes read
+//     repair, hinted-handoff replay, and rebalance copies all safely re-appliable.
+//   * HandleRead  — returns the replica's current versioned record, if any.
+// Values are stored in the node as an encoded ReplicaRecord (version + tombstone
+// flag + payload): deletes are tombstones, not removals, because the version must
+// survive for the quorum read to order replies.
+
+#ifndef SS_CLUSTER_REPLICA_H_
+#define SS_CLUSTER_REPLICA_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/rpc/node_server.h"
+
+namespace ss {
+namespace cluster {
+
+// One versioned replica record. Versions are totally ordered per cluster (the
+// coordinator hands them out from one monotonic counter), so "newest wins" is
+// well-defined across replicas.
+struct ReplicaRecord {
+  uint64_t version = 0;
+  bool tombstone = false;
+  Bytes value;
+
+  bool operator==(const ReplicaRecord& other) const {
+    return version == other.version && tombstone == other.tombstone && value == other.value;
+  }
+};
+
+// Wire/storage form: [version:8 LE][flags:1][payload]. Decode rejects short buffers
+// with kCorruption (a replica never stores anything else under cluster keys).
+Bytes EncodeReplicaRecord(const ReplicaRecord& record);
+Result<ReplicaRecord> DecodeReplicaRecord(ByteSpan data);
+
+class ClusterNode {
+ public:
+  static Result<std::unique_ptr<ClusterNode>> Create(int id, NodeServerOptions options);
+
+  int id() const { return id_; }
+  NodeServer& server() { return *server_; }
+
+  // Applies `record` iff it is newer than the stored version (idempotent under
+  // duplication and replay). Returns the storage status; version-stale applications
+  // return Ok — the replica already has something at least as new, which is exactly
+  // the state the sender wanted to reach.
+  Status HandleWrite(ShardId key, const ReplicaRecord& record);
+
+  // The replica's current record, or nullopt when the key was never written here.
+  Result<std::optional<ReplicaRecord>> HandleRead(ShardId key);
+
+ private:
+  ClusterNode(int id, std::unique_ptr<NodeServer> server)
+      : id_(id), server_(std::move(server)) {}
+
+  // Caller holds mu_. Reads the stored record for the version guard.
+  Result<std::optional<ReplicaRecord>> ReadLocked(ShardId key);
+
+  int id_;
+  std::unique_ptr<NodeServer> server_;
+  // Serializes the read-compare-write of the version guard against concurrent
+  // quorum writes, repairs, and hint replays targeting this replica.
+  Mutex mu_{MutexAttr{"cluster.replica", lockrank::kClusterReplica}};
+};
+
+}  // namespace cluster
+}  // namespace ss
+
+#endif  // SS_CLUSTER_REPLICA_H_

@@ -1,0 +1,86 @@
+#include "src/common/retry_policy.h"
+
+namespace ss {
+namespace common {
+
+namespace {
+
+// SplitMix64 — the same stream-seeding mix ss::Rng uses, inlined so the jitter draw
+// stays a pure function of (seed, attempt) with no shared RNG state.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {
+  if (options_.max_attempts == 0) {
+    options_.max_attempts = 1;
+  }
+  if (options_.jitter < 0.0) {
+    options_.jitter = 0.0;
+  }
+  if (options_.jitter > 1.0) {
+    options_.jitter = 1.0;
+  }
+}
+
+uint64_t RetryPolicy::BackoffTicks(uint32_t failed_attempts) const {
+  if (failed_attempts == 0 || options_.backoff_base_ticks == 0) {
+    return 0;
+  }
+  // Exponential schedule: base << (failed_attempts - 1), saturating instead of
+  // shifting past 63 bits.
+  const uint32_t shift = failed_attempts - 1;
+  uint64_t ticks = shift >= 63 ? UINT64_MAX : options_.backoff_base_ticks << shift;
+  if (shift < 63 && (ticks >> shift) != options_.backoff_base_ticks) {
+    ticks = UINT64_MAX;  // the shift overflowed
+  }
+  if (options_.max_backoff_ticks != 0 && ticks > options_.max_backoff_ticks) {
+    ticks = options_.max_backoff_ticks;
+  }
+  if (options_.jitter > 0.0) {
+    // Deterministic multiplicative jitter in [1-jitter, 1+jitter]: the draw depends
+    // only on (jitter_seed, failed_attempts), never on call order.
+    const uint64_t draw = SplitMix64(options_.jitter_seed ^ (0x632be59bd9b4e019ull *
+                                                            (failed_attempts + 1)));
+    const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;  // [0, 1)
+    const double factor = 1.0 + options_.jitter * (2.0 * unit - 1.0);
+    const double scaled = static_cast<double>(ticks) * factor;
+    ticks = scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+  }
+  return ticks;
+}
+
+RetryPolicy::RunResult RetryPolicy::Run(const std::function<Status(uint32_t)>& attempt,
+                                        const std::function<void(uint64_t)>& charge) const {
+  RunResult result;
+  for (uint32_t i = 0; i < options_.max_attempts; ++i) {
+    result.status = attempt(i);
+    ++result.attempts;
+    if (result.status.ok() || !result.status.retryable()) {
+      return result;
+    }
+    if (i + 1 >= options_.max_attempts) {
+      result.exhausted = true;
+      return result;
+    }
+    const uint64_t wait = BackoffTicks(i + 1);
+    if (options_.total_backoff_budget_ticks != 0 &&
+        result.backoff_ticks + wait > options_.total_backoff_budget_ticks) {
+      result.exhausted = true;
+      return result;
+    }
+    result.backoff_ticks += wait;
+    if (charge != nullptr && wait > 0) {
+      charge(wait);
+    }
+  }
+  return result;  // unreachable: the loop always returns
+}
+
+}  // namespace common
+}  // namespace ss

@@ -1,6 +1,7 @@
 #include "src/superblock/extent_manager.h"
 
 #include "src/common/cover.h"
+#include "src/common/retry_policy.h"
 #include "src/faults/faults.h"
 
 namespace ss {
@@ -71,39 +72,44 @@ Status ExtentManager::CheckIo(ExtentId extent, bool is_write, const SpanScope& s
     return Status::DiskFailed(is_write ? "append: extent failed permanently"
                                        : "read: extent failed permanently");
   }
-  uint64_t backoff_spent = 0;
-  for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
-    const bool failed =
-        is_write ? faults.ShouldFailWrite(extent) : faults.ShouldFailRead(extent);
-    retry_attempts_->Increment();
-    if (failed) {
-      retry_transient_->Increment();
-    } else if (attempt > 0) {
+  // Attempt/backoff semantics live in the shared policy (the cluster tier's quorum
+  // RPC retries run the same code); this layer contributes the per-attempt fault
+  // consultation, health accounting, and metric increments.
+  const common::RetryPolicy policy(common::RetryOptions{
+      .max_attempts = retry_.max_attempts, .backoff_base_ticks = retry_.backoff_base_ticks});
+  const common::RetryPolicy::RunResult run = policy.Run(
+      [&](uint32_t) {
+        const bool failed =
+            is_write ? faults.ShouldFailWrite(extent) : faults.ShouldFailRead(extent);
+        retry_attempts_->Increment();
+        if (failed) {
+          retry_transient_->Increment();
+          health_.RecordTransientError();
+          return Status::IoError(is_write ? "append: transient write fault"
+                                          : "read: transient read fault");
+        }
+        health_.RecordSuccess();
+        return Status::Ok();
+      },
+      [&](uint64_t ticks) {
+        // Deterministic exponential backoff on the virtual clock: 1, 2, 4, ... base
+        // ticks. No wall-clock sleep — harness runs must stay instantaneous.
+        LockGuard lock(retry_mu_);
+        virtual_clock_ += ticks;
+        clock_ticks_.store(virtual_clock_, std::memory_order_relaxed);
+      });
+  if (run.status.ok()) {
+    if (run.attempts > 1) {
       retry_absorbed_->Increment();
+      SS_COVER("extent_manager.retry_absorbed_fault");
+      retry_backoff_ticks_->Record(run.backoff_ticks);
+      record_retry_span(run.backoff_ticks, StatusCode::kOk);
     }
-    if (!failed) {
-      health_.RecordSuccess();
-      if (attempt > 0) {
-        SS_COVER("extent_manager.retry_absorbed_fault");
-        retry_backoff_ticks_->Record(backoff_spent);
-        record_retry_span(backoff_spent, StatusCode::kOk);
-      }
-      return Status::Ok();
-    }
-    health_.RecordTransientError();
-    if (attempt + 1 < retry_.max_attempts) {
-      // Deterministic exponential backoff on the virtual clock: 1, 2, 4, ... base
-      // ticks. No wall-clock sleep — harness runs must stay instantaneous.
-      const uint64_t ticks = retry_.backoff_base_ticks << attempt;
-      backoff_spent += ticks;
-      LockGuard lock(retry_mu_);
-      virtual_clock_ += ticks;
-      clock_ticks_.store(virtual_clock_, std::memory_order_relaxed);
-    }
+    return Status::Ok();
   }
   retry_exhausted_->Increment();
-  retry_backoff_ticks_->Record(backoff_spent);
-  record_retry_span(backoff_spent, StatusCode::kIoError);
+  retry_backoff_ticks_->Record(run.backoff_ticks);
+  record_retry_span(run.backoff_ticks, StatusCode::kIoError);
   SS_COVER("extent_manager.retry_budget_exhausted");
   return Status::IoError(is_write ? "append: transient write faults outlasted retry budget"
                                   : "read: transient read faults outlasted retry budget");

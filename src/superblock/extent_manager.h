@@ -52,7 +52,10 @@ struct AppendResult {
 // Bounded-retry policy for transient IO faults. Backoff is driven by a *virtual*
 // clock — a monotonic tick counter the manager advances by the backoff amount instead
 // of sleeping — so harness runs stay deterministic and instantaneous while tests can
-// still assert that escalation paid the full exponential schedule.
+// still assert that escalation paid the full exponential schedule. The attempt and
+// backoff semantics are implemented by the shared ss::common::RetryPolicy
+// (src/common/retry_policy.h) — the same engine the cluster tier uses for quorum RPC
+// retries — this struct just names the two knobs the extent layer exposes.
 struct IoRetryOptions {
   // Total attempts per IO (1 initial + max_attempts-1 retries). 0 is treated as 1.
   uint32_t max_attempts = 3;

@@ -51,6 +51,13 @@ struct MutexAttr {
 // deliberate so future layers can slot in. A thread may acquire a lock of rank >= the
 // highest rank it holds; acquiring a lower rank is an inversion.
 namespace lockrank {
+// Cluster tier (src/cluster/): outermost of the whole stack — the coordinator fans
+// quorum RPCs into NodeServers, so every cluster lock must rank below (numerically
+// less than) the rpc.* locks it may hold across a replica call.
+inline constexpr uint32_t kClusterCoord = 2;    // cluster.coord   (membership / hints / fd)
+inline constexpr uint32_t kClusterRing = 4;     // cluster.ring    (consistent-hash ring)
+inline constexpr uint32_t kClusterNet = 6;      // cluster.net     (links / crash / clock)
+inline constexpr uint32_t kClusterReplica = 8;  // cluster.replica (per-node versioned RMW)
 inline constexpr uint32_t kControl = 10;     // rpc.control        (NodeServer control plane)
 inline constexpr uint32_t kNode = 20;        // rpc.node           (routing directory / health)
 inline constexpr uint32_t kStoreBatch = 30;  // kv.store.batch     (ApplyBatch staging window)
