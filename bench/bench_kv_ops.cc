@@ -86,6 +86,50 @@ void BM_Get(benchmark::State& state) {
 }
 BENCHMARK(BM_Get)->Arg(64)->Arg(1024)->Arg(4096)->Iterations(20000);
 
+// Negative lookups against a deep run stack: every probed key is absent, so without
+// the per-run bloom filters each Get would load every run chunk in the store. The
+// `bloom_skip_rate` counter is the fraction of per-run probes the filter eliminated
+// (the issue's acceptance floor is 0.90), `chunk_gets_per_lookup` the residual reads.
+void BM_NegativeLookup(benchmark::State& state) {
+  InMemoryDisk disk(BenchGeometry());
+  auto store = std::move(ShardStore::Open(&disk).value());
+  // Eight un-compacted runs of 16 keys each: a worst-case probe depth for a point Get.
+  // Only even ids are written; the odd probes below land inside every run's [min, max]
+  // span, so the min/max prune can't help and the bloom filter does all the work.
+  ShardId id = 0;
+  for (int run = 0; run < 8; ++run) {
+    for (int i = 0; i < 16; ++i) {
+      (void)store->Put(id, MakeValue(64, static_cast<uint8_t>(id)));
+      id += 2;
+    }
+    (void)store->FlushIndex();
+  }
+  (void)store->FlushAll();
+  const MetricsSnapshot before = store->metrics().Snapshot();
+  ShardId probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get(probe));
+    probe += 2;
+    if (probe >= 256) {
+      probe = 1;
+    }
+  }
+  const MetricsSnapshot snap = store->metrics().Snapshot();
+  const double hits = static_cast<double>(CounterDelta(before, snap, "lsm.bloom.hit"));
+  const double misses = static_cast<double>(CounterDelta(before, snap, "lsm.bloom.miss"));
+  const double false_positives =
+      static_cast<double>(CounterDelta(before, snap, "lsm.bloom.false_positive"));
+  const double probes = hits + misses + false_positives;
+  state.counters["lsm_bloom_hit"] = hits;
+  state.counters["lsm_bloom_miss"] = misses;
+  state.counters["lsm_bloom_false_positive"] = false_positives;
+  state.counters["bloom_skip_rate"] = probes > 0 ? misses / probes : 0.0;
+  state.counters["chunk_gets_per_lookup"] =
+      static_cast<double>(CounterDelta(before, snap, "chunk.gets")) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_NegativeLookup)->Iterations(20000);
+
 void BM_FlushIndex(benchmark::State& state) {
   InMemoryDisk disk(BenchGeometry());
   auto store = std::move(ShardStore::Open(&disk).value());

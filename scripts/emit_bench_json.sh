@@ -5,6 +5,8 @@
 #
 #   area     binary                what it measures
 #   kv       bench_kv_ops          single-node KV op throughput
+#   lsm      bench_kv_ops          LSM read path: bloom-filtered negative lookups,
+#                                  flush cost (lsm.bloom.hit/miss/false_positive)
 #   fault    bench_fault_recovery  retry/health machinery cost under fault storms
 #   cluster  bench_cluster_quorum  quorum replication: clean/degraded/lossy paths
 #
@@ -20,10 +22,19 @@ BUILD_DIR="${BUILD_DIR:-build}"
 
 bench_binary() {
   case "$1" in
-    kv) echo bench_kv_ops ;;
+    kv | lsm) echo bench_kv_ops ;;
     fault) echo bench_fault_recovery ;;
     cluster) echo bench_cluster_quorum ;;
-    *) echo "error: unknown bench area '$1' (want: kv fault cluster)" >&2; return 1 ;;
+    *) echo "error: unknown bench area '$1' (want: kv lsm fault cluster)" >&2; return 1 ;;
+  esac
+}
+
+# Area-specific default filter (the lsm area reuses bench_kv_ops but keeps only the
+# read-path benchmarks). BENCH_ARGS still appends on top.
+bench_filter() {
+  case "$1" in
+    lsm) echo "--benchmark_filter=BM_NegativeLookup|BM_Get|BM_FlushIndex" ;;
+    *) echo "" ;;
   esac
 }
 
@@ -63,11 +74,15 @@ normalize() {
 
 areas=("$@")
 if [ "${#areas[@]}" -eq 0 ]; then
-  areas=(kv fault cluster)
+  areas=(kv lsm fault cluster)
 fi
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
 
 for area in "${areas[@]}"; do
   binary=$(bench_binary "$area")
+  filter=$(bench_filter "$area")
   path="$BUILD_DIR/bench/$binary"
   if [ ! -x "$path" ]; then
     echo "error: $path not built (cmake --build $BUILD_DIR --target $binary)" >&2
@@ -75,8 +90,23 @@ for area in "${areas[@]}"; do
   fi
   out="BENCH_${area}.json"
   echo "== $binary -> $out"
+  # Stage through the scratch dir: the bench must exit cleanly AND emit valid JSON
+  # before anything replaces $out. A crashed or truncated run used to leave a
+  # malformed snapshot behind for CI to diff against.
+  raw="$scratch/$area.raw.json"
   # shellcheck disable=SC2086
-  "$path" --benchmark_format=json ${BENCH_ARGS:-} | normalize "$area" "$binary" > "$out"
+  if ! "$path" --benchmark_format=json $filter ${BENCH_ARGS:-} > "$raw"; then
+    echo "error: $binary exited non-zero for area '$area'; $out left untouched" >&2
+    exit 1
+  fi
+  if ! jq -e '.benchmarks | type == "array" and length > 0' "$raw" > /dev/null 2>&1; then
+    echo "error: $binary produced unparseable or empty benchmark JSON for area '$area'" >&2
+    echo "       (raw output preserved at $raw for inspection); $out left untouched" >&2
+    trap - EXIT  # keep the scratch dir for post-mortem
+    exit 1
+  fi
+  normalize "$area" "$binary" < "$raw" > "$scratch/$area.json"
+  mv "$scratch/$area.json" "$out"
   jq -r '.results[] | "  \(.name): \(.real_time | floor)\(.time_unit)"' "$out"
 done
 

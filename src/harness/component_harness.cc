@@ -32,20 +32,22 @@ ShardRecord FabricatedRecord(ShardId key, uint32_t tag) {
 // The full lower stack the index needs.
 struct IndexStack {
   InMemoryDisk disk;
+  LsmOptions lsm_options;
   std::unique_ptr<IoScheduler> scheduler;
   std::unique_ptr<ExtentManager> extents;
   std::unique_ptr<BufferCache> cache;
   std::unique_ptr<ChunkStore> chunks;
   std::unique_ptr<LsmIndex> index;
 
-  explicit IndexStack(const DiskGeometry& geometry) : disk(geometry) {}
+  IndexStack(const DiskGeometry& geometry, const LsmOptions& lsm)
+      : disk(geometry), lsm_options(lsm) {}
 
   Status Open() {
     scheduler = std::make_unique<IoScheduler>(&disk);
     extents = std::make_unique<ExtentManager>(&disk, scheduler.get());
     cache = std::make_unique<BufferCache>(extents.get(), 128);
     chunks = std::make_unique<ChunkStore>(extents.get(), cache.get(), ChunkStoreOptions{});
-    auto index_or = LsmIndex::Open(extents.get(), chunks.get(), LsmOptions{});
+    auto index_or = LsmIndex::Open(extents.get(), chunks.get(), lsm_options);
     if (!index_or.ok()) {
       return index_or.status();
     }
@@ -87,21 +89,26 @@ class IndexReclaimClient : public ReclaimClient {
 }  // namespace
 
 std::string IndexOp::ToString() const {
-  static const char* kNames[] = {"Get", "Put", "Delete", "Flush", "Compact", "Reclaim",
-                                 "Reboot"};
+  static const char* kNames[] = {"Get",     "Put",    "Delete", "Flush",       "Compact",
+                                 "Reclaim", "Reboot", "Scan",   "CompactLevel"};
   std::ostringstream out;
   out << kNames[static_cast<int>(kind)];
   if (kind == IndexOpKind::kGet || kind == IndexOpKind::kPut || kind == IndexOpKind::kDelete) {
     out << "(" << key << (kind == IndexOpKind::kPut ? ", #" + std::to_string(value_tag) : "")
         << ")";
+  } else if (kind == IndexOpKind::kScan) {
+    out << "(" << key << ", " << end << ")";
+  } else if (kind == IndexOpKind::kCompactLevel) {
+    out << "(" << value_tag << ")";
   }
   return out.str();
 }
 
 IndexOp GenIndexOp(Rng& rng, const std::vector<IndexOp>& prefix,
                    const IndexHarnessOptions& options) {
-  std::vector<uint32_t> weights = {/*Get*/ 25, /*Put*/ 30, /*Delete*/ 10, /*Flush*/ 12,
-                                   /*Compact*/ 6, /*Reclaim*/ 10, /*Reboot*/ 4};
+  std::vector<uint32_t> weights = {/*Get*/ 25,    /*Put*/ 30,     /*Delete*/ 10,
+                                   /*Flush*/ 12,  /*Compact*/ 6,  /*Reclaim*/ 10,
+                                   /*Reboot*/ 4,  /*Scan*/ 8,     /*CompactLevel*/ 5};
   IndexOp op;
   op.kind = static_cast<IndexOpKind>(rng.WeightedIndex(weights));
   std::vector<uint64_t> used;
@@ -114,6 +121,11 @@ IndexOp GenIndexOp(Rng& rng, const std::vector<IndexOp>& prefix,
       op.kind == IndexOpKind::kDelete) {
     op.key = BiasedKey(rng, used, 0.7, options.key_bound);
     op.value_tag = static_cast<uint32_t>(rng.Below(1000));
+  } else if (op.kind == IndexOpKind::kScan) {
+    op.key = BiasedKey(rng, used, 0.6, options.key_bound);
+    op.end = op.key + rng.Below(options.key_bound / 2 + 2);  // allows an empty window
+  } else if (op.kind == IndexOpKind::kCompactLevel) {
+    op.value_tag = static_cast<uint32_t>(rng.Below(4));  // level
   }
   return op;
 }
@@ -130,6 +142,11 @@ std::vector<IndexOp> ShrinkIndexOp(const IndexOp& op) {
     smaller.value_tag /= 2;
     out.push_back(smaller);
   }
+  if (op.kind == IndexOpKind::kScan && op.end > op.key) {
+    IndexOp narrower = op;
+    narrower.end = op.key + (op.end - op.key) / 2;
+    out.push_back(narrower);
+  }
   if (op.kind != IndexOpKind::kGet) {
     IndexOp get;
     get.kind = IndexOpKind::kGet;
@@ -140,7 +157,7 @@ std::vector<IndexOp> ShrinkIndexOp(const IndexOp& op) {
 }
 
 std::optional<std::string> IndexConformanceHarness::Run(const std::vector<IndexOp>& ops) {
-  IndexStack stack(options_.geometry);
+  IndexStack stack(options_.geometry, options_.lsm);
   if (Status status = stack.Open(); !status.ok()) {
     return "open failed: " + status.ToString();
   }
@@ -199,6 +216,28 @@ std::optional<std::string> IndexConformanceHarness::Run(const std::vector<IndexO
         }
         break;
       }
+      case IndexOpKind::kScan: {
+        auto got = stack.index->Scan(op.key, op.end);
+        if (!got.ok()) {
+          return fail(i, "scan error: " + got.status().ToString());
+        }
+        std::vector<std::pair<ShardId, ShardRecord>> expected = model.Scan(op.key, op.end);
+        const std::vector<LsmScanItem>& impl = got.value();
+        bool match = impl.size() == expected.size();
+        for (size_t k = 0; match && k < impl.size(); ++k) {
+          match = impl[k].id == expected[k].first && impl[k].record == expected[k].second;
+        }
+        if (!match) {
+          return fail(i, "scan and model disagree");
+        }
+        break;
+      }
+      case IndexOpKind::kCompactLevel:
+        if (Status status = stack.index->CompactLevel(static_cast<int>(op.value_tag % 4));
+            !status.ok() && status.code() != StatusCode::kResourceExhausted) {
+          return fail(i, "compact level failed: " + status.ToString());
+        }
+        break;
       case IndexOpKind::kReboot: {
         if (stack.index->NeedsShutdownFlush()) {
           if (Status status = stack.index->Flush();

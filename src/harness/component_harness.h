@@ -30,18 +30,24 @@ enum class IndexOpKind : uint8_t {
   kCompact,
   kReclaim,
   kReboot,
+  kScan,          // range scan [key, end) against the ordered-map oracle
+  kCompactLevel,  // partial merge of one level (value_tag selects the level)
 };
 
 struct IndexOp {
   IndexOpKind kind = IndexOpKind::kGet;
   ShardId key = 0;
-  uint32_t value_tag = 0;  // deterministic record payload selector
+  ShardId end = 0;         // kScan window end (half-open)
+  uint32_t value_tag = 0;  // deterministic record payload selector / level selector
   std::string ToString() const;
 };
 
 struct IndexHarnessOptions {
   DiskGeometry geometry{.extent_count = 16, .pages_per_extent = 16, .page_size = 256};
   uint64_t key_bound = 16;
+  // Passed through to LsmIndex::Open — lets tests arm seeded LSM bugs (e.g. the
+  // tombstone-drop-above-bottom variant) or tune level shape under the harness.
+  LsmOptions lsm;
 };
 
 IndexOp GenIndexOp(Rng& rng, const std::vector<IndexOp>& prefix,

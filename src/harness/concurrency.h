@@ -23,6 +23,24 @@ std::function<void()> MakeFig4IndexBody();
 // sweeps reclamation over the data extents. Small enough for exhaustive-ish search.
 std::function<void()> MakeFlushReclaimBody();
 
+// Range scan ∥ index flush: a scan races a Put+FlushIndex of a key inside the window.
+// Every key persisted before the race must appear in the scan with its exact value;
+// the in-flight key may appear or not, but never with a torn value, and a previously
+// deleted key must never resurrect mid-scan.
+std::function<void()> MakeScanFlushBody();
+
+// Range scan ∥ CompactLevel: compaction rewrites runs (including dropping tombstones
+// at the bottom) while a scan merges across the levels. Compaction never changes the
+// logical mapping, so the scan must equal the exact expected live set under every
+// interleaving. With `seeded_tombstone_bug` the compactor drops tombstones above the
+// bottom level, resurrecting a deleted key — the checker finds the interleaving.
+std::function<void()> MakeScanCompactBody(bool seeded_tombstone_bug = false);
+
+// CompactLevel ∥ chunk reclamation: a partial level merge writes new run chunks whose
+// extents must stay pinned until the metadata references them, while a reclamation
+// sweep relocates/drops chunks underneath it (the #14 window, now on the leveled path).
+std::function<void()> MakeCompactLevelReclaimBody();
+
 // Two concurrent appends against a two-permit buffer pool. The correct atomic
 // acquisition serializes; the split acquisition of seeded bug #12 deadlocks.
 std::function<void()> MakeBufferPoolBody();

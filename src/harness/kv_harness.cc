@@ -39,6 +39,10 @@ std::string_view KindName(KvOpKind kind) {
       return "FailWriteOnce";
     case KvOpKind::kPutBatch:
       return "PutBatch";
+    case KvOpKind::kScan:
+      return "Scan";
+    case KvOpKind::kCompactLevel:
+      return "CompactLevel";
   }
   return "?";
 }
@@ -83,7 +87,11 @@ std::string KvOp::ToString() const {
     case KvOpKind::kDirtyReboot:
     case KvOpKind::kFailReadOnce:
     case KvOpKind::kFailWriteOnce:
+    case KvOpKind::kCompactLevel:
       out << "(" << arg << ")";
+      break;
+    case KvOpKind::kScan:
+      out << "(" << id << ", " << end << ")";
       break;
     case KvOpKind::kPutBatch: {
       out << "(";
@@ -108,6 +116,8 @@ KvOp GenKvOp(Rng& rng, const std::vector<KvOp>& prefix, const KvHarnessOptions& 
       /*FailRead*/ options.failure_injection ? 3u : 0u,
       /*FailWrite*/ options.failure_injection ? 3u : 0u,
       /*PutBatch*/ 8,
+      /*Scan*/ 8,
+      /*CompactLevel*/ 5,
   };
   KvOp op;
   op.kind = static_cast<KvOpKind>(rng.WeightedIndex(weights));
@@ -146,6 +156,17 @@ KvOp GenKvOp(Rng& rng, const std::vector<KvOp>& prefix, const KvHarnessOptions& 
     case KvOpKind::kFailWriteOnce:
       op.arg = static_cast<uint32_t>(
           rng.Range(1, options.geometry.extent_count - 1));
+      break;
+    case KvOpKind::kScan: {
+      // Start biased toward touched keys; window length biased small and allowed to be
+      // zero (empty window) or to run past key_bound (covers the open right edge).
+      op.id = options.bias_arguments ? BiasedKey(rng, UsedKeys(prefix), 0.6, options.key_bound)
+                                     : rng.Below(options.key_bound);
+      op.end = op.id + rng.Below(options.key_bound / 2 + 2);
+      break;
+    }
+    case KvOpKind::kCompactLevel:
+      op.arg = static_cast<uint32_t>(rng.Below(4));  // level
       break;
     case KvOpKind::kPutBatch: {
       const size_t items = 2 + rng.Below(4);  // 2..5 items per batch
@@ -189,6 +210,12 @@ std::vector<KvOp> ShrinkKvOp(const KvOp& op) {
     KvOp tiny = op;
     tiny.value.resize(std::min<size_t>(op.value.size(), 1));
     out.push_back(tiny);
+  }
+  // A scan shrinks toward a narrower window (down to empty).
+  if (op.kind == KvOpKind::kScan && op.end > op.id) {
+    KvOp narrower = op;
+    narrower.end = op.id + (op.end - op.id) / 2;
+    out.push_back(narrower);
   }
   // A batch shrinks toward fewer items, and toward a plain Put of its first item.
   if (op.batch.size() > 1) {
@@ -377,6 +404,33 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         }
         break;
       }
+      case KvOpKind::kScan: {
+        Span span(&spans, &store->extents(), "harness.scan");
+        auto got = store->Scan(op.id, op.end, span.scope());
+        if (!got.ok()) {
+          span.set_status(got.code());
+          if ((got.code() == StatusCode::kIoError || got.code() == StatusCode::kUnavailable) &&
+              faults_armed) {
+            break;
+          }
+          return fail(i, "unexpected error: " + got.status().ToString());
+        }
+        // Exact comparison against the ordered-map oracle: same keys, same order, same
+        // values. After a DirtyReboot the model holds the adopted persisted state, so
+        // this doubles as "a scan sees exactly the persisted prefix".
+        std::vector<std::pair<ShardId, Bytes>> expected = model.Scan(op.id, op.end);
+        const std::vector<ScanItem>& impl = got.value();
+        bool match = impl.size() == expected.size();
+        for (size_t k = 0; match && k < impl.size(); ++k) {
+          match = impl[k].id == expected[k].first && impl[k].value == expected[k].second;
+        }
+        if (!match) {
+          return fail(i, "scan disagrees with the ordered-map oracle (" +
+                             std::to_string(impl.size()) + " items vs " +
+                             std::to_string(expected.size()) + " expected)");
+        }
+        break;
+      }
       case KvOpKind::kList: {
         auto listed = store->List();
         if (!listed.ok()) {
@@ -401,12 +455,15 @@ std::optional<std::string> KvConformanceHarness::Run(const std::vector<KvOp>& op
         break;
       case KvOpKind::kFlushIndex:
       case KvOpKind::kCompactIndex:
+      case KvOpKind::kCompactLevel:
       case KvOpKind::kReclaim: {
         Status status;
         if (op.kind == KvOpKind::kFlushIndex) {
           status = store->FlushIndex();
         } else if (op.kind == KvOpKind::kCompactIndex) {
           status = store->CompactIndex();
+        } else if (op.kind == KvOpKind::kCompactLevel) {
+          status = store->CompactIndexLevel(static_cast<int>(op.arg % 4));
         } else {
           // Candidates include the active extent: reclamation may legally target it
           // (pinning is the protection for in-flight chunks), and several crash

@@ -48,13 +48,16 @@ enum class KvOpKind : uint8_t {
   kFailReadOnce,
   kFailWriteOnce,
   kPutBatch,       // group-committed multi-put via ShardStore::ApplyBatch
+  kScan,           // range scan [id, end) checked against the ordered-map oracle
+  kCompactLevel,   // partial merge of one level (arg selects the level)
 };
 
 struct KvOp {
   KvOpKind kind = KvOpKind::kGet;
   ShardId id = 0;
+  ShardId end = 0;   // kScan window end (half-open)
   Bytes value;       // kPut payload
-  uint32_t arg = 0;  // pump count / crash seed / extent or candidate selector
+  uint32_t arg = 0;  // pump count / crash seed / extent, candidate, or level selector
   std::vector<std::pair<ShardId, Bytes>> batch;  // kPutBatch items
   std::string ToString() const;
 };

@@ -15,6 +15,7 @@ ShardStore::ShardStore(InMemoryDisk* disk, ShardStoreOptions options)
                                          metrics_.get());
   puts_ = &metrics_->counter("store.puts");
   gets_ = &metrics_->counter("store.gets");
+  scans_ = &metrics_->counter("store.scans");
   deletes_ = &metrics_->counter("store.deletes");
   reclaims_ = &metrics_->counter("store.reclaims");
   batch_applies_ = &metrics_->counter("store.batch.applies");
@@ -221,6 +222,59 @@ Result<Bytes> ShardStore::Get(ShardId id, const SpanScope& scope) {
     return out;
   }
   SS_COVER("shard_store.get_retry_exhausted");
+  span.set_status(last_error.code());
+  return last_error;
+}
+
+Result<std::vector<ScanItem>> ShardStore::Scan(ShardId start, ShardId end,
+                                               const SpanScope& scope) {
+  Span span = scope.Child("store.scan");
+  const SpanScope child_scope = span.scope();
+  scans_->Increment();
+  Status last_error = Status::Ok();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto items_or = index_->Scan(start, end, child_scope);
+    if (!items_or.ok()) {
+      span.set_status(items_or.code());
+      return items_or.status();
+    }
+    std::vector<ScanItem> out;
+    out.reserve(items_or.value().size());
+    bool retry = false;
+    for (const LsmScanItem& item : items_or.value()) {
+      Bytes value;
+      value.reserve(item.record.total_bytes);
+      for (const Locator& loc : item.record.chunks) {
+        auto chunk_or = chunks_->Get(loc, child_scope);
+        if (!chunk_or.ok()) {
+          // Same taxonomy as Get: a dead extent cannot be read by trying again, but a
+          // chunk moved by concurrent reclamation can — rescan for the fresh locator.
+          if (chunk_or.code() == StatusCode::kDiskFailed) {
+            span.set_status(chunk_or.code());
+            return chunk_or.status();
+          }
+          last_error = chunk_or.status();
+          retry = true;
+          break;
+        }
+        value.insert(value.end(), chunk_or.value().begin(), chunk_or.value().end());
+      }
+      if (retry) {
+        break;
+      }
+      if (value.size() != item.record.total_bytes) {
+        span.set_status(StatusCode::kCorruption);
+        return Status::Corruption("shard size mismatch across chunks");
+      }
+      out.push_back(ScanItem{item.id, std::move(value)});
+    }
+    if (retry) {
+      YieldThread();
+      continue;
+    }
+    return out;
+  }
+  SS_COVER("shard_store.scan_retry_exhausted");
   span.set_status(last_error.code());
   return last_error;
 }

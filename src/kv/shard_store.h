@@ -41,6 +41,12 @@ struct ShardStoreOptions {
   IoRetryOptions retry;
 };
 
+// One live entry of a range scan: the shard id plus its fully assembled value.
+struct ScanItem {
+  ShardId id = 0;
+  Bytes value;
+};
+
 // One mutation of a write batch: a put (value set) or a delete (value empty).
 struct StoreBatchItem {
   ShardId id = 0;
@@ -92,12 +98,22 @@ class ShardStore : public ReclaimClient {
   StoreBatchResult ApplyBatch(const std::vector<StoreBatchItem>& items,
                               const SpanScope& scope = {});
 
+  // All live shards in the half-open window [start, end), in key order, each with its
+  // assembled value — the LSM merge view (memtable and every level, newest shadows
+  // oldest, tombstones suppress). Retries like Get when a concurrent reclamation moves
+  // a chunk between the index scan and the value read.
+  Result<std::vector<ScanItem>> Scan(ShardId start, ShardId end, const SpanScope& scope = {});
+
   // Live shard ids.
   Result<std::vector<ShardId>> List();
 
   // --- Maintenance -----------------------------------------------------------------------
   Status FlushIndex(const SpanScope& scope = {}) { return index_->Flush(scope); }
   Status CompactIndex() { return index_->Compact(); }
+  // Partial index merge (background-eligible); see LsmIndex::CompactLevel.
+  Status CompactIndexLevel(int level, const SpanScope& scope = {}) {
+    return index_->CompactLevel(level, scope);
+  }
 
   // Reclaims one specific extent / the first reclaimable extent (no-op if none).
   Status ReclaimExtent(ExtentId extent);
@@ -145,6 +161,7 @@ class ShardStore : public ReclaimClient {
   std::unique_ptr<LsmIndex> index_;
   Counter* puts_;
   Counter* gets_;
+  Counter* scans_;
   Counter* deletes_;
   Counter* reclaims_;
   Counter* batch_applies_;

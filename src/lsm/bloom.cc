@@ -1,0 +1,84 @@
+#include "src/lsm/bloom.h"
+
+namespace ss {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed, and deterministic across platforms
+// (the filter bytes are persisted, so the hash is part of the on-disk format).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t WordsForKeys(size_t expected_keys) {
+  const size_t bits = expected_keys * BloomFilter::kBitsPerKey;
+  return bits == 0 ? 1 : (bits + 63) / 64;
+}
+
+}  // namespace
+
+BloomFilter BloomFilter::ForKeys(size_t expected_keys) {
+  BloomFilter f;
+  f.words_.assign(WordsForKeys(expected_keys), 0);
+  return f;
+}
+
+size_t BloomFilter::SerializedBytesForKeys(size_t expected_keys) {
+  return 4 + WordsForKeys(expected_keys) * 8;
+}
+
+void BloomFilter::Add(uint64_t key) {
+  if (words_.empty()) {
+    return;
+  }
+  const uint64_t bits = words_.size() * 64;
+  const uint64_t h1 = Mix(key);
+  // Double hashing; the |1 keeps the stride odd so probes cover the whole table.
+  const uint64_t h2 = Mix(key ^ 0xc3a5c85c97cb3127ULL) | 1;
+  for (int i = 0; i < kProbes; ++i) {
+    const uint64_t bit = (h1 + uint64_t(i) * h2) % bits;
+    words_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (words_.empty()) {
+    return true;  // no information
+  }
+  const uint64_t bits = words_.size() * 64;
+  const uint64_t h1 = Mix(key);
+  const uint64_t h2 = Mix(key ^ 0xc3a5c85c97cb3127ULL) | 1;
+  for (int i = 0; i < kProbes; ++i) {
+    const uint64_t bit = (h1 + uint64_t(i) * h2) % bits;
+    if ((words_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::Serialize(Writer& w) const {
+  w.PutU32(static_cast<uint32_t>(words_.size()));
+  for (uint64_t word : words_) {
+    w.PutU64(word);
+  }
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(Reader& r) {
+  SS_ASSIGN_OR_RETURN(uint32_t words, r.GetU32());
+  if (uint64_t{words} * 8 > r.remaining()) {
+    return Status::Corruption("bloom filter: word count exceeds input");
+  }
+  BloomFilter f;
+  f.words_.reserve(words);
+  for (uint32_t i = 0; i < words; ++i) {
+    SS_ASSIGN_OR_RETURN(uint64_t word, r.GetU64());
+    f.words_.push_back(word);
+  }
+  return f;
+}
+
+}  // namespace ss

@@ -1,0 +1,52 @@
+// Blocked-free classic bloom filter for LSM run pruning.
+//
+// Each serialized run carries one of these in its chunk header so negative lookups can
+// skip the chunk read entirely (the paper's read-amplification concern, ROADMAP "LSM
+// read-path upgrades"). Sized at ~10 bits per key with 7 probes (~1% false positives).
+// Deserialization follows the repo-wide panic-freedom rule: arbitrary bytes must decode
+// to an error, never a crash (fuzzed alongside the other serde in tests/common_test.cc
+// style from tests/lsm_test.cc).
+
+#ifndef SS_LSM_BLOOM_H_
+#define SS_LSM_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+
+namespace ss {
+
+class BloomFilter {
+ public:
+  // An empty filter carries no information: MayContain() answers true for every key.
+  BloomFilter() = default;
+
+  // A filter sized for `expected_keys` insertions at kBitsPerKey bits each.
+  static BloomFilter ForKeys(size_t expected_keys);
+
+  void Add(uint64_t key);
+  // False means the key is definitely absent; true means "maybe present".
+  bool MayContain(uint64_t key) const;
+
+  bool empty() const { return words_.empty(); }
+  size_t bit_count() const { return words_.size() * 64; }
+  size_t byte_size() const { return words_.size() * 8; }
+  // Serialized size (word-count prefix + words) for `expected_keys` insertions; used by
+  // the run partitioner to budget chunk payloads before building the filter.
+  static size_t SerializedBytesForKeys(size_t expected_keys);
+
+  void Serialize(Writer& w) const;
+  static Result<BloomFilter> Deserialize(Reader& r);
+
+  static constexpr size_t kBitsPerKey = 10;
+  static constexpr int kProbes = 7;
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ss
+
+#endif  // SS_LSM_BLOOM_H_

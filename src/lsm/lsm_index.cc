@@ -9,6 +9,17 @@
 
 namespace ss {
 
+namespace {
+// Run chunk payload format:
+//   v1 (historic): [count u32][entries]
+//   v2: [format u8][min_key u64][max_key u64][bloom][count u32][entries]
+// The v2 header is the run's read-path pruning metadata; it is decoded without reading
+// the entries on recovery (LoadRun returns both, callers use what they need).
+constexpr uint8_t kRunFormatVersion = 2;
+// Serialized header bytes excluding the bloom filter: format + min + max + count.
+constexpr size_t kRunHeaderBaseBytes = 1 + 8 + 8 + 4;
+}  // namespace
+
 void SerializeShardRecord(const ShardRecord& record, Writer& w) {
   w.PutU64(record.total_bytes);
   w.PutU32(static_cast<uint32_t>(record.chunks.size()));
@@ -43,11 +54,18 @@ LsmIndex::LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions option
   puts_ = &metrics->counter("lsm.puts");
   deletes_ = &metrics->counter("lsm.deletes");
   gets_ = &metrics->counter("lsm.gets");
+  scans_ = &metrics->counter("lsm.scans");
+  scan_items_ = &metrics->counter("lsm.scan.items");
   flushes_ = &metrics->counter("lsm.flushes");
   compactions_ = &metrics->counter("lsm.compactions");
+  level_compactions_ = &metrics->counter("lsm.level_compactions");
+  tombstones_dropped_ = &metrics->counter("lsm.tombstones_dropped");
   metadata_writes_ = &metrics->counter("lsm.metadata_writes");
   batch_applies_ = &metrics->counter("lsm.batch.applies");
   batch_items_ = &metrics->counter("lsm.batch.items");
+  bloom_hits_ = &metrics->counter("lsm.bloom.hit");
+  bloom_misses_ = &metrics->counter("lsm.bloom.miss");
+  bloom_false_positives_ = &metrics->counter("lsm.bloom.false_positive");
 }
 
 Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkStore* chunks,
@@ -108,7 +126,7 @@ Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkSt
       auto seq_or = r.GetU64();
       auto count_or = r.GetU32();
       if (version_or.ok() && seq_or.ok() && count_or.ok()) {
-        std::vector<Locator> run_locs;
+        std::vector<std::pair<Locator, int>> run_locs;
         bool parse_ok = true;
         for (uint32_t i = 0; i < count_or.value(); ++i) {
           auto loc_or = DeserializeLocator(r);
@@ -116,7 +134,12 @@ Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkSt
             parse_ok = false;
             break;
           }
-          run_locs.push_back(loc_or.value());
+          auto level_or = r.GetU8();
+          if (!level_or.ok()) {
+            parse_ok = false;
+            break;
+          }
+          run_locs.push_back({loc_or.value(), static_cast<int>(level_or.value())});
         }
         if (parse_ok && (!found || version_or.value() > best_version)) {
           found = true;
@@ -124,14 +147,23 @@ Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(ExtentManager* extents, ChunkSt
           index->version_ = version_or.value();
           index->next_seq_ = seq_or.value();
           index->runs_.clear();
-          for (const Locator& loc : run_locs) {
+          for (const auto& [loc, level] : run_locs) {
             // Recovered runs are durable by definition.
-            index->runs_.push_back(RunRef{loc, Dependency()});
+            index->runs_.push_back(RunRef{loc, Dependency(), level, nullptr});
           }
           index->active_meta_ = m;
         }
       }
       page += frame_pages;
+    }
+  }
+  // Rebuild each recovered run's pruning filter from its chunk header. Best effort: a
+  // run whose chunk cannot be read right now keeps a null filter (lookups fall back to
+  // reading the chunk), so recovery itself never fails on the rebuild.
+  for (RunRef& run : index->runs_) {
+    auto run_or = index->LoadRun(run.loc);
+    if (run_or.ok()) {
+      run.filter = run_or.value().filter;
     }
   }
   SS_COVER(found ? "lsm.recover_with_metadata" : "lsm.recover_empty");
@@ -217,8 +249,21 @@ Dependency LsmIndex::Delete(ShardId id, const SpanScope& scope) {
   return promise;
 }
 
-Bytes LsmIndex::SerializeRun(const RunMap& entries) {
+LsmIndex::BuiltRun LsmIndex::BuildRun(const RunMap& entries) {
+  auto filter = std::make_shared<RunFilter>();
+  filter->bloom = BloomFilter::ForKeys(entries.size());
+  if (!entries.empty()) {
+    filter->min_key = entries.begin()->first;
+    filter->max_key = entries.rbegin()->first;
+  }
+  for (const auto& [id, value] : entries) {
+    filter->bloom.Add(id);
+  }
   Writer w;
+  w.PutU8(kRunFormatVersion);
+  w.PutU64(filter->min_key);
+  w.PutU64(filter->max_key);
+  filter->bloom.Serialize(w);
   w.PutU32(static_cast<uint32_t>(entries.size()));
   for (const auto& [id, value] : entries) {
     w.PutU64(id);
@@ -227,30 +272,39 @@ Bytes LsmIndex::SerializeRun(const RunMap& entries) {
       SerializeShardRecord(*value, w);
     }
   }
-  return std::move(w).Take();
+  return BuiltRun{std::move(w).Take(), std::move(filter)};
 }
 
-Result<LsmIndex::RunMap> LsmIndex::DeserializeRun(ByteSpan payload) {
+Result<LsmIndex::LoadedRun> LsmIndex::DeserializeRun(ByteSpan payload) {
   Reader r(payload);
+  SS_ASSIGN_OR_RETURN(uint8_t format, r.GetU8());
+  if (format != kRunFormatVersion) {
+    return Status::Corruption("run: unknown format version");
+  }
+  auto filter = std::make_shared<RunFilter>();
+  SS_ASSIGN_OR_RETURN(filter->min_key, r.GetU64());
+  SS_ASSIGN_OR_RETURN(filter->max_key, r.GetU64());
+  SS_ASSIGN_OR_RETURN(filter->bloom, BloomFilter::Deserialize(r));
   SS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
   if (uint64_t{count} * 9 > r.remaining()) {
     return Status::Corruption("run: entry count exceeds input");
   }
-  RunMap entries;
+  LoadedRun run;
   for (uint32_t i = 0; i < count; ++i) {
     SS_ASSIGN_OR_RETURN(ShardId id, r.GetU64());
     SS_ASSIGN_OR_RETURN(uint8_t live, r.GetU8());
     if (live != 0) {
       SS_ASSIGN_OR_RETURN(ShardRecord record, DeserializeShardRecord(r));
-      entries[id] = std::move(record);
+      run.entries[id] = std::move(record);
     } else {
-      entries[id] = std::nullopt;
+      run.entries[id] = std::nullopt;
     }
   }
-  return entries;
+  run.filter = std::move(filter);
+  return run;
 }
 
-Result<LsmIndex::RunMap> LsmIndex::LoadRun(const Locator& loc, const SpanScope& scope) {
+Result<LsmIndex::LoadedRun> LsmIndex::LoadRun(const Locator& loc, const SpanScope& scope) {
   SS_ASSIGN_OR_RETURN(Bytes payload, chunks_->Get(loc, scope));
   return DeserializeRun(payload);
 }
@@ -260,7 +314,7 @@ Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id, const SpanScope& sc
   const SpanScope child_scope = span.scope();
   Status last_error = Status::Ok();
   for (int attempt = 0; attempt < 4; ++attempt) {
-    std::vector<Locator> runs_snapshot;
+    std::vector<std::pair<Locator, std::shared_ptr<const RunFilter>>> runs_snapshot;
     {
       LockGuard lock(mu_);
       gets_->Increment();
@@ -269,12 +323,18 @@ Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id, const SpanScope& sc
         return it->second.value;
       }
       for (const RunRef& run : runs_) {
-        runs_snapshot.push_back(run.loc);
+        runs_snapshot.push_back({run.loc, run.filter});
       }
     }
     bool retry = false;
     for (auto rit = runs_snapshot.rbegin(); rit != runs_snapshot.rend(); ++rit) {
-      auto run_or = LoadRun(*rit, child_scope);
+      const auto& [loc, filter] = *rit;
+      if (filter != nullptr && !filter->MayContainKey(id)) {
+        // Definitely not in this run: the chunk read is skipped entirely.
+        bloom_misses_->Increment();
+        continue;
+      }
+      auto run_or = LoadRun(loc, child_scope);
       if (!run_or.ok()) {
         // A concurrent compaction/reclamation may have invalidated the snapshot;
         // re-snapshot and retry.
@@ -282,15 +342,114 @@ Result<std::optional<ShardRecord>> LsmIndex::Get(ShardId id, const SpanScope& sc
         retry = true;
         break;
       }
-      auto it = run_or.value().find(id);
-      if (it != run_or.value().end()) {
+      auto it = run_or.value().entries.find(id);
+      if (it != run_or.value().entries.end()) {
+        if (filter != nullptr) {
+          bloom_hits_->Increment();
+        }
         return it->second;
+      }
+      if (filter != nullptr) {
+        bloom_false_positives_->Increment();
       }
     }
     if (!retry) {
       return std::optional<ShardRecord>(std::nullopt);
     }
     YieldThread();
+  }
+  span.set_status(last_error.code());
+  return last_error;
+}
+
+Result<std::vector<LsmScanItem>> LsmIndex::Scan(ShardId start, ShardId end,
+                                                const SpanScope& scope) {
+  Span span = scope.Child("lsm.scan");
+  const SpanScope child_scope = span.scope();
+  scans_->Increment();
+  if (start >= end) {
+    return std::vector<LsmScanItem>{};  // empty window
+  }
+  using Slice = std::vector<std::pair<ShardId, std::optional<ShardRecord>>>;
+  Status last_error = Status::Ok();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<std::pair<Locator, std::shared_ptr<const RunFilter>>> runs_snapshot;
+    Slice memtable_slice;
+    {
+      // One mu_ hold for both snapshots: the memtable overlay and the run list are a
+      // consistent point-in-time view (a racing flush moves entries run-ward, which
+      // only makes both copies agree).
+      LockGuard lock(mu_);
+      for (const RunRef& run : runs_) {
+        runs_snapshot.push_back({run.loc, run.filter});
+      }
+      for (auto it = memtable_.lower_bound(start); it != memtable_.end() && it->first < end;
+           ++it) {
+        memtable_slice.push_back({it->first, it->second.value});
+      }
+    }
+    // Sources in age order, oldest first; the memtable is appended last so the merge's
+    // "highest source index wins" rule implements newest-shadows-oldest.
+    std::vector<Slice> sources;
+    bool retry = false;
+    for (const auto& [loc, filter] : runs_snapshot) {
+      if (filter != nullptr && !filter->OverlapsRange(start, end)) {
+        continue;  // the run's key range misses the window: no chunk read
+      }
+      auto run_or = LoadRun(loc, child_scope);
+      if (!run_or.ok()) {
+        last_error = run_or.status();
+        retry = true;
+        break;
+      }
+      Slice slice;
+      const RunMap& entries = run_or.value().entries;
+      for (auto it = entries.lower_bound(start); it != entries.end() && it->first < end; ++it) {
+        slice.push_back({it->first, it->second});
+      }
+      if (!slice.empty()) {
+        sources.push_back(std::move(slice));
+      }
+    }
+    if (retry) {
+      YieldThread();
+      continue;
+    }
+    sources.push_back(std::move(memtable_slice));
+
+    // K-way merge iterator: repeatedly emit the smallest key across all cursors; at
+    // equal keys the newest source wins and every older cursor steps past (tombstones
+    // are merged like values and suppress the key at the end).
+    std::vector<size_t> cursor(sources.size(), 0);
+    std::vector<LsmScanItem> out;
+    for (;;) {
+      bool any = false;
+      ShardId next_key = 0;
+      for (size_t s = 0; s < sources.size(); ++s) {
+        if (cursor[s] < sources[s].size()) {
+          const ShardId k = sources[s][cursor[s]].first;
+          if (!any || k < next_key) {
+            any = true;
+            next_key = k;
+          }
+        }
+      }
+      if (!any) {
+        break;
+      }
+      std::optional<ShardRecord> value;
+      for (size_t s = 0; s < sources.size(); ++s) {  // ascending age rank: last wins
+        if (cursor[s] < sources[s].size() && sources[s][cursor[s]].first == next_key) {
+          value = std::move(sources[s][cursor[s]].second);
+          ++cursor[s];
+        }
+      }
+      if (value.has_value()) {
+        out.push_back(LsmScanItem{next_key, std::move(*value)});
+      }
+    }
+    scan_items_->Increment(out.size());
+    return out;
   }
   span.set_status(last_error.code());
   return last_error;
@@ -313,7 +472,7 @@ Result<std::vector<ShardId>> LsmIndex::Keys() {
         retry = true;
         break;
       }
-      for (const auto& [id, value] : run_or.value()) {
+      for (const auto& [id, value] : run_or.value().entries) {
         live[id] = value.has_value();
       }
     }
@@ -349,6 +508,7 @@ Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input, const SpanSco
   // share a FIFO ordering across the ping-pong switch.
   for (const RunRef& run : runs_) {
     SerializeLocator(run.loc, w);
+    w.PutU8(static_cast<uint8_t>(std::min(run.level, 255)));
     input = input.And(run.dep);
   }
   Bytes frame = EncodeChunkFrame(w.bytes(), Uuid::Random(meta_rng_));
@@ -360,7 +520,14 @@ Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input, const SpanSco
     // new record is durable.
     const ExtentId full = target;
     target = meta_extents_[1 - active_meta_];
-    SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input, scope));
+    auto appended_or = extents_->Append(target, frame, input, scope);
+    if (!appended_or.ok()) {
+      // Nothing reached the disk: give the version number back so callers that roll
+      // their state back (compaction) leave the index exactly as it was.
+      --version_;
+      return appended_or.status();
+    }
+    const AppendResult appended = appended_or.value();
     extents_->Reset(full, appended.dep);
     active_meta_ = 1 - active_meta_;
     metadata_writes_->Increment();
@@ -369,7 +536,12 @@ Result<Dependency> LsmIndex::WriteMetadataLocked(Dependency input, const SpanSco
     internal_dirty_ = false;
     return appended.dep;
   }
-  SS_ASSIGN_OR_RETURN(AppendResult appended, extents_->Append(target, frame, input, scope));
+  auto appended_or = extents_->Append(target, frame, input, scope);
+  if (!appended_or.ok()) {
+    --version_;
+    return appended_or.status();
+  }
+  const AppendResult appended = appended_or.value();
   metadata_writes_->Increment();
   last_meta_dep_ = appended.dep;
   api_dirty_ = false;
@@ -393,30 +565,37 @@ Status LsmIndex::Flush(const SpanScope& scope) {
   Span span = scope.Child("lsm.flush");
   LockGuard flush_lock(flush_mu_);
   Status status = FlushLocked(span.scope());
+  if (status.ok() && options_.level0_compaction_trigger > 0) {
+    MaybeCompactLevelsLocked(span.scope());
+  }
   span.set_status(status.code());
   return status;
 }
 
 std::vector<LsmIndex::RunMap> LsmIndex::PartitionRun(const RunMap& entries,
                                                      size_t max_payload) {
-  // Split a run into segments whose serialized form fits one chunk each. A segment
-  // always accepts at least one entry (a single oversized entry is a configuration
-  // error caught by the chunk store).
+  // Split a run into segments whose serialized form — header, bloom filter, and
+  // entries — fits one chunk each. A segment always accepts at least one entry (a
+  // single oversized entry is a configuration error caught by the chunk store).
   std::vector<RunMap> segments;
   RunMap current;
-  size_t current_bytes = 4;  // entry-count prefix
+  size_t entry_bytes_sum = 0;
+  auto projected_bytes = [](size_t count, size_t entry_sum) {
+    return kRunHeaderBaseBytes + BloomFilter::SerializedBytesForKeys(count) + entry_sum;
+  };
   for (const auto& [id, value] : entries) {
     size_t entry_bytes = 8 + 1;
     if (value.has_value()) {
       entry_bytes += 8 + 4 + value->chunks.size() * 16;
     }
-    if (!current.empty() && current_bytes + entry_bytes > max_payload) {
+    if (!current.empty() &&
+        projected_bytes(current.size() + 1, entry_bytes_sum + entry_bytes) > max_payload) {
       segments.push_back(std::move(current));
       current = RunMap{};
-      current_bytes = 4;
+      entry_bytes_sum = 0;
     }
     current[id] = value;
-    current_bytes += entry_bytes;
+    entry_bytes_sum += entry_bytes;
   }
   if (!current.empty()) {
     segments.push_back(std::move(current));
@@ -439,22 +618,25 @@ Status LsmIndex::FlushLocked(const SpanScope& scope) {
       max_seq = std::max(max_seq, entry.seq);
     }
   }
-  // Serialize into one or more run chunks (a run larger than the chunk store's max
-  // payload is split into segments). No run chunk may persist before the data its
+  // Serialize into one or more level-0 run chunks (a run larger than the chunk store's
+  // max payload is split into segments). No run chunk may persist before the data its
   // entries point to (Figure 2's ordering), hence the input dependency. Put pins each
   // destination extent; the pins are held until the metadata references the runs.
   // Seeded bug #14 releases them immediately, reproducing the flush/compaction-vs-
   // reclamation race.
   const Dependency data_gate = Dependency::AndAll(data_deps);
   std::vector<ChunkPutResult> puts;
+  std::vector<std::shared_ptr<const RunFilter>> filters;
   Status status = Status::Ok();
   for (const RunMap& segment : PartitionRun(entries, chunks_->max_payload_bytes())) {
-    auto put_or = chunks_->Put(SerializeRun(segment), data_gate, scope);
+    BuiltRun built = BuildRun(segment);
+    auto put_or = chunks_->Put(std::move(built.payload), data_gate, scope);
     if (!put_or.ok()) {
       status = put_or.status();
       break;
     }
     puts.push_back(put_or.value());
+    filters.push_back(std::move(built.filter));
     if (BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
       SS_COVER("lsm.bug14_early_unpin");
       chunks_->Unpin(put_or.value().locator.extent);
@@ -473,9 +655,9 @@ Status LsmIndex::FlushLocked(const SpanScope& scope) {
   {
     LockGuard lock(mu_);
     Dependency runs_dep;
-    for (const ChunkPutResult& put : puts) {
-      runs_.push_back(RunRef{put.locator, put.dep});
-      runs_dep = runs_dep.And(put.dep);
+    for (size_t i = 0; i < puts.size(); ++i) {
+      runs_.push_back(RunRef{puts[i].locator, puts[i].dep, 0, filters[i]});
+      runs_dep = runs_dep.And(puts[i].dep);
     }
     auto meta_or = WriteMetadataLocked(runs_dep, scope);
     if (!meta_or.ok()) {
@@ -507,56 +689,153 @@ Status LsmIndex::FlushLocked(const SpanScope& scope) {
 
 Status LsmIndex::Compact() {
   LockGuard flush_lock(flush_mu_);
+  return CompactInternal(std::nullopt, {});
+}
+
+Status LsmIndex::CompactLevel(int level, const SpanScope& scope) {
+  if (level < 0) {
+    return Status::InvalidArgument("compact: negative level");
+  }
+  Span span = scope.Child("lsm.compact_level");
+  LockGuard flush_lock(flush_mu_);
+  Status status = CompactInternal(level, span.scope());
+  span.set_status(status.code());
+  return status;
+}
+
+void LsmIndex::MaybeCompactLevelsLocked(const SpanScope& scope) {
+  constexpr int kMaxLevels = 8;  // bounds the cascade; fanout^8 runs is out of reach
+  size_t level0 = 0;
+  {
+    LockGuard lock(mu_);
+    for (const RunRef& run : runs_) {
+      level0 += run.level == 0 ? 1 : 0;
+    }
+  }
+  if (level0 < options_.level0_compaction_trigger) {
+    return;
+  }
+  // Best effort: a failed background merge surfaces through metrics and the next
+  // explicit compaction, never through the flush that triggered it.
+  if (!CompactInternal(0, scope).ok()) {
+    return;
+  }
+  for (int level = 1; level < kMaxLevels; ++level) {
+    size_t at_level = 0;
+    {
+      LockGuard lock(mu_);
+      for (const RunRef& run : runs_) {
+        at_level += run.level == level ? 1 : 0;
+      }
+    }
+    if (at_level <= options_.level_fanout) {
+      break;
+    }
+    if (!CompactInternal(level, scope).ok()) {
+      return;
+    }
+  }
+}
+
+Status LsmIndex::CompactInternal(std::optional<int> level, const SpanScope& scope) {
   Status last_error = Status::Ok();
   for (int attempt = 0; attempt < 3; ++attempt) {
-    std::vector<Locator> runs_snapshot;
+    size_t begin = 0;
+    size_t count = 0;
+    int out_level = 1;
+    bool bottom = false;
+    std::vector<Locator> input_locs;
     Dependency runs_durable;
     {
       LockGuard lock(mu_);
-      if (runs_.size() <= 1) {
-        return Status::Ok();
+      if (level.has_value()) {
+        // Levels are non-increasing along the oldest-first run list, so the runs at
+        // {level, level+1} form one contiguous block; everything before it is deeper.
+        while (begin < runs_.size() && runs_[begin].level > *level + 1) {
+          ++begin;
+        }
+        size_t end = begin;
+        size_t at_level = 0;
+        while (end < runs_.size() && runs_[end].level >= *level) {
+          at_level += runs_[end].level == *level ? 1 : 0;
+          ++end;
+        }
+        if (at_level == 0) {
+          return Status::Ok();  // nothing to merge at this level
+        }
+        count = end - begin;
+        out_level = *level + 1;
+        // The tombstone lifetime rule: dropping is safe only when no run deeper than
+        // the merge's output remains to resurrect an older version.
+        bottom = begin == 0;
+      } else {
+        if (runs_.size() <= 1) {
+          return Status::Ok();
+        }
+        count = runs_.size();
+        out_level = std::max(1, runs_.front().level);  // full merge: output is the bottom
+        bottom = true;
       }
-      for (const RunRef& run : runs_) {
-        runs_snapshot.push_back(run.loc);
-        runs_durable = runs_durable.And(run.dep);
+      for (size_t i = begin; i < begin + count; ++i) {
+        input_locs.push_back(runs_[i].loc);
+        runs_durable = runs_durable.And(runs_[i].dep);
       }
       runs_durable = runs_durable.And(last_meta_dep_);
     }
     RunMap merged;
-    bool retry = false;
-    for (const Locator& loc : runs_snapshot) {  // oldest -> newest
-      auto run_or = LoadRun(loc);
+    Status load_error = Status::Ok();
+    for (const Locator& loc : input_locs) {  // oldest -> newest
+      auto run_or = LoadRun(loc, scope);
       if (!run_or.ok()) {
-        last_error = run_or.status();
-        retry = true;
+        load_error = run_or.status();
         break;
       }
-      for (auto& [id, value] : run_or.value()) {
+      for (auto& [id, value] : run_or.value().entries) {
         merged[id] = std::move(value);
       }
     }
-    if (retry) {
+    if (!load_error.ok()) {
+      // A stale snapshot (reclamation moved or truncated a run under us) can surface as
+      // almost any code — InvalidArgument, NotFound, Corruption — so those get a fresh
+      // snapshot and another attempt. Only a permanently failed disk aborts
+      // immediately, instead of burning the remaining attempts against dead hardware.
+      // No chunk has been written yet on this path, so there are no pins or orphans to
+      // clean up.
+      if (load_error.code() == StatusCode::kDiskFailed) {
+        return load_error;
+      }
+      last_error = load_error;
       YieldThread();
       continue;
     }
-    // Full-merge compaction may drop tombstones outright.
-    auto it = merged.begin();
-    while (it != merged.end()) {
-      if (!it->second.has_value()) {
-        it = merged.erase(it);
-      } else {
-        ++it;
+    if (bottom || options_.seeded_bug_drop_tombstones_above_bottom) {
+      if (!bottom) {
+        SS_COVER("lsm.seeded_tombstone_drop_above_bottom");
       }
+      size_t dropped = 0;
+      auto it = merged.begin();
+      while (it != merged.end()) {
+        if (!it->second.has_value()) {
+          it = merged.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+      tombstones_dropped_->Increment(dropped);
     }
     std::vector<ChunkPutResult> puts;
+    std::vector<std::shared_ptr<const RunFilter>> filters;
     Status status = Status::Ok();
     for (const RunMap& segment : PartitionRun(merged, chunks_->max_payload_bytes())) {
-      auto put_or = chunks_->Put(SerializeRun(segment), runs_durable);
+      BuiltRun built = BuildRun(segment);
+      auto put_or = chunks_->Put(std::move(built.payload), runs_durable, scope);
       if (!put_or.ok()) {
         status = put_or.status();
         break;
       }
       puts.push_back(put_or.value());
+      filters.push_back(std::move(built.filter));
       if (BugEnabled(SeededBug::kCompactReclaimMetadataRace)) {
         SS_COVER("lsm.bug14_early_unpin");
         chunks_->Unpin(put_or.value().locator.extent);
@@ -574,17 +853,29 @@ Status LsmIndex::Compact() {
 
     {
       LockGuard lock(mu_);
-      // Runs cannot have grown (flush_mu_ is held); relocations may have changed
-      // locators, but the merged content is unaffected.
-      runs_.clear();
+      // Membership and order of runs_ are stable while flush_mu_ is held (relocations
+      // may rewrite a locator/dep in place, which the merged content does not depend
+      // on), so the snapshot's [begin, begin+count) block is still the merge's input.
+      std::vector<RunRef> replaced(runs_.begin() + begin, runs_.begin() + begin + count);
       Dependency runs_dep;
-      for (const ChunkPutResult& put : puts) {
-        runs_.push_back(RunRef{put.locator, put.dep});
-        runs_dep = runs_dep.And(put.dep);
+      std::vector<RunRef> fresh;
+      for (size_t i = 0; i < puts.size(); ++i) {
+        fresh.push_back(RunRef{puts[i].locator, puts[i].dep, out_level, filters[i]});
+        runs_dep = runs_dep.And(puts[i].dep);
       }
-      auto meta_or = WriteMetadataLocked(runs_dep);
+      runs_.erase(runs_.begin() + begin, runs_.begin() + begin + count);
+      runs_.insert(runs_.begin() + begin, fresh.begin(), fresh.end());
+      auto meta_or = WriteMetadataLocked(runs_dep, scope);
       if (!meta_or.ok()) {
+        // The new run list never persisted. Roll the in-memory list back to the runs
+        // the durable metadata still references: keeping the unreferenced new runs
+        // would let reclamation treat the OLD chunks as garbage while a post-crash
+        // recovery still points at them — silent data loss.
+        runs_.erase(runs_.begin() + begin, runs_.begin() + begin + fresh.size());
+        runs_.insert(runs_.begin() + begin, replaced.begin(), replaced.end());
         status = meta_or.status();
+      } else if (level.has_value()) {
+        level_compactions_->Increment();
       } else {
         compactions_->Increment();
       }
@@ -639,8 +930,8 @@ Result<std::optional<ShardId>> LsmIndex::FindShardReferencing(const Locator& loc
     }
   }
   for (auto rit = runs_snapshot.rbegin(); rit != runs_snapshot.rend(); ++rit) {
-    SS_ASSIGN_OR_RETURN(RunMap run, LoadRun(*rit));
-    for (const auto& [id, value] : run) {
+    SS_ASSIGN_OR_RETURN(LoadedRun run, LoadRun(*rit));
+    for (const auto& [id, value] : run.entries) {
       if (!decided.insert(id).second) {
         continue;  // shadowed by a newer entry
       }
@@ -743,6 +1034,25 @@ size_t LsmIndex::MemtableEntries() const {
 size_t LsmIndex::RunCount() const {
   LockGuard lock(mu_);
   return runs_.size();
+}
+
+size_t LsmIndex::RunCountAtLevel(int level) const {
+  LockGuard lock(mu_);
+  size_t count = 0;
+  for (const RunRef& run : runs_) {
+    count += run.level == level ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<int> LsmIndex::RunLevels() const {
+  LockGuard lock(mu_);
+  std::vector<int> out;
+  out.reserve(runs_.size());
+  for (const RunRef& run : runs_) {
+    out.push_back(run.level);
+  }
+  return out;
 }
 
 uint64_t LsmIndex::MetadataVersion() const {

@@ -3,11 +3,21 @@
 // Maps shard identifiers to shard records (the list of chunk locators holding the
 // shard's data, WiscKey-style). Structure:
 //   * a sorted in-memory memtable of recent mutations (values and tombstones),
-//   * immutable sorted runs, each serialized into a single chunk written through the
-//     chunk store (so the index's own storage is subject to reclamation),
-//   * a metadata record — the run list + version — framed and appended to one of two
-//     reserved metadata extents (ping-pong: when one fills, the record moves to the
-//     other and the full one is reset once the move is durable).
+//   * immutable sorted runs organized into levels (level 0 = freshest flushes, higher
+//     levels = older, more-merged data), each run serialized into a single chunk written
+//     through the chunk store (so the index's own storage is subject to reclamation),
+//   * a metadata record — the run list with per-run levels + version — framed and
+//     appended to one of two reserved metadata extents (ping-pong: when one fills, the
+//     record moves to the other and the full one is reset once the move is durable).
+//
+// Every run chunk carries a header with the run's key range and a bloom filter, rebuilt
+// into memory on recovery, so negative lookups and out-of-range scans skip the chunk
+// read entirely.
+//
+// Tombstone lifetime rule: a partial merge (CompactLevel) may drop a tombstone ONLY
+// when its output lands at the bottom level — otherwise an older version of the key in
+// a deeper run would resurrect. Full merges see every run, so their output is by
+// definition the bottom. See DESIGN.md "LSM read path".
 //
 // Dependency protocol (Figure 2): Put returns a *promise* dependency that resolves when
 // a metadata record covering the entry persists. The run chunk's write is gated on the
@@ -18,7 +28,9 @@
 //
 // Seeded bugs hosted here: #3 (shutdown skips the flush when only internal mutations —
 // e.g. reclamation relocations — are pending) and #14 (flush/compaction write their run
-// chunk without pinning its extent).
+// chunk without pinning its extent). A third, option-gated seeded bug
+// (LsmOptions::seeded_bug_drop_tombstones_above_bottom) re-enables unconditional
+// tombstone dropping in partial merges; the PBT/MC harnesses exist to catch it.
 
 #ifndef SS_LSM_LSM_INDEX_H_
 #define SS_LSM_LSM_INDEX_H_
@@ -34,6 +46,7 @@
 #include "src/chunk/locator.h"
 #include "src/common/rng.h"
 #include "src/dep/dependency.h"
+#include "src/lsm/bloom.h"
 #include "src/superblock/extent_manager.h"
 #include "src/sync/sync.h"
 
@@ -59,6 +72,16 @@ struct LsmOptions {
   // flushing only, which the deterministic test harnesses use).
   size_t memtable_flush_entries = SIZE_MAX;
   uint64_t meta_uuid_seed = 0x1e7a;
+  // Leveled compaction trigger: when > 0, a successful flush that leaves at least this
+  // many level-0 runs kicks off CompactLevel(0) inline (still under flush_mu_),
+  // cascading downward while any deeper level holds more than `level_fanout` runs.
+  // 0 = manual compaction only, which keeps the deterministic harnesses in charge.
+  size_t level0_compaction_trigger = 0;
+  size_t level_fanout = 4;
+  // Seeded bug (option-gated like the cluster tier's read-repair bug rather than a
+  // Figure-5 registry entry): partial merges drop tombstones even when deeper levels
+  // remain, resurrecting deleted shards. Exists to prove the harnesses catch the class.
+  bool seeded_bug_drop_tombstones_above_bottom = false;
 };
 
 // One mutation of a batched index commit (see LsmIndex::ApplyBatch).
@@ -68,11 +91,34 @@ struct LsmBatchItem {
   Dependency data_dep;                // trivially persistent for tombstones
 };
 
+// A run's read-path pruning metadata: key range + bloom filter, decoded from the run
+// chunk's header (or rebuilt from it on recovery). Shared so snapshots are cheap.
+struct RunFilter {
+  ShardId min_key = 0;
+  ShardId max_key = 0;
+  BloomFilter bloom;
+
+  bool MayContainKey(ShardId id) const {
+    return id >= min_key && id <= max_key && bloom.MayContain(id);
+  }
+  // Whether the run's key range intersects the half-open scan window [start, end).
+  bool OverlapsRange(ShardId start, ShardId end) const {
+    return start < end && min_key < end && max_key >= start;
+  }
+};
+
+// One live entry of a range scan, in key order.
+struct LsmScanItem {
+  ShardId id = 0;
+  ShardRecord record;
+};
+
 class LsmIndex {
  public:
   // Opens over existing on-disk state (recovering the metadata record with the highest
-  // version from the reserved metadata extents) or formats a fresh index: claims two
-  // metadata extents and starts empty.
+  // version from the reserved metadata extents, then rebuilding each run's bloom
+  // filter from its chunk header) or formats a fresh index: claims two metadata
+  // extents and starts empty.
   // Metrics land in `metrics` (lsm.*) when provided; otherwise the index owns a
   // private registry so direct construction keeps working in tests.
   static Result<std::unique_ptr<LsmIndex>> Open(ExtentManager* extents, ChunkStore* chunks,
@@ -101,20 +147,38 @@ class LsmIndex {
                                      const SpanScope& scope = {});
 
   // nullopt: no live mapping (never written, deleted, or tombstoned). `scope`, when
-  // active, receives an "lsm.lookup" child span (with chunk.read descendants for runs).
+  // active, receives an "lsm.lookup" child span (with chunk.read descendants for runs
+  // the bloom filters could not rule out).
   Result<std::optional<ShardRecord>> Get(ShardId id, const SpanScope& scope = {});
+
+  // All live entries in the half-open key window [start, end), in key order: a merge
+  // across the memtable and every level, newest shadows oldest, tombstones suppress.
+  // Runs whose key range misses the window are skipped without a chunk read. An empty
+  // window (start >= end) returns an empty result. `scope`, when active, receives an
+  // "lsm.scan" child span.
+  Result<std::vector<LsmScanItem>> Scan(ShardId start, ShardId end,
+                                        const SpanScope& scope = {});
 
   // All live shard ids (merged view of memtable and runs).
   Result<std::vector<ShardId>> Keys();
 
   // --- Maintenance ------------------------------------------------------------------------
-  // Writes the memtable as a new run + metadata record. No-op when clean. `scope`,
-  // when active, receives an "lsm.flush" child span covering the run and metadata
-  // writes.
+  // Writes the memtable as a new level-0 run + metadata record. No-op when clean.
+  // `scope`, when active, receives an "lsm.flush" child span covering the run and
+  // metadata writes. When LsmOptions::level0_compaction_trigger is set, a successful
+  // flush may cascade into level compactions before returning.
   Status Flush(const SpanScope& scope = {});
 
-  // Merges all runs into one, dropping tombstones and superseded versions.
+  // Merges all runs into one bottom-level run, dropping tombstones and superseded
+  // versions (a full merge sees every run, so dropping is safe).
   Status Compact();
+
+  // Partial merge: folds every run at `level` and `level + 1` into new runs at
+  // `level + 1`. Background-eligible: serialized under flush_mu_ like Flush/Compact,
+  // safe to call concurrently with reads and writes. Tombstones are dropped only when
+  // the output is the bottom level (no deeper runs remain) — the tombstone lifetime
+  // rule. No-op when `level` holds no runs.
+  Status CompactLevel(int level, const SpanScope& scope = {});
 
   // True when a shutdown must still flush (bug #3 consults the wrong flag here).
   bool NeedsShutdownFlush() const;
@@ -133,8 +197,9 @@ class LsmIndex {
   Result<Dependency> RelocateShardChunk(const Locator& old_loc, const Locator& new_loc,
                                         const Dependency& new_dep);
 
-  // Replaces run chunk `old_loc` with `new_loc` in the run list and persists a new
-  // metadata record gated on `new_dep`. Returns that record's dependency.
+  // Replaces run chunk `old_loc` with `new_loc` in the run list (level and filter are
+  // preserved — the evacuated copy has identical content) and persists a new metadata
+  // record gated on `new_dep`. Returns that record's dependency.
   Result<Dependency> RelocateRunChunk(const Locator& old_loc, const Locator& new_loc,
                                       const Dependency& new_dep);
 
@@ -145,6 +210,9 @@ class LsmIndex {
   // --- Introspection -----------------------------------------------------------------------
   size_t MemtableEntries() const;
   size_t RunCount() const;
+  size_t RunCountAtLevel(int level) const;
+  // Per-run levels, oldest run first (levels are non-increasing along the list).
+  std::vector<int> RunLevels() const;
   uint64_t MetadataVersion() const;
   std::vector<Locator> RunLocators() const;
   // The lsm.* counters live in the registry passed at Open (or the private one): read
@@ -159,15 +227,25 @@ class LsmIndex {
   };
   // A run's decoded content.
   using RunMap = std::map<ShardId, std::optional<ShardRecord>>;
+  // A run's serialized form plus the pruning header it embeds.
+  struct BuiltRun {
+    Bytes payload;
+    std::shared_ptr<const RunFilter> filter;
+  };
+  // A run decoded from its chunk: entries + the header's pruning metadata.
+  struct LoadedRun {
+    RunMap entries;
+    std::shared_ptr<const RunFilter> filter;
+  };
 
   LsmIndex(ExtentManager* extents, ChunkStore* chunks, LsmOptions options,
            MetricRegistry* metrics);
 
-  static Bytes SerializeRun(const RunMap& entries);
-  static Result<RunMap> DeserializeRun(ByteSpan payload);
-  // Splits a run into segments that each fit one chunk.
+  static BuiltRun BuildRun(const RunMap& entries);
+  static Result<LoadedRun> DeserializeRun(ByteSpan payload);
+  // Splits a run into segments that each fit one chunk (header included).
   static std::vector<RunMap> PartitionRun(const RunMap& entries, size_t max_payload);
-  Result<RunMap> LoadRun(const Locator& loc, const SpanScope& scope = {});
+  Result<LoadedRun> LoadRun(const Locator& loc, const SpanScope& scope = {});
 
   // Serializes and appends the metadata record (runs + counters). Caller holds mu_.
   // The record's write is gated on `input`.
@@ -178,6 +256,15 @@ class LsmIndex {
 
   Status FlushLocked(const SpanScope& scope = {});  // caller holds flush_mu_ (not mu_)
 
+  // The shared merge engine behind Compact and CompactLevel. Caller holds flush_mu_.
+  // `level == nullopt` merges everything (full compaction); otherwise merges levels
+  // {level, level+1} into level+1. Tombstones are dropped only when the output is the
+  // bottom level (or unconditionally under the seeded bug).
+  Status CompactInternal(std::optional<int> level, const SpanScope& scope);
+
+  // Runs the level0_compaction_trigger / level_fanout cascade. Caller holds flush_mu_.
+  void MaybeCompactLevelsLocked(const SpanScope& scope);
+
   ExtentManager* extents_;
   ChunkStore* chunks_;
   LsmOptions options_;
@@ -185,17 +272,20 @@ class LsmIndex {
 
   mutable Mutex mu_{MutexAttr{"lsm.index", lockrank::kLsm}};      // memtable, runs, metadata state
   Mutex flush_mu_{MutexAttr{"lsm.flush", lockrank::kLsmFlush}};  // serializes Flush/Compact
-  // A live run: its chunk locator plus the dependency under which that chunk (or its
-  // most recent evacuated copy) becomes durable. Metadata records are gated on the
-  // conjunction of these, so a persisted metadata record never references a run chunk
-  // that is not itself durable.
+  // A live run: its chunk locator, the dependency under which that chunk (or its most
+  // recent evacuated copy) becomes durable, its level, and the pruning filter decoded
+  // from its header (null = filter unavailable, read the chunk). Metadata records are
+  // gated on the conjunction of the deps, so a persisted metadata record never
+  // references a run chunk that is not itself durable.
   struct RunRef {
     Locator loc;
     Dependency dep;
+    int level = 0;
+    std::shared_ptr<const RunFilter> filter;
   };
 
   std::map<ShardId, Entry> memtable_;
-  std::vector<RunRef> runs_;  // oldest first
+  std::vector<RunRef> runs_;  // oldest first; levels non-increasing along the vector
   uint64_t version_ = 0;
   uint64_t next_seq_ = 1;
   std::vector<std::pair<uint64_t, Dependency>> pending_promises_;
@@ -209,11 +299,18 @@ class LsmIndex {
   Counter* puts_;
   Counter* deletes_;
   Counter* gets_;
+  Counter* scans_;
+  Counter* scan_items_;
   Counter* flushes_;
   Counter* compactions_;
+  Counter* level_compactions_;
+  Counter* tombstones_dropped_;
   Counter* metadata_writes_;
   Counter* batch_applies_;
   Counter* batch_items_;
+  Counter* bloom_hits_;
+  Counter* bloom_misses_;
+  Counter* bloom_false_positives_;
 };
 
 }  // namespace ss

@@ -60,6 +60,16 @@ std::vector<ShardId> KvStoreModel::List() const {
   return out;
 }
 
+std::vector<std::pair<ShardId, Bytes>> KvStoreModel::Scan(ShardId start, ShardId end) const {
+  std::vector<std::pair<ShardId, Bytes>> out;
+  for (auto it = history_.lower_bound(start); it != history_.end() && it->first < end; ++it) {
+    if (!it->second.empty() && it->second.back().value.has_value()) {
+      out.push_back({it->first, *it->second.back().value});
+    }
+  }
+  return out;
+}
+
 bool KvStoreModel::CrashAllowed::Permits(const std::optional<Bytes>& observed) const {
   if (!observed.has_value()) {
     return allow_absent;

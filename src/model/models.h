@@ -49,6 +49,15 @@ class IndexModel {
     }
     return out;
   }
+  // Ordered-map scan oracle: the live entries in the half-open window [start, end).
+  // What LsmIndex::Scan must produce after its merge, whatever the level layout.
+  std::vector<std::pair<ShardId, ShardRecord>> Scan(ShardId start, ShardId end) const {
+    std::vector<std::pair<ShardId, ShardRecord>> out;
+    for (auto it = map_.lower_bound(start); it != map_.end() && it->first < end; ++it) {
+      out.push_back(*it);
+    }
+    return out;
+  }
   size_t size() const { return map_.size(); }
 
  private:
@@ -86,6 +95,9 @@ class KvStoreModel {
   // Current (crash-free) expected value; nullopt = absent.
   std::optional<Bytes> Get(ShardId id) const;
   std::vector<ShardId> List() const;
+  // Ordered scan oracle over the current state: live (id, value) pairs with id in the
+  // half-open window [start, end), in key order.
+  std::vector<std::pair<ShardId, Bytes>> Scan(ShardId start, ShardId end) const;
 
   // --- Crash extension (section 5) -------------------------------------------------------
   //

@@ -37,6 +37,8 @@ std::string_view TraceKindName(TraceKind kind) {
       return "PutBatch";
     case TraceKind::kDeleteBatch:
       return "DeleteBatch";
+    case TraceKind::kScan:
+      return "Scan";
   }
   return "Unknown";
 }

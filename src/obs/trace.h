@@ -40,6 +40,7 @@ enum class TraceKind : uint8_t {
   kResetHealth,
   kPutBatch,
   kDeleteBatch,
+  kScan,
 };
 
 std::string_view TraceKindName(TraceKind kind);

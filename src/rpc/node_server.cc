@@ -17,6 +17,8 @@ NodeServer::NodeServer(NodeServerOptions options)
   put_err_ = &metrics_.counter("rpc.put.err");
   get_ok_ = &metrics_.counter("rpc.get.ok");
   get_err_ = &metrics_.counter("rpc.get.err");
+  scan_ok_ = &metrics_.counter("rpc.scan.ok");
+  scan_err_ = &metrics_.counter("rpc.scan.err");
   delete_ok_ = &metrics_.counter("rpc.delete.ok");
   delete_err_ = &metrics_.counter("rpc.delete.err");
   batch_puts_ = &metrics_.counter("rpc.batch.puts");
@@ -216,6 +218,68 @@ Result<Bytes> NodeServer::Get(ShardId id) {
                 span.id());
   (got.ok() ? get_ok_ : get_err_)->Increment();
   return got;
+}
+
+Result<ScanResult> NodeServer::Scan(ShardId start, ShardId end) {
+  Span span = RootSpan("rpc.scan");
+  // Snapshot the scannable stores and the window's directory slice under one mu_
+  // hold. Reads are allowed on degraded disks (same policy as Get's routing); failed
+  // and out-of-service disks are invisible to scans, like they are to ListShards.
+  std::vector<std::pair<int, std::shared_ptr<ShardStore>>> targets;
+  std::map<ShardId, int> owners;
+  {
+    LockGuard lock(mu_);
+    for (int d = 0; d < static_cast<int>(stores_.size()); ++d) {
+      if (in_service_[d] && health_[d] != DiskHealth::kFailed && stores_[d] != nullptr) {
+        targets.push_back({d, stores_[d]});
+      }
+    }
+    for (auto it = directory_.lower_bound(start); it != directory_.end() && it->first < end;
+         ++it) {
+      owners[it->first] = it->second;
+    }
+  }
+  uint64_t ticks = 0;
+  std::map<ShardId, std::pair<int, Bytes>> merged;  // id -> (source disk, value)
+  for (auto& [disk, target] : targets) {
+    const uint64_t start_ticks = target->extents().VirtualNow();
+    auto items_or = target->Scan(start, end, span.scope());
+    AbsorbTrackerHealth(disk, *target);
+    ticks += target->extents().VirtualNow() - start_ticks;
+    if (!items_or.ok()) {
+      span.AddTicks(ticks);
+      span.set_status(items_or.code());
+      op_ticks_->Record(ticks);
+      trace_.Record(TraceKind::kScan, start, disk, items_or.code(), ticks, span.id());
+      scan_err_->Increment();
+      return items_or.status();
+    }
+    for (ScanItem& item : items_or.value()) {
+      auto it = merged.find(item.id);
+      if (it == merged.end()) {
+        merged.emplace(item.id, std::make_pair(disk, std::move(item.value)));
+      } else {
+        // The same shard can transiently live on two disks mid-migration (the copy
+        // lands before the source's tombstone commits); the directory is the
+        // authority on which replica the request plane should see.
+        auto owner = owners.find(item.id);
+        if (owner != owners.end() && owner->second == disk) {
+          it->second = std::make_pair(disk, std::move(item.value));
+        }
+      }
+    }
+  }
+  ScanResult result;
+  result.trace_id = span.id();
+  result.items.reserve(merged.size());
+  for (auto& [id, entry] : merged) {
+    result.items.push_back(ScanItem{id, std::move(entry.second)});
+  }
+  span.AddTicks(ticks);
+  op_ticks_->Record(ticks);
+  trace_.Record(TraceKind::kScan, start, -1, StatusCode::kOk, ticks, span.id());
+  scan_ok_->Increment();
+  return result;
 }
 
 Result<DeleteResult> NodeServer::Delete(ShardId id) {

@@ -73,6 +73,14 @@ struct DeleteResult {
   const Dependency& dependency() const { return dep; }
 };
 
+// Result envelope of a range scan: the merged, key-ordered live shards in the window
+// plus the scan's root span id (SpanTree::Tree(trace_id) shows the per-disk store.scan
+// and lsm.scan children).
+struct ScanResult {
+  std::vector<ScanItem> items;  // key order
+  uint64_t trace_id = 0;
+};
+
 // Per-item outcome of a batched request-plane call. Failed items carry their status;
 // their dependency is trivially persistent. `span_id` is the item's "rpc.batch.item"
 // child span under the batch's root (0 when spans were not recorded for the item).
@@ -108,6 +116,13 @@ class NodeServer {
   Result<PutResult> Put(ShardId id, ByteSpan value);
   Result<Bytes> Get(ShardId id);
   Result<DeleteResult> Delete(ShardId id);
+
+  // Merged range scan: every live shard with id in the half-open window [start, end),
+  // in key order, fanned out across all in-service disks (a shard that transiently
+  // exists on two disks mid-migration resolves to the directory's owner). Fails whole
+  // if any disk's scan fails — a silent partial result would defeat the conformance
+  // oracle. An empty window (start >= end) returns an empty result.
+  Result<ScanResult> Scan(ShardId start, ShardId end);
 
   // Batched writes with group commit: items are routed and admission-checked
   // individually, grouped by owning disk, and each per-disk sub-batch commits through
@@ -238,6 +253,8 @@ class NodeServer {
   Counter* put_err_;
   Counter* get_ok_;
   Counter* get_err_;
+  Counter* scan_ok_;
+  Counter* scan_err_;
   Counter* delete_ok_;
   Counter* delete_err_;
   Counter* batch_puts_;

@@ -41,6 +41,21 @@ TEST_P(ConcurrencyBaseline, FlushReclaimPasses) {
   EXPECT_TRUE(result.ok) << result.error;
 }
 
+TEST_P(ConcurrencyBaseline, ScanFlushPasses) {
+  McResult result = McExplore(MakeScanFlushBody(), Pct(200, GetParam()));
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST_P(ConcurrencyBaseline, ScanCompactLevelPasses) {
+  McResult result = McExplore(MakeScanCompactBody(), Pct(200, GetParam()));
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST_P(ConcurrencyBaseline, CompactLevelReclaimPasses) {
+  McResult result = McExplore(MakeCompactLevelReclaimBody(), Pct(200, GetParam()));
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
 TEST_P(ConcurrencyBaseline, BufferPoolPasses) {
   McResult result = McExplore(MakeBufferPoolBody(), Pct(200, GetParam()));
   EXPECT_TRUE(result.ok) << result.error;
@@ -146,6 +161,17 @@ TEST_F(SeededConcurrencyBugs, Bug14FlushReclaimRaceCaught) {
   ScopedBug bug(SeededBug::kCompactReclaimMetadataRace);
   McResult result = McExplore(MakeFlushReclaimBody(), Pct(4000, 1));
   EXPECT_FALSE(result.ok);
+}
+
+// The leveled-compaction tombstone-lifetime bug: dropping tombstones during a
+// non-bottom merge resurrects the deleted key once the younger run is gone. The
+// scan/compact harness catches it even single-threaded, so a modest budget suffices.
+TEST_F(SeededConcurrencyBugs, TombstoneDropAboveBottomCaught) {
+  McResult result = McExplore(MakeScanCompactBody(/*seeded_tombstone_bug=*/true),
+                              Pct(500, 42));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.deadlock);
+  EXPECT_NE(result.error.find("resurrected"), std::string::npos) << result.error;
 }
 
 TEST_F(SeededConcurrencyBugs, Bug16BulkRaceCaught) {

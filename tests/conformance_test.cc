@@ -12,6 +12,7 @@
 #include "src/harness/kv_harness.h"
 #include "src/kv/shard_store.h"
 #include "src/harness/rpc_harness.h"
+#include "src/obs/flight_recorder.h"
 
 namespace ss {
 namespace {
@@ -45,6 +46,19 @@ TEST_P(ConformanceSeeds, KvHarnessPasses) {
 TEST_P(ConformanceSeeds, KvHarnessWithFailureInjectionPasses) {
   KvHarnessOptions options;
   options.failure_injection = true;
+  KvConformanceHarness harness(options);
+  auto runner = harness.MakeRunner({.seed = GetParam(), .num_cases = 120});
+  auto failure = runner.Run();
+  ASSERT_FALSE(failure.has_value()) << failure->message;
+}
+
+// Scan/CompactLevel ride the crash alphabet too: after a DirtyReboot the model adopts
+// the persisted state, so the exact scan-vs-oracle comparison inside the harness checks
+// that a post-crash scan sees exactly the persisted prefix — no lost persisted keys, no
+// resurrected deletes.
+TEST_P(ConformanceSeeds, KvHarnessWithCrashesAndScansPasses) {
+  KvHarnessOptions options;
+  options.crashes = true;
   KvConformanceHarness harness(options);
   auto runner = harness.MakeRunner({.seed = GetParam(), .num_cases = 120});
   auto failure = runner.Run();
@@ -110,6 +124,49 @@ TEST(ConformanceCoverage, OversizedCacheCreatesBlindSpotMetricCatchesIt) {
   EXPECT_EQ(steady_state_misses(1u << 20), 0u);
   // ...while a realistically small cache exercises it constantly.
   EXPECT_GT(steady_state_misses(8), 50u);
+}
+
+// The tentpole's seeded bug: CompactLevel drops tombstones above the bottom level,
+// resurrecting deleted shards once the younger run is merged away. The property test
+// must find it, minimize it, regenerate the original from the two-integer case seed,
+// and capture exactly one flight-recorder artifact from the minimized re-run.
+TEST(LsmSeededBug, TombstoneDropAboveBottomIsCaughtMinimizedAndRecorded) {
+  FaultRegistry::Global().DisableAll();
+  KvHarnessOptions options;
+  options.store.lsm.seeded_bug_drop_tombstones_above_bottom = true;
+  KvConformanceHarness harness(options);
+  auto runner = harness.MakeRunner({.seed = 7, .num_cases = 2000, .max_ops = 60});
+  auto failure = runner.Run();
+  ASSERT_TRUE(failure.has_value()) << "seeded tombstone-lifetime bug survived the search";
+  EXPECT_FALSE(failure->minimized.empty());
+  EXPECT_LE(failure->minimized.size(), failure->original.size());
+  // The failure needs the leveled-compaction machinery: the minimized sequence keeps
+  // at least one CompactLevel and the delete whose tombstone it loses.
+  bool has_compact_level = false;
+  bool has_delete = false;
+  for (const KvOp& op : failure->minimized) {
+    has_compact_level |= op.kind == KvOpKind::kCompactLevel;
+    has_delete |= op.kind == KvOpKind::kDelete;
+  }
+  EXPECT_TRUE(has_compact_level);
+  EXPECT_TRUE(has_delete);
+  // The case seed regenerates the original sequence exactly (two-integer replay).
+  const std::vector<KvOp> regenerated = runner.Generate(failure->case_seed);
+  ASSERT_EQ(regenerated.size(), failure->original.size());
+  for (size_t i = 0; i < regenerated.size(); ++i) {
+    EXPECT_EQ(regenerated[i].ToString(), failure->original[i].ToString());
+  }
+  // Re-run the minimized sequence once with the recorder armed: deterministic failure,
+  // one artifact carrying the violation, the op list, and the metrics.
+  FlightRecorder recorder("flight");
+  recorder.set_case_seed(failure->case_seed);
+  KvHarnessOptions armed = options;
+  armed.recorder = &recorder;
+  KvConformanceHarness rerun(armed);
+  auto replay_error = rerun.Run(failure->minimized);
+  ASSERT_TRUE(replay_error.has_value()) << "minimized sequence stopped failing";
+  EXPECT_EQ(*replay_error, failure->message);
+  ASSERT_EQ(recorder.written(), 1u);
 }
 
 // Determinism: a failing case replays identically (essential for minimization).

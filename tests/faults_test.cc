@@ -1,11 +1,17 @@
-// Unit tests for the seeded-bug registry and the disk fault injector.
+// Unit tests for the seeded-bug registry and the disk fault injector, plus
+// fault-injection regressions for the compaction retry loop.
 
 #include <gtest/gtest.h>
 
 #include "src/sync/sync.h"
 
+#include "src/cache/buffer_cache.h"
+#include "src/chunk/chunk_store.h"
+#include "src/dep/io_scheduler.h"
 #include "src/disk/disk.h"
 #include "src/faults/faults.h"
+#include "src/lsm/lsm_index.h"
+#include "src/superblock/extent_manager.h"
 
 namespace ss {
 namespace {
@@ -148,6 +154,113 @@ TEST(FaultInjector, ScopedFaultClearsOnScopeExit) {
   }
   EXPECT_FALSE(injector.AnyArmed());
   EXPECT_FALSE(injector.IsPermanentlyFailed(5));
+}
+
+// --- Compaction retry-loop fault injection ---------------------------------------------
+
+ShardRecord FaultTestRecord(uint32_t tag) {
+  ShardRecord record;
+  record.total_bytes = tag;
+  record.chunks.push_back(Locator{90000 + tag, tag, 1, 64});
+  return record;
+}
+
+struct LsmFaultStack {
+  InMemoryDisk disk{DiskGeometry{.extent_count = 12, .pages_per_extent = 16,
+                                 .page_size = 128}};
+  std::unique_ptr<IoScheduler> scheduler;
+  std::unique_ptr<ExtentManager> extents;
+  std::unique_ptr<BufferCache> cache;
+  std::unique_ptr<ChunkStore> chunks;
+  std::unique_ptr<LsmIndex> index;
+
+  void Open() {
+    index.reset();
+    scheduler = std::make_unique<IoScheduler>(&disk);
+    extents = std::make_unique<ExtentManager>(&disk, scheduler.get());
+    cache = std::make_unique<BufferCache>(extents.get(), 64);
+    chunks = std::make_unique<ChunkStore>(extents.get(), cache.get(), ChunkStoreOptions{});
+    index = std::move(LsmIndex::Open(extents.get(), chunks.get(), LsmOptions{}).value());
+  }
+
+  // Two flushed runs so compaction has a real merge to do.
+  void SeedTwoRuns() {
+    index->Put(1, FaultTestRecord(1), Dependency());
+    index->Put(2, FaultTestRecord(2), Dependency());
+    ASSERT_TRUE(index->Flush().ok());
+    index->Put(3, FaultTestRecord(3), Dependency());
+    ASSERT_TRUE(index->Flush().ok());
+    ASSERT_TRUE(scheduler->FlushAll().ok());
+  }
+};
+
+// A permanently failed run extent must abort Compact() on the first attempt with
+// kDiskFailed — not burn the remaining retries — and must leave nothing behind: no
+// output chunks were written (no orphans to reclaim), no extent stays pinned, and the
+// committed state is untouched. After the extent recovers, compaction succeeds.
+TEST(CompactionFaults, PermanentRunLoadFailureAbortsCleanlyWithoutOrphans) {
+  FaultRegistry::Global().DisableAll();
+  LsmFaultStack stack;
+  stack.Open();
+  stack.SeedTwoRuns();
+  ASSERT_EQ(stack.index->RunCount(), 2u);
+  const uint64_t version = stack.index->MetadataVersion();
+  const uint64_t puts_before = stack.chunks->metrics().Snapshot().counter("chunk.puts");
+
+  const Locator run = stack.index->RunLocators()[0];
+  {
+    ScopedFault guard(stack.disk.fault_injector());
+    stack.disk.fault_injector().FailAlways(run.extent, true);
+    stack.cache->DrainExtent(run.extent);  // force the read through to the failed disk
+    Status status = stack.index->Compact();
+    EXPECT_EQ(status.code(), StatusCode::kDiskFailed) << status.ToString();
+    // Aborted before writing any output: no orphaned chunks, no metadata churn.
+    EXPECT_EQ(stack.chunks->metrics().Snapshot().counter("chunk.puts"), puts_before);
+    EXPECT_EQ(stack.index->MetadataVersion(), version);
+    EXPECT_EQ(stack.index->RunCount(), 2u);
+  }
+  // The failed attempt pinned nothing: with the fault cleared the same compaction (and
+  // a reclamation sweep over the data extents) go through unobstructed.
+  ASSERT_TRUE(stack.index->Compact().ok());
+  EXPECT_EQ(stack.index->RunCount(), 1u);
+  EXPECT_TRUE(stack.index->Get(1).value().has_value());
+  EXPECT_TRUE(stack.index->Get(3).value().has_value());
+}
+
+// A metadata-write failure mid-compaction must roll the in-memory run list back to the
+// committed inputs. The pre-fix code left the never-persisted outputs in place, so the
+// in-memory index diverged from durable metadata: recovery (or a reclamation keyed off
+// the durable state) then served the wrong runs.
+TEST(CompactionFaults, MetadataWriteFailureRestoresCommittedRuns) {
+  FaultRegistry::Global().DisableAll();
+  LsmFaultStack stack;
+  stack.Open();
+  stack.SeedTwoRuns();
+  const uint64_t version = stack.index->MetadataVersion();
+  const std::vector<Locator> committed = stack.index->RunLocators();
+
+  {
+    ScopedFault guard(stack.disk.fault_injector());
+    for (ExtentId e : stack.extents->ExtentsOwnedBy(ExtentOwner::kLsmMetadata)) {
+      stack.disk.fault_injector().FailAlways(e, true);
+    }
+    Status status = stack.index->Compact();
+    ASSERT_FALSE(status.ok());
+    // Rollback: the committed runs are back in place, in order, and every key is
+    // still served from them.
+    EXPECT_EQ(stack.index->RunLocators(), committed);
+    EXPECT_EQ(stack.index->MetadataVersion(), version);
+    for (ShardId id = 1; id <= 3; ++id) {
+      EXPECT_TRUE(stack.index->Get(id).value().has_value()) << "key " << id;
+    }
+  }
+  // The in-memory state matches durable metadata again, so a crash-free reopen (and a
+  // later successful compaction) both see the full mapping.
+  ASSERT_TRUE(stack.scheduler->FlushAll().ok());
+  stack.Open();
+  EXPECT_EQ(stack.index->Keys().value().size(), 3u);
+  ASSERT_TRUE(stack.index->Compact().ok());
+  EXPECT_EQ(stack.index->Keys().value().size(), 3u);
 }
 
 TEST(FaultInjector, FailureRatesAreDeterministicPerSeed) {

@@ -276,6 +276,227 @@ TEST_F(LsmTest, AutoFlushAtThreshold) {
   EXPECT_EQ(index_->MemtableEntries(), 0u);
 }
 
+// --- Range scans -----------------------------------------------------------------------
+
+TEST_F(LsmTest, ScanMergesMemtableAndRuns) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  index_->Put(3, MakeRecord(3), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  index_->Put(2, MakeRecord(2), Dependency());   // memtable only
+  index_->Put(3, MakeRecord(30), Dependency());  // memtable shadows the run
+  auto items = index_->Scan(0, 100).value();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].id, 1u);
+  EXPECT_EQ(items[1].id, 2u);
+  EXPECT_EQ(items[2].id, 3u);
+  EXPECT_EQ(items[2].record, MakeRecord(30));
+}
+
+TEST_F(LsmTest, ScanRespectsHalfOpenWindow) {
+  for (ShardId id = 0; id < 6; ++id) {
+    index_->Put(id, MakeRecord(static_cast<uint32_t>(id)), Dependency());
+  }
+  auto items = index_->Scan(2, 5).value();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].id, 2u);
+  EXPECT_EQ(items[2].id, 4u);  // 5 excluded: half-open
+}
+
+TEST_F(LsmTest, ScanEmptyAndSingleKeyWindows) {
+  index_->Put(4, MakeRecord(4), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  EXPECT_TRUE(index_->Scan(4, 4).value().empty());   // empty window
+  EXPECT_TRUE(index_->Scan(9, 2).value().empty());   // inverted window
+  auto single = index_->Scan(4, 5).value();          // single-key window
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].id, 4u);
+  EXPECT_TRUE(index_->Scan(5, 100).value().empty());  // window past the only key
+}
+
+TEST_F(LsmTest, ScanSuppressesTombstones) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  index_->Put(2, MakeRecord(2), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  index_->Delete(1);  // memtable tombstone shadows the flushed value
+  auto items = index_->Scan(0, 10).value();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].id, 2u);
+  ASSERT_TRUE(index_->Flush().ok());  // tombstone now in a newer run
+  items = index_->Scan(0, 10).value();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].id, 2u);
+}
+
+// --- Bloom filters ---------------------------------------------------------------------
+
+TEST_F(LsmTest, BloomSkipsChunkReadsForAbsentKeys) {
+  for (ShardId id = 0; id < 10; ++id) {
+    index_->Put(id, MakeRecord(static_cast<uint32_t>(id)), Dependency());
+  }
+  ASSERT_TRUE(index_->Flush().ok());
+  const uint64_t gets_before = chunks_->metrics().Snapshot().counter("chunk.gets");
+  for (ShardId id = 1000; id < 1100; ++id) {
+    EXPECT_EQ(index_->Get(id).value(), std::nullopt);
+  }
+  const uint64_t chunk_reads = chunks_->metrics().Snapshot().counter("chunk.gets") - gets_before;
+  MetricsSnapshot snap = index_->metrics().Snapshot();
+  // ~10 bits/key keeps the false-positive rate around 1%; even a lenient bound proves
+  // the >=90% read-elimination target for absent keys.
+  EXPECT_LE(chunk_reads, 10u);
+  EXPECT_GE(snap.counter("lsm.bloom.miss"), 90u);
+  EXPECT_EQ(snap.counter("lsm.bloom.miss") + snap.counter("lsm.bloom.false_positive"), 100u);
+}
+
+TEST_F(LsmTest, BloomCountsHitsOnPresentKeys) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  EXPECT_TRUE(index_->Get(1).value().has_value());
+  EXPECT_GE(index_->metrics().Snapshot().counter("lsm.bloom.hit"), 1u);
+}
+
+TEST_F(LsmTest, BloomFiltersRebuiltOnRecovery) {
+  for (ShardId id = 0; id < 8; ++id) {
+    index_->Put(id, MakeRecord(static_cast<uint32_t>(id)), Dependency());
+  }
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_TRUE(scheduler_->FlushAll().ok());
+  Reopen();
+  const uint64_t gets_before = chunks_->metrics().Snapshot().counter("chunk.gets");
+  for (ShardId id = 500; id < 550; ++id) {
+    EXPECT_EQ(index_->Get(id).value(), std::nullopt);
+  }
+  // The recovered index must have working filters, not nulls that force chunk reads.
+  EXPECT_LE(chunks_->metrics().Snapshot().counter("chunk.gets") - gets_before, 5u);
+  EXPECT_GE(index_->metrics().Snapshot().counter("lsm.bloom.miss"), 45u);
+}
+
+// --- Leveled compaction ----------------------------------------------------------------
+
+TEST_F(LsmTest, CompactLevelMergesOneLevelDown) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  index_->Put(2, MakeRecord(2), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_EQ(index_->RunCountAtLevel(0), 2u);
+  ASSERT_TRUE(index_->CompactLevel(0).ok());
+  EXPECT_EQ(index_->RunCountAtLevel(0), 0u);
+  EXPECT_EQ(index_->RunCountAtLevel(1), 1u);
+  EXPECT_EQ(*index_->Get(1).value(), MakeRecord(1));
+  EXPECT_EQ(*index_->Get(2).value(), MakeRecord(2));
+}
+
+TEST_F(LsmTest, CompactLevelRejectsNegativeLevel) {
+  EXPECT_EQ(index_->CompactLevel(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LsmTest, CompactLevelOnEmptyLevelIsNoOp) {
+  const uint64_t version = index_->MetadataVersion();
+  ASSERT_TRUE(index_->CompactLevel(0).ok());
+  ASSERT_TRUE(index_->CompactLevel(3).ok());
+  EXPECT_EQ(index_->MetadataVersion(), version);
+}
+
+TEST_F(LsmTest, LevelsPersistAcrossRecovery) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_TRUE(index_->CompactLevel(0).ok());
+  index_->Put(2, MakeRecord(2), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  std::vector<int> levels = index_->RunLevels();
+  ASSERT_TRUE(scheduler_->FlushAll().ok());
+  Reopen();
+  EXPECT_EQ(index_->RunLevels(), levels);
+}
+
+// The satellite-1 regression: a tombstone must survive a compaction whose output is
+// not the bottom level, or the deleted key resurrects once the younger run is merged
+// away. Sequence: value pushed to the bottom, delete flushed to L0, L0 merged to L1
+// (non-bottom), then recovery — the shard must stay dead at every step.
+TEST_F(LsmTest, TombstoneSurvivesNonBottomCompactionAndRecovery) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  index_->Put(2, MakeRecord(2), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_TRUE(index_->CompactLevel(0).ok());
+  ASSERT_TRUE(index_->CompactLevel(1).ok());  // value for key 1 now at the bottom (L2)
+  index_->Delete(1);
+  ASSERT_TRUE(index_->Flush().ok());          // tombstone in an L0 run
+  ASSERT_TRUE(index_->CompactLevel(0).ok());  // merge to L1 — NOT the bottom
+  EXPECT_EQ(index_->Get(1).value(), std::nullopt) << "tombstone dropped above the bottom";
+  auto items = index_->Scan(0, 10).value();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].id, 2u);
+  ASSERT_TRUE(scheduler_->FlushAll().ok());
+  Reopen();
+  EXPECT_EQ(index_->Get(1).value(), std::nullopt) << "deleted shard resurrected by recovery";
+}
+
+TEST_F(LsmTest, TombstonesDroppedAtBottomMerge) {
+  index_->Put(1, MakeRecord(1), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  index_->Delete(1);
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_TRUE(index_->Compact().ok());  // full merge = bottom: tombstone reclaimed
+  EXPECT_EQ(index_->Get(1).value(), std::nullopt);
+  EXPECT_GE(index_->metrics().Snapshot().counter("lsm.tombstones_dropped"), 1u);
+  EXPECT_EQ(index_->RunCount(), 0u);  // nothing left to write
+}
+
+// The seeded-bug demonstration: with the tombstone-lifetime rule broken, the same
+// sequence as the regression test above resurrects the deleted shard.
+TEST_F(LsmTest, SeededTombstoneDropBugResurrectsDeletedShard) {
+  index_.reset();
+  LsmOptions options;
+  options.seeded_bug_drop_tombstones_above_bottom = true;
+  index_ = std::move(LsmIndex::Open(extents_.get(), chunks_.get(), options).value());
+  index_->Put(1, MakeRecord(1), Dependency());
+  index_->Put(2, MakeRecord(2), Dependency());
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_TRUE(index_->CompactLevel(0).ok());
+  ASSERT_TRUE(index_->CompactLevel(1).ok());
+  index_->Delete(1);
+  ASSERT_TRUE(index_->Flush().ok());
+  ASSERT_TRUE(index_->CompactLevel(0).ok());  // buggy: drops the tombstone above bottom
+  auto got = index_->Get(1).value();
+  ASSERT_TRUE(got.has_value()) << "expected the seeded bug to resurrect the shard";
+  EXPECT_EQ(*got, MakeRecord(1));
+}
+
+TEST_F(LsmTest, AutoTriggerKeepsLevelZeroBounded) {
+  index_.reset();
+  LsmOptions options;
+  options.level0_compaction_trigger = 2;
+  options.level_fanout = 2;
+  index_ = std::move(LsmIndex::Open(extents_.get(), chunks_.get(), options).value());
+  for (uint32_t round = 0; round < 8; ++round) {
+    index_->Put(round, MakeRecord(round), Dependency());
+    ASSERT_TRUE(index_->Flush().ok());
+    EXPECT_LT(index_->RunCountAtLevel(0), 2u) << "flush must trigger the L0 merge";
+  }
+  for (uint32_t round = 0; round < 8; ++round) {
+    EXPECT_EQ(*index_->Get(round).value(), MakeRecord(round));
+  }
+  EXPECT_GE(index_->metrics().Snapshot().counter("lsm.level_compactions"), 4u);
+}
+
+TEST_F(LsmTest, ScanUnchangedByCompactLevel) {
+  for (ShardId id = 0; id < 6; ++id) {
+    index_->Put(id, MakeRecord(static_cast<uint32_t>(id)), Dependency());
+    if (id % 2 == 1) {
+      ASSERT_TRUE(index_->Flush().ok());
+    }
+  }
+  index_->Delete(3);
+  ASSERT_TRUE(index_->Flush().ok());
+  auto before = index_->Scan(0, 100).value();
+  ASSERT_TRUE(index_->CompactLevel(0).ok());
+  auto after = index_->Scan(0, 100).value();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].id, after[i].id);
+    EXPECT_EQ(before[i].record, after[i].record);
+  }
+}
+
 TEST_F(LsmTest, StatsAccumulate) {
   index_->Put(1, MakeRecord(1), Dependency());
   index_->Delete(2);

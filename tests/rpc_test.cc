@@ -53,6 +53,62 @@ TEST_F(NodeServerTest, ListShardsMergesDisks) {
   EXPECT_EQ(listed.size(), 9u);
 }
 
+TEST_F(NodeServerTest, ScanMergesDisksInKeyOrderAndSkipsDeletes) {
+  for (ShardId id = 0; id < 20; ++id) {
+    ASSERT_TRUE(node_->Put(id, BytesOf("v" + std::to_string(id))).ok());
+  }
+  ASSERT_TRUE(node_->Delete(5).ok());
+  ASSERT_TRUE(node_->Delete(11).ok());
+  MetricsSnapshot before = node_->MetricsSnapshot();
+  ScanResult result = node_->Scan(3, 15).value();
+  // Live keys of [3, 15) in key order, values intact, regardless of which of the
+  // three disks each shard routed to.
+  std::vector<ShardId> want = {3, 4, 6, 7, 8, 9, 10, 12, 13, 14};
+  ASSERT_EQ(result.items.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(result.items[i].id, want[i]);
+    EXPECT_EQ(result.items[i].value, BytesOf("v" + std::to_string(want[i])));
+  }
+  // The envelope links to the causal span tree, the ring has the flat event, and the
+  // ok-counter moved.
+  EXPECT_NE(result.trace_id, 0u);
+  MetricsSnapshot after = node_->MetricsSnapshot();
+  EXPECT_EQ(CounterDelta(before, after, "rpc.scan.ok"), 1u);
+  EXPECT_EQ(CounterDelta(before, after, "rpc.scan.err"), 0u);
+  bool traced = false;
+  for (const TraceEvent& event : node_->trace().Events()) {
+    traced |= event.kind == TraceKind::kScan && event.root_span == result.trace_id &&
+              event.status == StatusCode::kOk;
+  }
+  EXPECT_TRUE(traced);
+}
+
+TEST_F(NodeServerTest, ScanEmptyAndInvertedWindowsAreEmpty) {
+  ASSERT_TRUE(node_->Put(7, BytesOf("seven")).ok());
+  EXPECT_TRUE(node_->Scan(7, 7).value().items.empty());
+  EXPECT_TRUE(node_->Scan(9, 2).value().items.empty());
+  // A single-key window sees exactly that key.
+  ScanResult single = node_->Scan(7, 8).value();
+  ASSERT_EQ(single.items.size(), 1u);
+  EXPECT_EQ(single.items[0].id, 7u);
+}
+
+TEST_F(NodeServerTest, ScanSkipsOutOfServiceDisks) {
+  for (ShardId id = 0; id < 12; ++id) {
+    ASSERT_TRUE(node_->Put(id, BytesOf("v")).ok());
+  }
+  ASSERT_TRUE(node_->RemoveDiskFromService(0).ok());
+  // Like ListShards, the scan covers only in-service disks — shards homed on the
+  // removed disk drop out of the window instead of failing the whole scan.
+  ScanResult result = node_->Scan(0, 12).value();
+  EXPECT_LT(result.items.size(), 12u);
+  for (const ScanItem& item : result.items) {
+    EXPECT_NE(node_->DiskFor(item.id), 0);
+  }
+  ASSERT_TRUE(node_->RestoreDisk(0).ok());
+  EXPECT_EQ(node_->Scan(0, 12).value().items.size(), 12u);
+}
+
 TEST_F(NodeServerTest, RemovedDiskIsUnavailable) {
   // Find a shard on disk 0.
   ShardId victim = 0;
