@@ -1,0 +1,263 @@
+// Load generator over the disk seam (PR 8): zipfian key skew, a configurable
+// read/write/scan mix, and a batch-size sweep, run against BOTH disk backends — the
+// in-memory reference image and the durable file-backed log. The payload of each run
+// is the per-stage span latency histograms (span.*.ticks, the PR-4 observability
+// surface): p50/p99/p999 per stage land in the bench JSON, so BENCH_load.json shows
+// what the fsync barrier of the file backend costs each request-plane stage.
+//
+//   $ ./build/bench/bench_load_gen
+//   $ ./scripts/emit_bench_json.sh load        # -> BENCH_load.json
+//
+// Args are {backend, read_pct, write_pct, batch_size}; the scan share is the
+// remainder. backend: 0 = InMemoryDisk, 1 = FileDisk (under a scratch directory that
+// is recreated per node and removed at the end of the run).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/disk/file_disk.h"
+#include "src/rpc/node_server.h"
+
+using namespace ss;
+
+namespace {
+
+constexpr uint64_t kKeySpace = 512;     // distinct keys the generator draws from
+constexpr double kZipfTheta = 0.99;     // classic YCSB skew
+constexpr uint64_t kScanWindow = 16;    // keys per range scan
+constexpr size_t kSegmentWrites = 384;  // node recycle period (bounds reclaim debt)
+
+DiskGeometry LoadGeometry() {
+  return DiskGeometry{.extent_count = 128, .pages_per_extent = 64, .page_size = 256};
+}
+
+// Precomputed zipfian CDF over ranks; ranks are scrambled over the key space so the
+// hot keys spread across both disks instead of clustering on one shard route.
+class ZipfianKeys {
+ public:
+  ZipfianKeys(uint64_t n, double theta) : n_(n) {
+    double norm = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      norm += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    cdf_.reserve(n);
+    double acc = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), theta) / norm;
+      cdf_.push_back(acc);
+    }
+  }
+
+  ShardId Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const uint64_t rank = static_cast<uint64_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return (rank * 0x9E3779B97F4A7C15ULL) % n_;  // golden-ratio scramble
+  }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+Bytes MakeValue(size_t size, uint8_t tag) {
+  Bytes out(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>(tag + i);
+  }
+  return out;
+}
+
+std::filesystem::path ScratchRoot() {
+  return std::filesystem::temp_directory_path() / "bench_load_gen";
+}
+
+std::unique_ptr<NodeServer> MakeLoadNode(bool file_backend) {
+  static int next_node = 0;
+  NodeServerOptions options;
+  options.disk_count = 2;
+  options.geometry = LoadGeometry();
+  options.store.lsm.memtable_flush_entries = 8;
+  if (file_backend) {
+    const std::filesystem::path root = ScratchRoot() / ("node-" + std::to_string(next_node++));
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    options.disk_backend =
+        DiskBackendConfig{.kind = DiskBackendKind::kFile, .file_root = root.string()};
+  }
+  return std::move(NodeServer::Create(options).value());
+}
+
+// Span histograms and op/fsync counters accumulated across the untimed node recycles
+// (a metrics snapshot dies with its node).
+struct LoadTotals {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t scans = 0;
+  uint64_t scanned_items = 0;
+  uint64_t fsyncs = 0;
+  std::map<std::string, HistogramSnapshot> span_hists;
+
+  void Harvest(NodeServer& node) {
+    const MetricsSnapshot snap = node.MetricsSnapshot();
+    for (const auto& [name, hist] : snap.histograms) {
+      if (name.rfind("span.", 0) != 0) {
+        continue;
+      }
+      HistogramSnapshot& acc = span_hists[name];
+      if (acc.counts.empty()) {
+        acc = hist;
+        continue;
+      }
+      acc.count += hist.count;
+      acc.sum += hist.sum;
+      for (size_t i = 0; i < acc.counts.size() && i < hist.counts.size(); ++i) {
+        acc.counts[i] += hist.counts[i];
+      }
+    }
+    for (int d = 0; d < node.disk_count(); ++d) {
+      if (auto* file = dynamic_cast<FileDisk*>(&node.disk(d))) {
+        fsyncs += file->fsync_count();
+      }
+    }
+  }
+
+  void Export(benchmark::State& state) const {
+    // p50/p99/p999 per request-plane stage, flattened for the bench JSON.
+    for (const auto& [name, hist] : span_hists) {
+      std::string flat = name;
+      for (char& c : flat) {
+        if (c == '.') {
+          c = '_';
+        }
+      }
+      state.counters[flat + "_count"] = static_cast<double>(hist.count);
+      state.counters[flat + "_p50"] = static_cast<double>(hist.ValueAtQuantile(0.5));
+      state.counters[flat + "_p99"] = static_cast<double>(hist.ValueAtQuantile(0.99));
+      state.counters[flat + "_p999"] = static_cast<double>(hist.ValueAtQuantile(0.999));
+    }
+    state.counters["ops_read"] = static_cast<double>(reads);
+    state.counters["ops_write"] = static_cast<double>(writes);
+    state.counters["ops_scan"] = static_cast<double>(scans);
+    state.counters["scan_items"] = static_cast<double>(scanned_items);
+    state.counters["disk_fsyncs"] = static_cast<double>(fsyncs);
+  }
+};
+
+// One mixed workload: each iteration performs one operation drawn from the
+// {read, write, scan} mix against a zipfian key. Writes of batch_size > 1 go through
+// PutBatch (group commit); every write settles its disk so the file backend's fsync
+// barrier is on the measured path, exactly like a durability-acking server.
+void BM_ZipfianMix(benchmark::State& state) {
+  const bool file_backend = state.range(0) != 0;
+  const uint64_t read_pct = static_cast<uint64_t>(state.range(1));
+  const uint64_t write_pct = static_cast<uint64_t>(state.range(2));
+  const size_t batch_size = static_cast<size_t>(state.range(3));
+
+  const ZipfianKeys keys(kKeySpace, kZipfTheta);
+  Rng rng(0x10adbeef);
+  const Bytes value = MakeValue(120, 7);
+
+  LoadTotals totals;
+  std::unique_ptr<NodeServer> node;
+  size_t writes_in_segment = 0;
+  uint64_t items = 0;
+
+  for (auto _ : state) {
+    if (node == nullptr || writes_in_segment + batch_size > kSegmentWrites) {
+      state.PauseTiming();
+      if (node != nullptr) {
+        totals.Harvest(*node);
+      }
+      node = MakeLoadNode(file_backend);
+      // Preload the key space so reads and scans hit live shards.
+      std::vector<std::pair<ShardId, Bytes>> preload;
+      for (ShardId id = 0; id < kKeySpace; ++id) {
+        preload.emplace_back(id, value);
+        if (preload.size() == 64) {
+          (void)node->PutBatch(preload);
+          preload.clear();
+        }
+      }
+      (void)node->PutBatch(preload);
+      (void)node->FlushAllDisks();
+      writes_in_segment = 0;
+      state.ResumeTiming();
+    }
+
+    const uint64_t roll = rng.Below(100);
+    if (roll < read_pct) {
+      benchmark::DoNotOptimize(node->Get(keys.Next(rng)));
+      ++totals.reads;
+      ++items;
+    } else if (roll < read_pct + write_pct) {
+      if (batch_size <= 1) {
+        benchmark::DoNotOptimize(node->Put(keys.Next(rng), value));
+      } else {
+        std::vector<std::pair<ShardId, Bytes>> batch;
+        batch.reserve(batch_size);
+        for (size_t k = 0; k < batch_size; ++k) {
+          batch.emplace_back(keys.Next(rng), value);
+        }
+        benchmark::DoNotOptimize(node->PutBatch(batch));
+      }
+      (void)node->FlushAllDisks();  // commit barrier: durable before the ack
+      writes_in_segment += batch_size;
+      ++totals.writes;
+      items += batch_size;
+    } else {
+      const ShardId start = keys.Next(rng);
+      Result<ScanResult> scan = node->Scan(start, start + kScanWindow);
+      if (scan.ok()) {
+        totals.scanned_items += scan.value().items.size();
+      }
+      ++totals.scans;
+      ++items;
+    }
+  }
+
+  totals.Harvest(*node);
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+  state.SetLabel(file_backend ? "backend:file" : "backend:inmem");
+  totals.Export(state);
+}
+
+// Read-heavy, write-heavy, and scan-bearing mixes, each on both backends.
+BENCHMARK(BM_ZipfianMix)
+    ->Args({0, 70, 25, 1})
+    ->Args({1, 70, 25, 1})
+    ->Args({0, 20, 75, 1})
+    ->Args({1, 20, 75, 1})
+    ->Args({0, 45, 45, 1})
+    ->Args({1, 45, 45, 1})
+    ->Iterations(1200);
+
+// Batch-size sweep on a pure write load: the group-commit amortization curve, and for
+// the file backend the fsync-per-item curve.
+BENCHMARK(BM_ZipfianMix)
+    ->Args({0, 0, 100, 4})
+    ->Args({0, 0, 100, 16})
+    ->Args({0, 0, 100, 64})
+    ->Args({1, 0, 100, 4})
+    ->Args({1, 0, 100, 16})
+    ->Args({1, 0, 100, 64})
+    ->Iterations(200);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::error_code ec;
+  std::filesystem::remove_all(ScratchRoot(), ec);  // drop the file-backend scratch trees
+  return 0;
+}

@@ -9,11 +9,13 @@
 #                                  flush cost (lsm.bloom.hit/miss/false_positive)
 #   fault    bench_fault_recovery  retry/health machinery cost under fault storms
 #   cluster  bench_cluster_quorum  quorum replication: clean/degraded/lossy paths
+#   load     bench_load_gen        zipfian mixed load on both disk backends
+#                                  (span.*.ticks p50/p99/p999 per stage, fsync counts)
 #
 # Usage: scripts/emit_bench_json.sh [area ...]    (default: all areas)
 # Honors BUILD_DIR (default: build) and BENCH_ARGS (extra benchmark flags, e.g.
 # --benchmark_filter=BM_QuorumPut). Requires the benches to be built:
-#   cmake --build "$BUILD_DIR" -j --target bench_kv_ops bench_fault_recovery bench_cluster_quorum
+#   cmake --build "$BUILD_DIR" -j --target bench_kv_ops bench_fault_recovery bench_cluster_quorum bench_load_gen
 
 set -euo pipefail
 
@@ -25,7 +27,8 @@ bench_binary() {
     kv | lsm) echo bench_kv_ops ;;
     fault) echo bench_fault_recovery ;;
     cluster) echo bench_cluster_quorum ;;
-    *) echo "error: unknown bench area '$1' (want: kv lsm fault cluster)" >&2; return 1 ;;
+    load) echo bench_load_gen ;;
+    *) echo "error: unknown bench area '$1' (want: kv lsm fault cluster load)" >&2; return 1 ;;
   esac
 }
 
@@ -74,7 +77,7 @@ normalize() {
 
 areas=("$@")
 if [ "${#areas[@]}" -eq 0 ]; then
-  areas=(kv lsm fault cluster)
+  areas=(kv lsm fault cluster load)
 fi
 
 scratch=$(mktemp -d)

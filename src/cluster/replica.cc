@@ -47,14 +47,14 @@ Result<std::unique_ptr<ClusterNode>> ClusterNode::Create(int id, NodeServerOptio
 }
 
 Result<std::optional<ReplicaRecord>> ClusterNode::ReadLocked(ShardId key) {
-  Result<Bytes> raw = server_->Get(key);
+  Result<GetResult> raw = server_->Get(key);
   if (!raw.ok()) {
     if (raw.status().code() == StatusCode::kNotFound) {
       return std::optional<ReplicaRecord>{};
     }
     return raw.status();
   }
-  Result<ReplicaRecord> record = DecodeReplicaRecord(ByteSpan(raw.value()));
+  Result<ReplicaRecord> record = DecodeReplicaRecord(ByteSpan(raw.value().value));
   if (!record.ok()) {
     return record.status();
   }

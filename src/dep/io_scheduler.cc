@@ -7,7 +7,7 @@
 
 namespace ss {
 
-IoScheduler::IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics) : disk_(disk) {
+IoScheduler::IoScheduler(Disk* disk, MetricRegistry* metrics) : disk_(disk) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricRegistry>();
     metrics = owned_metrics_.get();

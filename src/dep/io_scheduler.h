@@ -1,7 +1,7 @@
 // IO scheduler: orders writebacks to the disk according to the dependency graph.
 //
 // All persistence flows through here. Layers above enqueue writeback records; the
-// scheduler issues a record to the InMemoryDisk only when
+// scheduler issues a record to the Disk backend only when
 //   (a) every input dependency of the record is already persistent, and
 //   (b) all earlier records in the record's *sequence domain* have been issued.
 // Sequence domains capture orderings the medium itself enforces: appends within one
@@ -39,7 +39,7 @@ class IoScheduler {
  public:
   // Metrics land in `metrics` when provided; otherwise the scheduler owns a private
   // registry so direct construction keeps working in tests.
-  explicit IoScheduler(InMemoryDisk* disk, MetricRegistry* metrics = nullptr);
+  explicit IoScheduler(Disk* disk, MetricRegistry* metrics = nullptr);
 
   // --- Enqueue (called by ExtentManager) ----------------------------------------------
   // Each call returns the leaf dependency of the new record. `scope`, when active,
@@ -145,7 +145,7 @@ class IoScheduler {
   Status IssueLocked(Record& record);
 
   mutable Mutex mu_{MutexAttr{"io.scheduler", lockrank::kIo}};
-  InMemoryDisk* disk_;
+  Disk* disk_;
   std::deque<Record> queue_;
   uint64_t next_seq_ = 0;
   uint32_t coalesce_depth_ = 0;

@@ -98,6 +98,17 @@ bool DiskFaultInjector::AnyArmed() const {
          read_rate_ > 0.0 || write_rate_ > 0.0;
 }
 
+Result<Bytes> disk::Disk::ReadPages(ExtentId extent, uint32_t first_page,
+                                    uint32_t count) const {
+  Bytes out;
+  out.reserve(uint64_t{count} * geometry().page_size);
+  for (uint32_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(Bytes page, ReadPage(extent, first_page + i));
+    out.insert(out.end(), page.begin(), page.end());
+  }
+  return out;
+}
+
 InMemoryDisk::InMemoryDisk(DiskGeometry geometry) : geometry_(geometry) {
   pages_.resize(uint64_t{geometry_.extent_count} * geometry_.pages_per_extent);
   soft_wp_.assign(geometry_.extent_count, 0);
@@ -138,17 +149,6 @@ Result<Bytes> InMemoryDisk::PeekPage(ExtentId extent, uint32_t page) const {
     return Bytes(geometry_.page_size, 0);
   }
   return slot;
-}
-
-Result<Bytes> InMemoryDisk::ReadPages(ExtentId extent, uint32_t first_page,
-                                      uint32_t count) const {
-  Bytes out;
-  out.reserve(uint64_t{count} * geometry_.page_size);
-  for (uint32_t i = 0; i < count; ++i) {
-    SS_ASSIGN_OR_RETURN(Bytes page, ReadPage(extent, first_page + i));
-    out.insert(out.end(), page.begin(), page.end());
-  }
-  return out;
 }
 
 Status InMemoryDisk::WriteSoftWp(ExtentId extent, uint32_t wp_pages) {

@@ -1,11 +1,16 @@
-// In-memory user-space disk.
+// The disk seam: an abstract page/extent device plus the in-memory reference backend.
 //
 // The paper's harnesses run the real ShardStore stack against an in-memory disk for
-// determinism and speed (section 4.1); this is that disk. It models:
+// determinism and speed (section 4.1). This header defines the *interface* every
+// backend must satisfy (`ss::disk::Disk`) and the reference implementation
+// (`InMemoryDisk`). A second, file-backed implementation lives in file_disk.h; the
+// conformance suite cross-validates that both produce identical persisted state for
+// identical op sequences. The model:
 //   * extents: contiguous page arrays with append-only write discipline,
 //   * a *persistent image* only — volatile state (pending writebacks, caches, memtables)
 //     lives in the layers above, so "crash" is simply "discard the layers above and
-//     reopen the disk",
+//     reopen the disk" (backends with a write buffer additionally drop their unsynced
+//     tail — see the crash hooks on Disk),
 //   * a superblock region holding per-extent soft write pointers and extent ownership
 //     (the structured equivalent of extent 0 in Figure 2),
 //   * injectable IO failures (FailDiskOnce-style, section 4.4).
@@ -100,54 +105,113 @@ class ScopedFault {
   DiskFaultInjector& injector_;
 };
 
-// The persistent image of one disk. All mutators are invoked by the IO scheduler when a
-// writeback is issued (or by crash application); higher layers never write directly.
-class InMemoryDisk {
- public:
-  explicit InMemoryDisk(DiskGeometry geometry = {});
+namespace disk {
 
-  const DiskGeometry& geometry() const { return geometry_; }
+// Abstract page/extent device. All mutators are invoked by the IO scheduler when a
+// writeback is issued (or by crash application); higher layers never write directly.
+//
+// Interface contract every backend must satisfy:
+//   * WritePage writes exactly one page; shorter data is zero-padded to page_size.
+//   * ReadPage/PeekPage return a full page (all zeros if never written). PeekPage is
+//     the recovery read path: identical contents, but callers above never subject it
+//     to fault injection (injected faults target the running system's IO, not the
+//     post-reboot snapshot copy).
+//   * Fault injection is enforced one layer up (ExtentManager::CheckIo), where
+//     failures surface synchronously to the operation that caused the IO; the disk
+//     itself only fails on real environmental errors (kDiskFailed from a file
+//     backend) or caller misuse (kInvalidArgument).
+//   * WriteSoftWp is the durability barrier: a backend with a write buffer must make
+//     every previously written page of that extent durable before the new pointer is
+//     persisted (soft-updates rule "data before the pointer that exposes it").
+//   * Crash hooks: Sync() forces everything buffered durable; DropUnsynced() models a
+//     power cut by discarding buffered-but-unsynced writes, restoring the last synced
+//     image. For InMemoryDisk every write is durable on issue, so both are no-ops and
+//     "crash" remains exactly IoScheduler::Crash + reopen. The crash-enumeration and
+//     fault-injection harnesses call DropUnsynced() between scheduler crash and
+//     recovery so they run unchanged against buffered backends.
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  virtual const DiskGeometry& geometry() const = 0;
 
   // --- Data pages -------------------------------------------------------------------
-  // Writes exactly one page. `data` shorter than page_size is zero-padded. Fault
-  // injection is enforced one layer up (ExtentManager), where failures surface
-  // synchronously to the operation that caused the IO; the disk itself never fails.
-  Status WritePage(ExtentId extent, uint32_t page, ByteSpan data);
+  virtual Status WritePage(ExtentId extent, uint32_t page, ByteSpan data) = 0;
+  virtual Result<Bytes> ReadPage(ExtentId extent, uint32_t page) const = 0;
+  virtual Result<Bytes> PeekPage(ExtentId extent, uint32_t page) const = 0;
 
-  // Reads one page (zeros if never written).
-  Result<Bytes> ReadPage(ExtentId extent, uint32_t page) const;
+  // Reads `count` consecutive pages into one buffer. Default: page-at-a-time loop.
+  virtual Result<Bytes> ReadPages(ExtentId extent, uint32_t first_page,
+                                  uint32_t count) const;
 
-  // Recovery read path: same contents as ReadPage but never subject to fault injection
-  // (used to rebuild the in-memory extent image after a reboot; injected faults target
-  // the running system's IO, not the snapshot copy).
-  Result<Bytes> PeekPage(ExtentId extent, uint32_t page) const;
+  // --- Superblock region ----------------------------------------------------------
+  // Persisted soft write pointer (in pages) for an extent. Durability barrier: see
+  // the class comment.
+  virtual Status WriteSoftWp(ExtentId extent, uint32_t wp_pages) = 0;
+  virtual uint32_t ReadSoftWp(ExtentId extent) const = 0;
 
-  // Reads `count` consecutive pages into one buffer.
-  Result<Bytes> ReadPages(ExtentId extent, uint32_t first_page, uint32_t count) const;
+  virtual Status WriteOwnership(ExtentId extent, ExtentOwner owner) = 0;
+  virtual ExtentOwner ReadOwnership(ExtentId extent) const = 0;
 
-  // --- Superblock region ---------------------------------------------------------------
-  // Persisted soft write pointer (in pages) for an extent.
-  Status WriteSoftWp(ExtentId extent, uint32_t wp_pages);
-  uint32_t ReadSoftWp(ExtentId extent) const;
+  // --- Reset ------------------------------------------------------------------------
+  // Applied when an extent-reset writeback is issued: page *contents are retained*
+  // (nothing is physically erased) — only the superblock soft pointer write makes the
+  // old data unreachable. This mirrors real extent resets and is what makes stale-data
+  // resurrection bugs (#7) expressible.
+  virtual Status ResetExtentRegion(ExtentId extent) = 0;
 
-  Status WriteOwnership(ExtentId extent, ExtentOwner owner);
-  ExtentOwner ReadOwnership(ExtentId extent) const;
+  // --- Crash hooks ------------------------------------------------------------------
+  // Forces everything buffered durable (data pages and superblock records).
+  virtual Status Sync() { return Status::Ok(); }
+  // Crash simulation: discards buffered-but-unsynced writes, leaving the last synced
+  // image. A no-op for backends whose writes are durable on issue.
+  virtual void DropUnsynced() {}
+
+  // Total pages with a nonzero persisted soft write pointer — diagnostics only.
+  virtual uint64_t LivePages() const = 0;
 
   // Monotonic superblock epoch, bumped by recovery so tests can count reboots.
   void BumpEpoch() { ++epoch_; }
   uint64_t epoch() const { return epoch_; }
 
-  // --- Reset -----------------------------------------------------------------------
-  // Applied when an extent-reset writeback is issued: page *contents are retained*
-  // (nothing is physically erased) — only the superblock soft pointer write makes the
-  // old data unreachable. This mirrors real extent resets and is what makes stale-data
-  // resurrection bugs (#7) expressible.
-  Status ResetExtentRegion(ExtentId extent);
-
   DiskFaultInjector& fault_injector() { return faults_; }
 
-  // Total pages with a nonzero persisted soft write pointer — diagnostics only.
-  uint64_t LivePages() const;
+ protected:
+  Disk() = default;
+
+  uint64_t epoch_ = 0;
+  mutable DiskFaultInjector faults_;
+};
+
+}  // namespace disk
+
+using disk::Disk;
+
+// The reference backend: a deterministic, purely in-memory persistent image. Every
+// write is durable the moment it is issued, which keeps "crash" equal to the IO
+// scheduler's dependency-closed writeback subsets with nothing extra to drop.
+class InMemoryDisk final : public Disk {
+ public:
+  explicit InMemoryDisk(DiskGeometry geometry = {});
+
+  const DiskGeometry& geometry() const override { return geometry_; }
+
+  Status WritePage(ExtentId extent, uint32_t page, ByteSpan data) override;
+  Result<Bytes> ReadPage(ExtentId extent, uint32_t page) const override;
+  Result<Bytes> PeekPage(ExtentId extent, uint32_t page) const override;
+
+  Status WriteSoftWp(ExtentId extent, uint32_t wp_pages) override;
+  uint32_t ReadSoftWp(ExtentId extent) const override;
+
+  Status WriteOwnership(ExtentId extent, ExtentOwner owner) override;
+  ExtentOwner ReadOwnership(ExtentId extent) const override;
+
+  Status ResetExtentRegion(ExtentId extent) override;
+
+  uint64_t LivePages() const override;
 
  private:
   Status CheckRange(ExtentId extent, uint32_t page) const;
@@ -157,8 +221,6 @@ class InMemoryDisk {
   std::vector<Bytes> pages_;
   std::vector<uint32_t> soft_wp_;
   std::vector<ExtentOwner> ownership_;
-  uint64_t epoch_ = 0;
-  mutable DiskFaultInjector faults_;
 };
 
 }  // namespace ss

@@ -1,0 +1,493 @@
+#include "src/disk/file_disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/crc32c.h"
+
+namespace ss {
+
+namespace {
+
+// Record framing (SNIPPETS.md snippet 2, plus a trailing crc32c):
+//   1 byte  record status (2 = valid)
+//   2 bytes key length   (LE)
+//   8 bytes value length (LE)
+//   key bytes, value bytes
+//   4 bytes crc32c over everything above (LE)
+constexpr size_t kHeaderSize = 11;
+constexpr uint8_t kRecValid = 2;
+constexpr size_t kCrcSize = 4;
+
+// Superblock record tags (first key byte; the remaining 4 key bytes are the extent).
+constexpr uint8_t kTagGeometry = 'g';
+constexpr uint8_t kTagSoftWp = 'w';
+constexpr uint8_t kTagOwnership = 'o';
+
+// Extent-log keys are the 4-byte page index; superblock keys are tag + extent.
+constexpr size_t kExtentKeySize = 4;
+constexpr size_t kSuperKeySize = 5;
+
+void PutU16(Bytes& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (uint16_t{p[1]} << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+// Appends one framed record (header + key + value + crc) to `out`.
+void AppendRecord(Bytes& out, ByteSpan key, ByteSpan value) {
+  const size_t start = out.size();
+  out.push_back(kRecValid);
+  PutU16(out, static_cast<uint16_t>(key.size()));
+  PutU64(out, value.size());
+  out.insert(out.end(), key.begin(), key.end());
+  out.insert(out.end(), value.begin(), value.end());
+  const uint32_t crc = Crc32c(out.data() + start, out.size() - start);
+  PutU32(out, crc);
+}
+
+// One parsed record; `key`/`value` point into the replay buffer.
+struct ParsedRecord {
+  ByteSpan key;
+  ByteSpan value;
+};
+
+// Parses the record at `pos`. Returns false — without advancing — when the bytes at
+// `pos` are not one complete, checksum-valid record (torn tail or corruption); replay
+// stops there and truncates.
+bool ParseRecord(const Bytes& buf, size_t pos, size_t max_value, ParsedRecord& rec,
+                 size_t& next) {
+  if (buf.size() - pos < kHeaderSize) {
+    return false;
+  }
+  const uint8_t* p = buf.data() + pos;
+  if (p[0] != kRecValid) {
+    return false;
+  }
+  const uint16_t key_len = GetU16(p + 1);
+  const uint64_t val_len = GetU64(p + 3);
+  if (key_len > kSuperKeySize || val_len > max_value) {
+    return false;
+  }
+  const size_t body = kHeaderSize + key_len + static_cast<size_t>(val_len);
+  if (buf.size() - pos < body + kCrcSize) {
+    return false;
+  }
+  const uint32_t want = GetU32(p + body);
+  if (Crc32c(p, body) != want) {
+    return false;
+  }
+  rec.key = ByteSpan(p + kHeaderSize, key_len);
+  rec.value = ByteSpan(p + kHeaderSize + key_len, static_cast<size_t>(val_len));
+  next = pos + body + kCrcSize;
+  return true;
+}
+
+Status WriteAll(int fd, ByteSpan data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::DiskFailed(std::string("filedisk: write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadWholeFile(int fd) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    return Status::DiskFailed(std::string("filedisk: fstat: ") + std::strerror(errno));
+  }
+  Bytes buf(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::pread(fd, buf.data() + off, buf.size() - off,
+                              static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::DiskFailed(std::string("filedisk: pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      buf.resize(off);  // short read: the tail vanished; replay treats it as torn
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& dir,
+                                                 DiskGeometry geometry) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::DiskFailed("filedisk: create_directories(" + dir +
+                              "): " + ec.message());
+  }
+  std::unique_ptr<FileDisk> disk(new FileDisk(dir, geometry));
+  disk->super_fd_ = ::open(disk->SuperblockPath().c_str(),
+                           O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0644);
+  if (disk->super_fd_ < 0) {
+    return Status::DiskFailed(std::string("filedisk: open superblock: ") +
+                              std::strerror(errno));
+  }
+  SS_RETURN_IF_ERROR(disk->Recover());
+  return disk;
+}
+
+FileDisk::FileDisk(std::string dir, DiskGeometry geometry)
+    : dir_(std::move(dir)), geometry_(geometry) {
+  const size_t total = size_t{geometry_.extent_count} * geometry_.pages_per_extent;
+  pages_.resize(total);
+  synced_pages_.resize(total);
+  pending_.resize(geometry_.extent_count);
+  extent_fds_.assign(geometry_.extent_count, -1);
+  soft_wp_.assign(geometry_.extent_count, 0);
+  ownership_.assign(geometry_.extent_count, ExtentOwner::kFree);
+}
+
+FileDisk::~FileDisk() {
+  (void)Sync();  // clean shutdown; a simulated crash calls DropUnsynced() first
+  for (int fd : extent_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  if (super_fd_ >= 0) {
+    ::close(super_fd_);
+  }
+}
+
+std::string FileDisk::ExtentFilePath(ExtentId extent) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "extent-%04u.log", extent);
+  return dir_ + "/" + name;
+}
+
+std::string FileDisk::SuperblockPath() const { return dir_ + "/superblock.log"; }
+
+Status FileDisk::CheckRange(ExtentId extent, uint32_t page) const {
+  if (extent >= geometry_.extent_count || page >= geometry_.pages_per_extent) {
+    return Status::InvalidArgument("disk: extent/page out of range");
+  }
+  return Status::Ok();
+}
+
+Status FileDisk::Recover() {
+  LockGuard lock(mu_);
+  bool found_geometry = false;
+  SS_RETURN_IF_ERROR(ReplaySuperblock(found_geometry));
+  if (!found_geometry) {
+    // Fresh directory: persist the geometry header so a later reopen can validate.
+    Bytes value;
+    PutU32(value, geometry_.extent_count);
+    PutU32(value, geometry_.pages_per_extent);
+    PutU32(value, geometry_.page_size);
+    SS_RETURN_IF_ERROR(AppendSuperblockLocked(kTagGeometry, 0, value));
+  }
+  for (ExtentId e = 0; e < geometry_.extent_count; ++e) {
+    SS_RETURN_IF_ERROR(ReplayExtent(e));
+  }
+  pages_ = synced_pages_;
+  return Status::Ok();
+}
+
+Status FileDisk::ReplaySuperblock(bool& found_geometry) {
+  SS_ASSIGN_OR_RETURN(Bytes buf, ReadWholeFile(super_fd_));
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    ParsedRecord rec;
+    size_t next = 0;
+    if (!ParseRecord(buf, pos, /*max_value=*/16, rec, next)) {
+      break;  // torn tail: valid prefix ends here
+    }
+    if (rec.key.size() == kSuperKeySize) {
+      const uint8_t tag = rec.key[0];
+      const ExtentId extent = GetU32(rec.key.data() + 1);
+      if (tag == kTagGeometry && rec.value.size() == 12) {
+        found_geometry = true;
+        const DiskGeometry stored{GetU32(rec.value.data()), GetU32(rec.value.data() + 4),
+                                  GetU32(rec.value.data() + 8)};
+        if (stored.extent_count != geometry_.extent_count ||
+            stored.pages_per_extent != geometry_.pages_per_extent ||
+            stored.page_size != geometry_.page_size) {
+          return Status::InvalidArgument("filedisk: geometry mismatch on reopen");
+        }
+      } else if (tag == kTagSoftWp && rec.value.size() == 4 &&
+                 extent < soft_wp_.size()) {
+        soft_wp_[extent] = GetU32(rec.value.data());
+      } else if (tag == kTagOwnership && rec.value.size() == 1 &&
+                 extent < ownership_.size()) {
+        ownership_[extent] = static_cast<ExtentOwner>(rec.value[0]);
+      }
+    }
+    pos = next;
+  }
+  if (pos < buf.size()) {
+    if (::ftruncate(super_fd_, static_cast<off_t>(pos)) != 0) {
+      return Status::DiskFailed(std::string("filedisk: ftruncate superblock: ") +
+                                std::strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+Status FileDisk::ReplayExtent(ExtentId extent) {
+  struct stat st{};
+  if (::stat(ExtentFilePath(extent).c_str(), &st) != 0) {
+    return Status::Ok();  // never written
+  }
+  SS_ASSIGN_OR_RETURN(int fd, ExtentFdLocked(extent));
+  SS_ASSIGN_OR_RETURN(Bytes buf, ReadWholeFile(fd));
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    ParsedRecord rec;
+    size_t next = 0;
+    if (!ParseRecord(buf, pos, /*max_value=*/geometry_.page_size, rec, next)) {
+      break;  // torn tail
+    }
+    if (rec.key.size() == kExtentKeySize) {
+      const uint32_t page = GetU32(rec.key.data());
+      if (page < geometry_.pages_per_extent) {
+        Bytes& slot =
+            synced_pages_[uint64_t{extent} * geometry_.pages_per_extent + page];
+        slot.assign(rec.value.begin(), rec.value.end());
+        slot.resize(geometry_.page_size, 0);
+      }
+    }
+    pos = next;
+  }
+  if (pos < buf.size()) {
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0) {
+      return Status::DiskFailed(std::string("filedisk: ftruncate extent: ") +
+                                std::strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<int> FileDisk::ExtentFdLocked(ExtentId extent) {
+  int& fd = extent_fds_[extent];
+  if (fd < 0) {
+    fd = ::open(ExtentFilePath(extent).c_str(),
+                O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::DiskFailed(std::string("filedisk: open extent: ") +
+                                std::strerror(errno));
+    }
+  }
+  return fd;
+}
+
+Status FileDisk::AppendSuperblockLocked(uint8_t tag, ExtentId extent, ByteSpan value) {
+  Bytes key;
+  key.push_back(tag);
+  PutU32(key, extent);
+  Bytes record;
+  AppendRecord(record, key, value);
+  SS_RETURN_IF_ERROR(WriteAll(super_fd_, record));
+  if (::fsync(super_fd_) != 0) {
+    return Status::DiskFailed(std::string("filedisk: fsync superblock: ") +
+                              std::strerror(errno));
+  }
+  ++fsyncs_;
+  return Status::Ok();
+}
+
+Status FileDisk::FlushExtentLocked(ExtentId extent) {
+  Bytes& buf = pending_[extent];
+  if (buf.empty()) {
+    return Status::Ok();
+  }
+  SS_ASSIGN_OR_RETURN(int fd, ExtentFdLocked(extent));
+  SS_RETURN_IF_ERROR(WriteAll(fd, buf));
+  if (::fsync(fd) != 0) {
+    return Status::DiskFailed(std::string("filedisk: fsync extent: ") +
+                              std::strerror(errno));
+  }
+  ++fsyncs_;
+  buf.clear();
+  // The extent's logical pages are now the durable ones.
+  const uint64_t base = uint64_t{extent} * geometry_.pages_per_extent;
+  for (uint32_t p = 0; p < geometry_.pages_per_extent; ++p) {
+    synced_pages_[base + p] = pages_[base + p];
+  }
+  return Status::Ok();
+}
+
+Status FileDisk::WritePage(ExtentId extent, uint32_t page, ByteSpan data) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, page));
+  if (data.size() > geometry_.page_size) {
+    return Status::InvalidArgument("disk: write larger than a page");
+  }
+  LockGuard lock(mu_);
+  Bytes& slot = pages_[uint64_t{extent} * geometry_.pages_per_extent + page];
+  slot.assign(data.begin(), data.end());
+  slot.resize(geometry_.page_size, 0);
+  Bytes key;
+  PutU32(key, page);
+  AppendRecord(pending_[extent], key, slot);
+  return Status::Ok();
+}
+
+Result<Bytes> FileDisk::ReadPage(ExtentId extent, uint32_t page) const {
+  SS_RETURN_IF_ERROR(CheckRange(extent, page));
+  LockGuard lock(mu_);
+  const Bytes& slot = pages_[uint64_t{extent} * geometry_.pages_per_extent + page];
+  if (slot.empty()) {
+    return Bytes(geometry_.page_size, 0);
+  }
+  return slot;
+}
+
+Result<Bytes> FileDisk::PeekPage(ExtentId extent, uint32_t page) const {
+  return ReadPage(extent, page);
+}
+
+Status FileDisk::WriteSoftWp(ExtentId extent, uint32_t wp_pages) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, 0));
+  if (wp_pages > geometry_.pages_per_extent) {
+    return Status::InvalidArgument("disk: soft wp out of range");
+  }
+  LockGuard lock(mu_);
+  // Barrier: the data a pointer advance exposes must be durable before the pointer.
+  SS_RETURN_IF_ERROR(FlushExtentLocked(extent));
+  Bytes value;
+  PutU32(value, wp_pages);
+  SS_RETURN_IF_ERROR(AppendSuperblockLocked(kTagSoftWp, extent, value));
+  soft_wp_[extent] = wp_pages;
+  return Status::Ok();
+}
+
+uint32_t FileDisk::ReadSoftWp(ExtentId extent) const {
+  LockGuard lock(mu_);
+  return extent < soft_wp_.size() ? soft_wp_[extent] : 0;
+}
+
+Status FileDisk::WriteOwnership(ExtentId extent, ExtentOwner owner) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, 0));
+  LockGuard lock(mu_);
+  Bytes value;
+  value.push_back(static_cast<uint8_t>(owner));
+  SS_RETURN_IF_ERROR(AppendSuperblockLocked(kTagOwnership, extent, value));
+  ownership_[extent] = owner;
+  return Status::Ok();
+}
+
+ExtentOwner FileDisk::ReadOwnership(ExtentId extent) const {
+  LockGuard lock(mu_);
+  return extent < ownership_.size() ? ownership_[extent] : ExtentOwner::kFree;
+}
+
+Status FileDisk::ResetExtentRegion(ExtentId extent) {
+  SS_RETURN_IF_ERROR(CheckRange(extent, 0));
+  // Page contents (and their log records) are retained, exactly like InMemoryDisk:
+  // only the superblock soft-pointer write makes the old data unreachable.
+  return Status::Ok();
+}
+
+Status FileDisk::Sync() {
+  LockGuard lock(mu_);
+  for (ExtentId e = 0; e < geometry_.extent_count; ++e) {
+    SS_RETURN_IF_ERROR(FlushExtentLocked(e));
+  }
+  return Status::Ok();
+}
+
+void FileDisk::DropUnsynced() {
+  LockGuard lock(mu_);
+  for (Bytes& buf : pending_) {
+    buf.clear();
+  }
+  pages_ = synced_pages_;
+}
+
+uint64_t FileDisk::LivePages() const {
+  LockGuard lock(mu_);
+  uint64_t total = 0;
+  for (uint32_t wp : soft_wp_) {
+    total += wp;
+  }
+  return total;
+}
+
+uint64_t FileDisk::fsync_count() const {
+  LockGuard lock(mu_);
+  return fsyncs_;
+}
+
+uint64_t FileDisk::pending_bytes() const {
+  LockGuard lock(mu_);
+  uint64_t total = 0;
+  for (const Bytes& buf : pending_) {
+    total += buf.size();
+  }
+  return total;
+}
+
+Result<std::unique_ptr<Disk>> MakeDisk(const DiskBackendConfig& config,
+                                       const DiskGeometry& geometry, int disk_index) {
+  switch (config.kind) {
+    case DiskBackendKind::kInMemory:
+      return std::unique_ptr<Disk>(std::make_unique<InMemoryDisk>(geometry));
+    case DiskBackendKind::kFile: {
+      if (config.file_root.empty()) {
+        return Status::InvalidArgument("filedisk: DiskBackendConfig.file_root empty");
+      }
+      const std::string dir =
+          config.file_root + "/disk-" + std::to_string(disk_index);
+      SS_ASSIGN_OR_RETURN(std::unique_ptr<FileDisk> disk,
+                          FileDisk::Open(dir, geometry));
+      return std::unique_ptr<Disk>(std::move(disk));
+    }
+  }
+  return Status::InvalidArgument("filedisk: unknown backend kind");
+}
+
+}  // namespace ss

@@ -26,7 +26,7 @@ DiskGeometry SmallGeometry() {
 
 std::function<void()> MakeFig4IndexBody() {
   return [] {
-    auto disk = std::make_shared<InMemoryDisk>(SmallGeometry());
+    std::shared_ptr<Disk> disk = std::make_shared<InMemoryDisk>(SmallGeometry());
     ShardStoreOptions options;
     options.chunk.max_payload_bytes = 400;
     auto store_or = ShardStore::Open(disk.get(), options);
@@ -90,7 +90,7 @@ std::function<void()> MakeFig4IndexBody() {
 
 std::function<void()> MakeFlushReclaimBody() {
   return [] {
-    auto disk = std::make_shared<InMemoryDisk>(SmallGeometry());
+    std::shared_ptr<Disk> disk = std::make_shared<InMemoryDisk>(SmallGeometry());
     ShardStoreOptions options;
     options.chunk.max_payload_bytes = 400;
     auto store_or = ShardStore::Open(disk.get(), options);
@@ -138,7 +138,7 @@ std::function<void()> MakeFlushReclaimBody() {
 
 std::function<void()> MakeScanFlushBody() {
   return [] {
-    auto disk = std::make_shared<InMemoryDisk>(SmallGeometry());
+    std::shared_ptr<Disk> disk = std::make_shared<InMemoryDisk>(SmallGeometry());
     ShardStoreOptions options;
     options.chunk.max_payload_bytes = 400;
     auto store_or = ShardStore::Open(disk.get(), options);
@@ -188,7 +188,7 @@ std::function<void()> MakeScanFlushBody() {
 
 std::function<void()> MakeScanCompactBody(bool seeded_tombstone_bug) {
   return [seeded_tombstone_bug] {
-    auto disk = std::make_shared<InMemoryDisk>(SmallGeometry());
+    std::shared_ptr<Disk> disk = std::make_shared<InMemoryDisk>(SmallGeometry());
     ShardStoreOptions options;
     options.chunk.max_payload_bytes = 400;
     options.lsm.seeded_bug_drop_tombstones_above_bottom = seeded_tombstone_bug;
@@ -241,7 +241,7 @@ std::function<void()> MakeScanCompactBody(bool seeded_tombstone_bug) {
 
 std::function<void()> MakeCompactLevelReclaimBody() {
   return [] {
-    auto disk = std::make_shared<InMemoryDisk>(SmallGeometry());
+    std::shared_ptr<Disk> disk = std::make_shared<InMemoryDisk>(SmallGeometry());
     ShardStoreOptions options;
     options.chunk.max_payload_bytes = 400;
     auto store_or = ShardStore::Open(disk.get(), options);
@@ -374,7 +374,7 @@ std::function<void()> MakeBulkAtomicityBody() {
 
 std::function<void()> MakeLinearizabilityBody() {
   return [] {
-    auto disk = std::make_shared<InMemoryDisk>(SmallGeometry());
+    std::shared_ptr<Disk> disk = std::make_shared<InMemoryDisk>(SmallGeometry());
     auto store_or = ShardStore::Open(disk.get(), ShardStoreOptions{});
     MC_CHECK(store_or.ok(), "open failed");
     std::shared_ptr<ShardStore> store(std::move(store_or).value());

@@ -225,7 +225,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
     // state license for the disk this shard routes to?
     const int routed = node->DiskFor(op.id);
     const DiskHealth pre_health = node->Health(routed);
-    const bool armed = node->disk_image(routed).fault_injector().AnyArmed();
+    const bool armed = node->disk(routed).fault_injector().AnyArmed();
     const bool read_gated = !node->InService(routed) || pre_health == DiskHealth::kFailed;
     const bool write_gated = read_gated || pre_health == DiskHealth::kDegraded;
 
@@ -310,7 +310,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
         // faults on any disk can surface here too.
         bool any_armed = false;
         for (int d = 0; d < node->disk_count(); ++d) {
-          any_armed = any_armed || node->disk_image(d).fault_injector().AnyArmed();
+          any_armed = any_armed || node->disk(d).fault_injector().AnyArmed();
         }
         Status status = node->FlushAllDisks();
         if (!status.ok() && status.code() != StatusCode::kResourceExhausted &&
@@ -321,7 +321,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
         break;
       }
       case FailureOpKind::kClearFaults:
-        node->disk_image(static_cast<int>(op.disk)).fault_injector().Clear();
+        node->disk(static_cast<int>(op.disk)).fault_injector().Clear();
         break;
       case FailureOpKind::kResetHealth: {
         Status status = node->ResetDiskHealth(static_cast<int>(op.disk));
@@ -331,17 +331,17 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
         break;
       }
       case FailureOpKind::kArmTransientRead:
-        node->disk_image(static_cast<int>(op.disk))
+        node->disk(static_cast<int>(op.disk))
             .fault_injector()
             .FailReadTimes(op.extent, op.count);
         break;
       case FailureOpKind::kArmTransientWrite:
-        node->disk_image(static_cast<int>(op.disk))
+        node->disk(static_cast<int>(op.disk))
             .fault_injector()
             .FailWriteTimes(op.extent, op.count);
         break;
       case FailureOpKind::kArmPermanent:
-        node->disk_image(static_cast<int>(op.disk)).fault_injector().FailAlways(op.extent, true);
+        node->disk(static_cast<int>(op.disk)).fault_injector().FailAlways(op.extent, true);
         break;
       case FailureOpKind::kDegradeDisk: {
         Status status = node->MarkDiskDegraded(static_cast<int>(op.disk));
@@ -416,7 +416,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
           const DiskHealth h = node->Health(st.routed);
           st.write_gated = !node->InService(st.routed) || h == DiskHealth::kFailed ||
                            h == DiskHealth::kDegraded;
-          st.armed = node->disk_image(st.routed).fault_injector().AnyArmed();
+          st.armed = node->disk(st.routed).fault_injector().AnyArmed();
         }
         BatchResult batch = node->PutBatch(op.batch);
         ++batches_issued;
@@ -453,7 +453,7 @@ std::optional<std::string> FailureConformanceHarness::Run(const std::vector<Fail
 
   // --- Forward progress: all faults clear, everything must work again. ---------------
   for (int d = 0; d < node->disk_count(); ++d) {
-    node->disk_image(d).fault_injector().Clear();
+    node->disk(d).fault_injector().Clear();
   }
   for (int d = 0; d < node->disk_count(); ++d) {
     if (!node->InService(d)) {

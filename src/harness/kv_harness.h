@@ -18,6 +18,8 @@
 #ifndef SS_HARNESS_KV_HARNESS_H_
 #define SS_HARNESS_KV_HARNESS_H_
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -78,6 +80,12 @@ struct KvHarnessOptions {
   // and arm it on the one-shot re-run of the minimized sequence (see
   // FlightRecorder::set_case_seed).
   FlightRecorder* recorder = nullptr;
+  // Which Disk backend a run executes against. Null constructs the default
+  // InMemoryDisk; the cross-backend conformance tests supply a FileDisk factory and
+  // run the identical op sequence through both. Crashes work on any backend: the
+  // harness calls DropUnsynced() between the scheduler crash and recovery, which is a
+  // no-op for the in-memory image.
+  std::function<std::unique_ptr<disk::Disk>(const DiskGeometry&)> disk_factory;
 };
 
 // Generates one operation, biased by the prefix (key reuse, page-corner sizes).

@@ -4,7 +4,7 @@
 
 namespace ss {
 
-ShardStore::ShardStore(InMemoryDisk* disk, ShardStoreOptions options)
+ShardStore::ShardStore(Disk* disk, ShardStoreOptions options)
     : disk_(disk), options_(options) {
   metrics_ = std::make_unique<MetricRegistry>();
   scheduler_ = std::make_unique<IoScheduler>(disk_, metrics_.get());
@@ -23,7 +23,7 @@ ShardStore::ShardStore(InMemoryDisk* disk, ShardStoreOptions options)
   batch_flushes_ = &metrics_->counter("store.batch.flushes");
 }
 
-Result<std::unique_ptr<ShardStore>> ShardStore::Open(InMemoryDisk* disk,
+Result<std::unique_ptr<ShardStore>> ShardStore::Open(Disk* disk,
                                                      ShardStoreOptions options) {
   std::unique_ptr<ShardStore> store(new ShardStore(disk, options));
   SS_ASSIGN_OR_RETURN(store->index_,

@@ -1,6 +1,6 @@
 // ShardStore: the per-disk key-value store (paper section 2).
 //
-// Composes the whole stack over one InMemoryDisk:
+// Composes the whole stack over one Disk backend:
 //
 //     ShardStore (shard put/get/delete, recovery, maintenance)
 //       ├── LsmIndex        shard id -> ShardRecord (chunk locators)
@@ -8,7 +8,7 @@
 //       ├── BufferCache     read-through page cache
 //       ├── ExtentManager   append-only extents + soft write pointers + superblock
 //       ├── IoScheduler     dependency-ordered writebacks
-//       └── InMemoryDisk    persistent image (owned by the caller, survives "crashes")
+//       └── Disk            persistent image (owned by the caller, survives "crashes")
 //
 // A crash is simulated by IoScheduler::Crash() followed by destroying the ShardStore
 // and calling Open() on the same disk — recovery is simply reconstruction from the
@@ -68,7 +68,7 @@ class ShardStore : public ReclaimClient {
  public:
   // Opens (formatting a fresh disk, or recovering an existing image). The disk must
   // outlive the store.
-  static Result<std::unique_ptr<ShardStore>> Open(InMemoryDisk* disk,
+  static Result<std::unique_ptr<ShardStore>> Open(Disk* disk,
                                                   ShardStoreOptions options = {});
 
   // --- Request plane ---------------------------------------------------------------------
@@ -141,7 +141,7 @@ class ShardStore : public ReclaimClient {
   ChunkStore& chunks() { return *chunks_; }
   BufferCache& cache() { return *cache_; }
   LsmIndex& index() { return *index_; }
-  InMemoryDisk& disk() { return *disk_; }
+  Disk& disk() { return *disk_; }
   // The store-wide registry: every component of this store (cache, scheduler, extent
   // retry, LSM, chunk store, disk health) registers its metrics here, so one snapshot
   // covers the whole per-disk stack.
@@ -149,9 +149,9 @@ class ShardStore : public ReclaimClient {
   const MetricRegistry& metrics() const { return *metrics_; }
 
  private:
-  ShardStore(InMemoryDisk* disk, ShardStoreOptions options);
+  ShardStore(Disk* disk, ShardStoreOptions options);
 
-  InMemoryDisk* disk_;
+  Disk* disk_;
   ShardStoreOptions options_;
   std::unique_ptr<MetricRegistry> metrics_;  // declared before components so they can register
   std::unique_ptr<IoScheduler> scheduler_;

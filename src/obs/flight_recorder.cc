@@ -16,7 +16,7 @@ namespace {
 // recovery would trust (superblock soft pointers + ownership); the volatile side is
 // what the running ExtentManager believes (null when the disk has no live store).
 // The delta between the two is exactly the data a crash at this moment would lose.
-void AppendExtentSummary(JsonWriter& w, InMemoryDisk& disk, const ExtentManager* extents) {
+void AppendExtentSummary(JsonWriter& w, Disk& disk, const ExtentManager* extents) {
   w.BeginObject();
   w.Key("epoch");
   w.UInt(disk.epoch());
@@ -97,7 +97,7 @@ void CaptureNode(NodeServer& node, FlightRecord& record) {
       }
       dot += store->scheduler().PendingDot("disk" + std::to_string(d) + ".");
     }
-    AppendExtentSummary(disks, node.disk_image(d),
+    AppendExtentSummary(disks, node.disk(d),
                         store != nullptr ? &store->extents() : nullptr);
   }
   disks.EndArray();

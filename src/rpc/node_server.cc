@@ -43,7 +43,11 @@ Result<std::unique_ptr<NodeServer>> NodeServer::Create(NodeServerOptions options
   }
   std::unique_ptr<NodeServer> node(new NodeServer(options));
   for (int d = 0; d < options.disk_count; ++d) {
-    node->disks_.push_back(std::make_unique<InMemoryDisk>(options.geometry));
+    auto disk_or = MakeDisk(options.disk_backend, options.geometry, d);
+    if (!disk_or.ok()) {
+      return disk_or.status();
+    }
+    node->disks_.push_back(std::move(disk_or).value());
     auto store_or = ShardStore::Open(node->disks_.back().get(), options.store);
     if (!store_or.ok()) {
       return store_or.status();
@@ -194,7 +198,7 @@ Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value) {
   return result;
 }
 
-Result<Bytes> NodeServer::Get(ShardId id) {
+Result<GetResult> NodeServer::Get(ShardId id) {
   Span span = RootSpan("rpc.get");
   int disk = -1;
   auto routed = Route(id, /*mutating=*/false, &disk);
@@ -217,7 +221,10 @@ Result<Bytes> NodeServer::Get(ShardId id) {
   trace_.Record(TraceKind::kGet, id, disk, got.ok() ? StatusCode::kOk : got.code(), ticks,
                 span.id());
   (got.ok() ? get_ok_ : get_err_)->Increment();
-  return got;
+  if (!got.ok()) {
+    return got.status();
+  }
+  return GetResult{std::move(got).value(), disk, span.id()};
 }
 
 Result<ScanResult> NodeServer::Scan(ShardId start, ShardId end) {
@@ -807,6 +814,10 @@ Status NodeServer::CrashAndRecoverDisk(int disk, uint64_t crash_seed) {
   Rng crash_rng(crash_seed);
   target->scheduler().Crash(crash_rng, /*persist_bias=*/0.6);
   target.reset();
+  // Power-cut semantics for buffered backends: writebacks the crash issued but whose
+  // covering barrier never fired are lost with the page cache (no-op for the
+  // in-memory image, where issue == durable).
+  disks_[disk]->DropUnsynced();
   // The reboot clears armed injector faults: they model conditions of the running
   // controller, and the recovery read path (PeekPage) is not subject to injection.
   disks_[disk]->fault_injector().Clear();

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/disk/file_disk.h"
 #include "src/kv/shard_store.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -35,6 +36,11 @@ namespace ss {
 struct NodeServerOptions {
   int disk_count = 4;
   DiskGeometry geometry;
+  // Which ss::disk::Disk implementation backs each store: the deterministic in-memory
+  // image (default) or the durable file-backed log (kFile needs a non-empty
+  // file_root; disk i lives under <file_root>/disk-<i>/). Everything above the disk
+  // seam — stores, routing, crash recovery, conformance oracles — is backend-blind.
+  DiskBackendConfig disk_backend;
   ShardStoreOptions store;
   // Retained trace events (see TraceRing); lifetime totals are unaffected.
   size_t trace_capacity = TraceRing::kDefaultCapacity;
@@ -71,6 +77,22 @@ struct DeleteResult {
 
   operator Dependency() const { return dep; }  // NOLINT(google-explicit-constructor)
   const Dependency& dependency() const { return dep; }
+};
+
+// Read envelope, completing the typed-envelope surface: the assembled value plus the
+// disk the read was served from and the root span id. The implicit Bytes conversion
+// (and the Bytes comparisons) keep pre-envelope call sites
+// (`Bytes v = node->Get(id).value()`) compiling unchanged.
+struct GetResult {
+  Bytes value;
+  int disk = -1;
+  uint64_t trace_id = 0;
+
+  operator const Bytes&() const { return value; }  // NOLINT(google-explicit-constructor)
+  friend bool operator==(const GetResult& a, const Bytes& b) { return a.value == b; }
+  friend bool operator==(const Bytes& a, const GetResult& b) { return a == b.value; }
+  friend bool operator!=(const GetResult& a, const Bytes& b) { return !(a == b); }
+  friend bool operator!=(const Bytes& a, const GetResult& b) { return !(a == b); }
 };
 
 // Result envelope of a range scan: the merged, key-ordered live shards in the window
@@ -114,7 +136,7 @@ class NodeServer {
 
   // --- Request plane -------------------------------------------------------------------
   Result<PutResult> Put(ShardId id, ByteSpan value);
-  Result<Bytes> Get(ShardId id);
+  Result<GetResult> Get(ShardId id);
   Result<DeleteResult> Delete(ShardId id);
 
   // Merged range scan: every live shard with id in the half-open window [start, end),
@@ -213,8 +235,14 @@ class NodeServer {
   bool InService(int disk) const;
   // Per-disk access for tests/examples (nullptr when out of service).
   std::shared_ptr<ShardStore> store(int disk) const;
-  // The disk's persistent image + fault injector (valid even when out of service).
-  InMemoryDisk& disk_image(int disk) { return *disks_[disk]; }
+  // The disk's persistent image + fault injector (valid even when out of service),
+  // typed as the backend-blind interface.
+  Disk& disk(int disk) { return *disks_[disk]; }
+  // Test-only escape hatch: the concrete in-memory image, or nullptr when this node
+  // runs a different backend. Production-path code must stay on disk().
+  InMemoryDisk* in_memory_image(int disk) {
+    return dynamic_cast<InMemoryDisk*>(disks_[disk].get());
+  }
 
  private:
   explicit NodeServer(NodeServerOptions options);
@@ -242,7 +270,7 @@ class NodeServer {
   Span RootSpan(std::string_view name) { return Span(&spans_, nullptr, name); }
 
   NodeServerOptions options_;
-  std::vector<std::unique_ptr<InMemoryDisk>> disks_;
+  std::vector<std::unique_ptr<Disk>> disks_;
 
   // Node-level observability. Leaf-mode locks / relaxed atomics inside: recording is
   // never a model-checker scheduling point.

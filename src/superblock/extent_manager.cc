@@ -6,7 +6,7 @@
 
 namespace ss {
 
-ExtentManager::ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler, uint32_t buffer_permits,
+ExtentManager::ExtentManager(Disk* disk, IoScheduler* scheduler, uint32_t buffer_permits,
                              IoRetryOptions retry, MetricRegistry* metrics)
     : disk_(disk),
       scheduler_(scheduler),

@@ -77,7 +77,7 @@ class ExtentManager : public TickSource {
   // Retry/health metrics land in `metrics` (extent.retry.*, disk.health.*) when
   // provided; otherwise the manager owns a private registry so direct construction
   // keeps working in tests.
-  ExtentManager(InMemoryDisk* disk, IoScheduler* scheduler,
+  ExtentManager(Disk* disk, IoScheduler* scheduler,
                 uint32_t buffer_permits = kDefaultBufferPermits, IoRetryOptions retry = {},
                 MetricRegistry* metrics = nullptr);
 
@@ -135,7 +135,7 @@ class ExtentManager : public TickSource {
   uint32_t PagesNeeded(size_t bytes) const;
 
   IoScheduler& scheduler() { return *scheduler_; }
-  InMemoryDisk& disk() { return *disk_; }
+  Disk& disk() { return *disk_; }
 
   // --- Failure domain -----------------------------------------------------------------
   // Error-budget tracker fed by the retry loop; NodeServer's routing policy reads it.
@@ -186,7 +186,7 @@ class ExtentManager : public TickSource {
   // duration is the backoff ticks the IO consumed.
   Status CheckIo(ExtentId extent, bool is_write, const SpanScope& scope = {}) const;
 
-  InMemoryDisk* disk_;
+  Disk* disk_;
   IoScheduler* scheduler_;
   IoRetryOptions retry_;
   mutable Mutex mu_{MutexAttr{"extent.manager", lockrank::kExtent}};

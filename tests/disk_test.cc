@@ -1,8 +1,12 @@
-// Unit tests for the in-memory disk and fault injector.
+// Unit tests for the disk backends (in-memory and file-backed) and fault injector.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/disk/disk.h"
+#include "src/disk/file_disk.h"
 
 namespace ss {
 namespace {
@@ -163,6 +167,160 @@ TEST_P(DiskGeometrySweep, FillAndReadBack) {
 INSTANTIATE_TEST_SUITE_P(Geometries, DiskGeometrySweep,
                          testing::Values(std::tuple{4u, 4u, 64u}, std::tuple{8u, 16u, 128u},
                                          std::tuple{16u, 8u, 512u}, std::tuple{2u, 64u, 256u}));
+
+// --- FileDisk -------------------------------------------------------------------------
+
+constexpr DiskGeometry kFileGeo{.extent_count = 4, .pages_per_extent = 8, .page_size = 128};
+
+// Fresh, empty directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "filedisk_unit" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::unique_ptr<FileDisk> MustOpen(const std::string& dir, DiskGeometry geometry = kFileGeo) {
+  Result<std::unique_ptr<FileDisk>> disk = FileDisk::Open(dir, geometry);
+  EXPECT_TRUE(disk.ok()) << disk.status().ToString();
+  return std::move(disk).value();
+}
+
+TEST(FileDisk, WriteReadRoundTrip) {
+  auto disk = MustOpen(FreshDir("roundtrip"));
+  Bytes data = BytesOf("file-backed page");
+  ASSERT_TRUE(disk->WritePage(2, 3, data).ok());
+  Bytes read = disk->ReadPage(2, 3).value();
+  ASSERT_EQ(read.size(), kFileGeo.page_size);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), read.begin()));
+  EXPECT_EQ(read[data.size()], 0);  // zero padding
+  EXPECT_EQ(disk->ReadPage(1, 0).value(), Bytes(kFileGeo.page_size, 0));
+}
+
+TEST(FileDisk, SoftWpIsTheFsyncBarrier) {
+  auto disk = MustOpen(FreshDir("barrier"));
+  const uint64_t baseline = disk->fsync_count();
+  ASSERT_TRUE(disk->WritePage(0, 0, BytesOf("buffered")).ok());
+  // WritePage only buffers: nothing reached the file, no fsync fired.
+  EXPECT_GT(disk->pending_bytes(), 0u);
+  EXPECT_EQ(disk->fsync_count(), baseline);
+  // The pointer advance flushes+fsyncs the data log, then fsyncs the superblock.
+  ASSERT_TRUE(disk->WriteSoftWp(0, 1).ok());
+  EXPECT_EQ(disk->pending_bytes(), 0u);
+  EXPECT_GE(disk->fsync_count(), baseline + 2);
+}
+
+TEST(FileDisk, DropUnsyncedDiscardsOnlyTheTail) {
+  auto disk = MustOpen(FreshDir("droptail"));
+  ASSERT_TRUE(disk->WritePage(1, 0, BytesOf("durable")).ok());
+  ASSERT_TRUE(disk->WriteSoftWp(1, 1).ok());
+  ASSERT_TRUE(disk->WritePage(1, 1, BytesOf("in flight")).ok());
+  disk->DropUnsynced();  // power cut: the unsynced tail evaporates
+  Bytes durable = disk->ReadPage(1, 0).value();
+  EXPECT_TRUE(std::equal(durable.begin(), durable.begin() + 7, BytesOf("durable").begin()));
+  EXPECT_EQ(disk->ReadPage(1, 1).value(), Bytes(kFileGeo.page_size, 0));
+  EXPECT_EQ(disk->ReadSoftWp(1), 1u);
+}
+
+TEST(FileDisk, ReopenRecoversPersistedState) {
+  const std::string dir = FreshDir("reopen");
+  {
+    auto disk = MustOpen(dir);
+    ASSERT_TRUE(disk->WritePage(0, 0, BytesOf("first")).ok());
+    ASSERT_TRUE(disk->WritePage(0, 1, BytesOf("second")).ok());
+    ASSERT_TRUE(disk->WriteSoftWp(0, 2).ok());
+    ASSERT_TRUE(disk->WriteOwnership(0, ExtentOwner::kLsmMetadata).ok());
+  }  // clean shutdown syncs
+  auto disk = MustOpen(dir);
+  Bytes first = disk->ReadPage(0, 0).value();
+  Bytes second = disk->ReadPage(0, 1).value();
+  EXPECT_TRUE(std::equal(first.begin(), first.begin() + 5, BytesOf("first").begin()));
+  EXPECT_TRUE(std::equal(second.begin(), second.begin() + 6, BytesOf("second").begin()));
+  EXPECT_EQ(disk->ReadSoftWp(0), 2u);
+  EXPECT_EQ(disk->ReadOwnership(0), ExtentOwner::kLsmMetadata);
+}
+
+// A page record appended after the last barrier whose crc is damaged (torn write) must
+// be dropped by replay, restoring the previous version of the page.
+TEST(FileDisk, RecoveryDropsCorruptTailRecord) {
+  const std::string dir = FreshDir("corrupt_tail");
+  std::string extent_log;
+  {
+    auto disk = MustOpen(dir);
+    ASSERT_TRUE(disk->WritePage(0, 0, BytesOf("old version")).ok());
+    ASSERT_TRUE(disk->WriteSoftWp(0, 1).ok());
+    ASSERT_TRUE(disk->WritePage(0, 0, BytesOf("new version")).ok());
+    ASSERT_TRUE(disk->WriteSoftWp(0, 1).ok());
+    extent_log = disk->ExtentFilePath(0);
+  }
+  const uintmax_t full_size = std::filesystem::file_size(extent_log);
+  {
+    // Flip the final byte — the trailing crc32c of the last record.
+    std::fstream f(extent_log, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-1, std::ios::end);
+    char last = 0;
+    f.get(last);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(last ^ 0xff));
+  }
+  auto disk = MustOpen(dir);
+  Bytes read = disk->ReadPage(0, 0).value();
+  EXPECT_TRUE(std::equal(read.begin(), read.begin() + 11, BytesOf("old version").begin()));
+  // Replay truncated the log back to the valid prefix.
+  EXPECT_LT(std::filesystem::file_size(extent_log), full_size);
+}
+
+// A record cut short mid-frame (short read at the tail) must also be truncated away.
+TEST(FileDisk, RecoveryTruncatesShortTailRecord) {
+  const std::string dir = FreshDir("short_tail");
+  std::string extent_log;
+  {
+    auto disk = MustOpen(dir);
+    ASSERT_TRUE(disk->WritePage(2, 0, BytesOf("kept")).ok());
+    ASSERT_TRUE(disk->WriteSoftWp(2, 1).ok());
+    ASSERT_TRUE(disk->WritePage(2, 1, BytesOf("torn")).ok());
+    ASSERT_TRUE(disk->WriteSoftWp(2, 2).ok());
+    extent_log = disk->ExtentFilePath(2);
+  }
+  const uintmax_t full_size = std::filesystem::file_size(extent_log);
+  std::filesystem::resize_file(extent_log, full_size - 3);
+  auto disk = MustOpen(dir);
+  Bytes kept = disk->ReadPage(2, 0).value();
+  EXPECT_TRUE(std::equal(kept.begin(), kept.begin() + 4, BytesOf("kept").begin()));
+  EXPECT_EQ(disk->ReadPage(2, 1).value(), Bytes(kFileGeo.page_size, 0));
+  EXPECT_EQ(std::filesystem::file_size(extent_log), full_size / 2);
+}
+
+TEST(FileDisk, GeometryMismatchRejectedOnReopen) {
+  const std::string dir = FreshDir("geometry_mismatch");
+  { auto disk = MustOpen(dir); }
+  DiskGeometry other = kFileGeo;
+  other.pages_per_extent = 16;
+  Result<std::unique_ptr<FileDisk>> reopened = FileDisk::Open(dir, other);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FileDisk, MakeDiskFactorySelectsBackend) {
+  Result<std::unique_ptr<Disk>> mem =
+      MakeDisk(DiskBackendConfig{}, kFileGeo, /*disk_index=*/0);
+  ASSERT_TRUE(mem.ok());
+  EXPECT_NE(dynamic_cast<InMemoryDisk*>(mem.value().get()), nullptr);
+
+  // kFile without a root is a configuration error, not a crash.
+  DiskBackendConfig no_root{.kind = DiskBackendKind::kFile};
+  EXPECT_FALSE(MakeDisk(no_root, kFileGeo, 0).ok());
+
+  DiskBackendConfig file_cfg{.kind = DiskBackendKind::kFile,
+                             .file_root = FreshDir("factory")};
+  Result<std::unique_ptr<Disk>> file = MakeDisk(file_cfg, kFileGeo, /*disk_index=*/3);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  auto* fd = dynamic_cast<FileDisk*>(file.value().get());
+  ASSERT_NE(fd, nullptr);
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(fd->dir())));
+  EXPECT_NE(fd->dir().find("disk-3"), std::string::npos);
+}
 
 }  // namespace
 }  // namespace ss

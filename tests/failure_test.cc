@@ -73,9 +73,9 @@ TEST_F(DiskFailureDomainTest, PermanentFaultFailsHealthAndGatesTheDisk) {
   const ShardId id = ShardOn(1);
   ASSERT_TRUE(node_->Put(id, BytesOf("v")).ok());
   // Fail every extent: whichever chunk the shard landed in is dead.
-  ScopedFault guard(node_->disk_image(1).fault_injector());
+  ScopedFault guard(node_->disk(1).fault_injector());
   for (ExtentId e = 1; e < 16; ++e) {
-    node_->disk_image(1).fault_injector().FailAlways(e, true);
+    node_->disk(1).fault_injector().FailAlways(e, true);
   }
   EXPECT_EQ(node_->Get(id).code(), StatusCode::kDiskFailed);
   // The error-budget tracker propagated into the node's health state.
@@ -84,7 +84,7 @@ TEST_F(DiskFailureDomainTest, PermanentFaultFailsHealthAndGatesTheDisk) {
   EXPECT_EQ(node_->Get(id).code(), StatusCode::kUnavailable);
   EXPECT_EQ(node_->Put(id, BytesOf("w")).code(), StatusCode::kUnavailable);
   // Repair: clear the faults, reset health — data was never lost.
-  node_->disk_image(1).fault_injector().Clear();
+  node_->disk(1).fault_injector().Clear();
   ASSERT_TRUE(node_->ResetDiskHealth(1).ok());
   EXPECT_EQ(node_->Get(id).value(), BytesOf("v"));
 }
@@ -93,10 +93,10 @@ TEST_F(DiskFailureDomainTest, CrashRebootKeepsFlushedDataAndClearsFaults) {
   const ShardId id = ShardOn(2);
   ASSERT_TRUE(node_->Put(id, BytesOf("durable")).ok());
   ASSERT_TRUE(node_->FlushAllDisks().ok());
-  node_->disk_image(2).fault_injector().FailAlways(3, true);
+  node_->disk(2).fault_injector().FailAlways(3, true);
   ASSERT_TRUE(node_->CrashAndRecoverDisk(2, /*crash_seed=*/7).ok());
   EXPECT_EQ(node_->Health(2), DiskHealth::kHealthy);
-  EXPECT_FALSE(node_->disk_image(2).fault_injector().AnyArmed());
+  EXPECT_FALSE(node_->disk(2).fault_injector().AnyArmed());
   EXPECT_EQ(node_->Get(id).value(), BytesOf("durable"));
 }
 
@@ -136,14 +136,14 @@ TEST_F(DiskFailureDomainTest, AbsorbedFaultStormCountsExactlyInMetrics) {
   // No flush: the index entry stays in the memtable, so each Get below performs
   // exactly one extent read (the chunk frame) once the cache is dropped.
   const MetricsSnapshot before = node_->MetricsSnapshot();
-  ScopedFault guard(node_->disk_image(0).fault_injector());
+  ScopedFault guard(node_->disk(0).fault_injector());
   for (int i = 0; i < kStorm; ++i) {
     node_->store(0)->cache().Clear();  // force the read through to the extent layer
     for (ExtentId e = 1; e < 16; ++e) {
-      node_->disk_image(0).fault_injector().FailReadTimes(e, 1);
+      node_->disk(0).fault_injector().FailReadTimes(e, 1);
     }
     ASSERT_EQ(node_->Get(id).value(), BytesOf("stormy")) << "storm iteration " << i;
-    node_->disk_image(0).fault_injector().Clear();
+    node_->disk(0).fault_injector().Clear();
   }
   const MetricsSnapshot after = node_->MetricsSnapshot();
   EXPECT_EQ(CounterDelta(before, after, "extent.retry.absorbed"), kStorm);
@@ -161,13 +161,13 @@ TEST_F(DiskFailureDomainTest, ExhaustedRetryBudgetCountsExactlyInMetrics) {
   const ShardId id = ShardOn(0);
   ASSERT_TRUE(node_->Put(id, BytesOf("doomed")).ok());
   const MetricsSnapshot before = node_->MetricsSnapshot();
-  ScopedFault guard(node_->disk_image(0).fault_injector());
+  ScopedFault guard(node_->disk(0).fault_injector());
   node_->store(0)->cache().Clear();
   for (ExtentId e = 1; e < 16; ++e) {
     // The extent layer makes 3 attempts per IO (default IoRetryOptions) and the
     // store layer retries the whole read 4 times against reclamation races: 12 armed
     // failures outlast both budgets.
-    node_->disk_image(0).fault_injector().FailReadTimes(e, 12);
+    node_->disk(0).fault_injector().FailReadTimes(e, 12);
   }
   EXPECT_EQ(node_->Get(id).code(), StatusCode::kIoError);
   const MetricsSnapshot after = node_->MetricsSnapshot();
