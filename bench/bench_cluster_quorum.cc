@@ -48,6 +48,29 @@ Bytes MakeValue(size_t size, uint8_t tag) {
 
 constexpr int kKeySpace = 32;
 
+// Exports the per-phase span latency distributions (virtual ticks) as bench
+// counters: <phase>.p50/.p99/.p999 for every cluster phase that recorded samples.
+// emit_bench_json.sh folds these into the `cluster` area's counters object.
+void ExportPhaseSpanQuantiles(benchmark::State& state, const MetricsSnapshot& snap) {
+  static constexpr const char* kPhases[] = {
+      "cluster.fanout",       "cluster.quorum.wait",   "cluster.replica.write",
+      "cluster.replica.read", "cluster.replica.repair", "cluster.read_repair",
+      "cluster.hint.replay",  "cluster.hint.drain"};
+  for (const char* phase : kPhases) {
+    const auto it = snap.histograms.find("span." + std::string(phase) + ".ticks");
+    if (it == snap.histograms.end() || it->second.count == 0) {
+      continue;
+    }
+    const std::string prefix(phase);
+    state.counters[prefix + ".p50"] =
+        static_cast<double>(it->second.ValueAtQuantile(0.5));
+    state.counters[prefix + ".p99"] =
+        static_cast<double>(it->second.ValueAtQuantile(0.99));
+    state.counters[prefix + ".p999"] =
+        static_cast<double>(it->second.ValueAtQuantile(0.999));
+  }
+}
+
 void BM_QuorumPut(benchmark::State& state) {
   auto cluster = BenchCluster(BenchOptions());
   const Bytes value = MakeValue(static_cast<size_t>(state.range(0)), 1);
@@ -58,6 +81,7 @@ void BM_QuorumPut(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  ExportPhaseSpanQuantiles(state, cluster->MetricsSnapshot());
 }
 BENCHMARK(BM_QuorumPut)->Arg(64)->Arg(512)->Arg(2048)->Iterations(4000);
 
@@ -74,6 +98,7 @@ void BM_QuorumGet(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  ExportPhaseSpanQuantiles(state, cluster->MetricsSnapshot());
 }
 BENCHMARK(BM_QuorumGet)->Arg(64)->Arg(512)->Arg(2048)->Iterations(4000);
 
@@ -93,6 +118,7 @@ void BM_QuorumPutDegraded(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.counters["degraded"] = static_cast<double>(degraded);
   state.counters["hints"] = static_cast<double>(cluster->HintCount());
+  ExportPhaseSpanQuantiles(state, cluster->MetricsSnapshot());
 }
 BENCHMARK(BM_QuorumPutDegraded)->Iterations(4000);
 
@@ -120,13 +146,15 @@ void BM_QuorumGetWithRepair(benchmark::State& state) {
     ++key;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
-  state.counters["repairs"] = static_cast<double>(
-      cluster->MetricsSnapshot().counter("cluster.read_repairs"));
+  const MetricsSnapshot repair_snap = cluster->MetricsSnapshot();
+  state.counters["repairs"] = static_cast<double>(repair_snap.counter("cluster.read_repairs"));
+  ExportPhaseSpanQuantiles(state, repair_snap);
 }
 BENCHMARK(BM_QuorumGetWithRepair)->Iterations(1000);
 
 void BM_HintReplayDrain(benchmark::State& state) {
   const int backlog = static_cast<int>(state.range(0));
+  MetricsSnapshot drained;  // per-iteration clusters: aggregate across them
   for (auto _ : state) {
     state.PauseTiming();
     auto cluster = BenchCluster(BenchOptions());
@@ -139,8 +167,12 @@ void BM_HintReplayDrain(benchmark::State& state) {
     state.ResumeTiming();
     cluster->Tick();
     benchmark::DoNotOptimize(cluster->HintCount());
+    state.PauseTiming();
+    drained.MergeFrom(cluster->MetricsSnapshot());
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * backlog);
+  ExportPhaseSpanQuantiles(state, drained);
 }
 BENCHMARK(BM_HintReplayDrain)->Arg(8)->Arg(32)->Arg(128)->Iterations(50);
 
@@ -163,6 +195,7 @@ void BM_QuorumThroughLossyNet(benchmark::State& state) {
   state.counters["failed"] = static_cast<double>(failed);
   state.counters["rpc_retries"] = static_cast<double>(snap.counter("cluster.rpc.retries"));
   state.counters["hints"] = static_cast<double>(snap.counter("cluster.hints.stored"));
+  ExportPhaseSpanQuantiles(state, snap);
 }
 BENCHMARK(BM_QuorumThroughLossyNet)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Iterations(4000);
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Bench regression gate: diffs two normalized BENCH_<area>.json snapshots (as
+# written by scripts/emit_bench_json.sh) and fails when any benchmark regressed
+# beyond a threshold. A regression is either:
+#   * real_time grew by more than <pct>% over the baseline, or
+#   * items_per_second fell by more than <pct>% under the baseline.
+#
+# Usage: scripts/compare_bench_json.sh [-t pct] baseline.json candidate.json
+#   -t pct   regression threshold in percent (default: 25)
+#
+# Benchmarks present only in the baseline (removed) or only in the candidate
+# (added) are reported as warnings, not failures — renames and new benchmarks
+# should not block a PR; a follow-up refreshes the checked-in snapshot.
+#
+# Exit codes: 0 = no regression, 1 = at least one regression beyond threshold,
+#             2 = usage error or unparseable snapshot.
+
+set -euo pipefail
+
+threshold=25
+while getopts ":t:" opt; do
+  case "$opt" in
+    t) threshold="$OPTARG" ;;
+    *) echo "usage: $0 [-t pct] baseline.json candidate.json" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 [-t pct] baseline.json candidate.json" >&2
+  exit 2
+fi
+baseline="$1"
+candidate="$2"
+
+case "$threshold" in
+  '' | *[!0-9.]* | *.*.*) echo "error: threshold '-t $threshold' is not a number" >&2; exit 2 ;;
+esac
+
+for f in "$baseline" "$candidate"; do
+  if [ ! -r "$f" ]; then
+    echo "error: cannot read snapshot '$f'" >&2
+    exit 2
+  fi
+  if ! jq -e '.results | type == "array"' "$f" > /dev/null 2>&1; then
+    echo "error: '$f' is not a normalized bench snapshot (.results missing)" >&2
+    exit 2
+  fi
+done
+
+area_base=$(jq -r '.area // "?"' "$baseline")
+area_cand=$(jq -r '.area // "?"' "$candidate")
+if [ "$area_base" != "$area_cand" ]; then
+  echo "warning: comparing different areas ('$area_base' vs '$area_cand')" >&2
+fi
+
+echo "== bench compare: area=$area_cand threshold=${threshold}%"
+echo "   baseline:  $baseline"
+echo "   candidate: $candidate"
+
+# One pass in jq: join the two result sets by benchmark name and classify each
+# pair. Output is one tab-separated line per benchmark:
+#   <status> <name> <metric> <base> <cand> <delta_pct>
+# where status is OK / REGRESSION / MISSING / ADDED. The shell side only counts
+# and pretty-prints; all numeric policy lives here.
+report=$(jq -rn --arg pct "$threshold" \
+  --slurpfile base "$baseline" --slurpfile cand "$candidate" '
+  ($pct | tonumber) as $t
+  | ($base[0].results | map({key: .name, value: .}) | from_entries) as $b
+  | ($cand[0].results | map({key: .name, value: .}) | from_entries) as $c
+  | def pct_delta($old; $new): if $old == 0 then 0 else (($new - $old) / $old * 100) end;
+    def fmt: . * 100 | round / 100;
+    ( $b | keys[] as $k | select($c | has($k) | not) | $k
+      | "MISSING\t\(.)\t-\t-\t-\t-" ),
+    ( $c | keys[] as $k | select($b | has($k) | not) | $k
+      | "ADDED\t\(.)\t-\t-\t-\t-" ),
+    ( $b | keys[] as $k | select($c | has($k)) | $k as $name
+      | $b[$name] as $old | $c[$name] as $new
+      | ( pct_delta($old.real_time; $new.real_time) ) as $dt
+      | ( if ($old.items_per_second != null and $new.items_per_second != null)
+          then pct_delta($old.items_per_second; $new.items_per_second) else null end ) as $di
+      | if $dt > $t then
+          "REGRESSION\t\($name)\treal_time\t\($old.real_time | fmt)\t\($new.real_time | fmt)\t+\($dt | fmt)%"
+        elif ($di != null and $di < -$t) then
+          "REGRESSION\t\($name)\titems_per_second\t\($old.items_per_second | fmt)\t\($new.items_per_second | fmt)\t\($di | fmt)%"
+        else
+          "OK\t\($name)\treal_time\t\($old.real_time | fmt)\t\($new.real_time | fmt)\t\(if $dt >= 0 then "+" else "" end)\($dt | fmt)%"
+        end )
+') || { echo "error: snapshot comparison failed (malformed results?)" >&2; exit 2; }
+
+regressions=0
+while IFS=$'\t' read -r status name metric old new delta; do
+  case "$status" in
+    REGRESSION)
+      regressions=$((regressions + 1))
+      echo "  REGRESSION $name: $metric $old -> $new ($delta, threshold ${threshold}%)"
+      ;;
+    MISSING) echo "  warning: '$name' in baseline but not candidate (removed/renamed?)" ;;
+    ADDED) echo "  note: '$name' new in candidate (no baseline)" ;;
+    OK) echo "  ok $name: $metric $old -> $new ($delta)" ;;
+  esac
+done <<< "$report"
+
+if [ "$regressions" -gt 0 ]; then
+  echo "FAIL: $regressions benchmark(s) regressed beyond ${threshold}%"
+  exit 1
+fi
+echo "PASS: no benchmark regressed beyond ${threshold}%"

@@ -13,6 +13,7 @@
 #                                  (span.*.ticks p50/p99/p999 per stage, fsync counts)
 #
 # Usage: scripts/emit_bench_json.sh [area ...]    (default: all areas)
+# Diff two snapshots with the sibling gate: scripts/compare_bench_json.sh.
 # Honors BUILD_DIR (default: build) and BENCH_ARGS (extra benchmark flags, e.g.
 # --benchmark_filter=BM_QuorumPut). Requires the benches to be built:
 #   cmake --build "$BUILD_DIR" -j --target bench_kv_ops bench_fault_recovery bench_cluster_quorum bench_load_gen

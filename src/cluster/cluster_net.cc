@@ -107,6 +107,13 @@ void ClusterNet::AdvanceTicks(uint64_t ticks) {
 
 Status ClusterNet::Deliver(int from, int to, const std::function<void()>& handler,
                            uint64_t* delay_ticks) {
+  return Deliver(from, to, TraceContext{},
+                 [&handler](const TraceContext&) { handler(); }, delay_ticks);
+}
+
+Status ClusterNet::Deliver(int from, int to, const TraceContext& trace,
+                           const std::function<void(const TraceContext&)>& handler,
+                           uint64_t* delay_ticks) {
   bool duplicate = false;
   {
     // All fault decisions happen under the lock; the handler runs after it is
@@ -144,9 +151,10 @@ Status ClusterNet::Deliver(int from, int to, const std::function<void()>& handle
       duplicated_->Increment();
     }
   }
-  handler();
+  handler(trace);
   if (duplicate) {
-    handler();
+    handler(trace);  // receivers see the same trace context twice — idempotence is
+                     // theirs to provide; the duplicate's spans show up honestly
   }
   return Status::Ok();
 }

@@ -92,6 +92,14 @@ class ClusterNet : public TickSource {
   // the coordinator's per-op timeout check reads it.
   Status Deliver(int from, int to, const std::function<void()>& handler,
                  uint64_t* delay_ticks = nullptr);
+  // Trace-carrying variant: `trace` (the sender's span identity) rides the message
+  // and is handed to the handler on delivery, so receivers can open spans that adopt
+  // the sender's causal tree (SpanTree::StartRemoteSpan). Fault semantics identical;
+  // a dropped/partitioned message carries its context nowhere — exactly how a missing
+  // replica subtree becomes visible in the assembled cluster trace.
+  Status Deliver(int from, int to, const TraceContext& trace,
+                 const std::function<void(const TraceContext&)>& handler,
+                 uint64_t* delay_ticks = nullptr);
 
   // --- Virtual clock -------------------------------------------------------------------
   uint64_t Now() const;

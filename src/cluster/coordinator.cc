@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/json.h"
+
 namespace ss {
 namespace cluster {
 
@@ -24,7 +26,7 @@ ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
       spans_(options.span_capacity, &metrics_),
       ring_(options.vnodes),
       rpc_policy_(options.rpc_retry),
-      fd_(options.fd) {
+      fd_(options.fd, &metrics_) {
   put_ok_ = &metrics_.counter("cluster.put.ok");
   write_degraded_ = &metrics_.counter("cluster.write.degraded");
   put_err_ = &metrics_.counter("cluster.put.err");
@@ -100,14 +102,17 @@ Status ClusterCoordinator::ContactWrite(int node, ShardId key, const ReplicaReco
     return Status::Unavailable("cluster: no such member");
   }
   Span span = scope.Child(phase);
+  // The per-replica RPC span is the remote parent: the node's rpc.* spans land
+  // directly under it in the assembled cluster trace.
+  const TraceContext ctx{span.root(), span.id()};
   const common::RetryPolicy::RunResult run = rpc_policy_.Run(
       [&](uint32_t) -> Status {
         Status write_status = Status::Ok();
         uint64_t delay = 0;
         const Status net_status = net_.Deliver(
-            ClusterNet::kClientId, node,
-            [&] {
-              const Status s = target->HandleWrite(key, record);
+            ClusterNet::kClientId, node, ctx,
+            [&](const TraceContext& trace) {
+              const Status s = target->HandleWrite(key, record, trace);
               if (!s.ok()) {
                 write_status = s;
               }
@@ -138,14 +143,15 @@ Status ClusterCoordinator::ContactRead(int node, ShardId key,
     return Status::Unavailable("cluster: no such member");
   }
   Span span = scope.Child("cluster.replica.read");
+  const TraceContext ctx{span.root(), span.id()};
   const common::RetryPolicy::RunResult run = rpc_policy_.Run(
       [&](uint32_t) -> Status {
         Status read_status = Status::Ok();
         uint64_t delay = 0;
         const Status net_status = net_.Deliver(
-            ClusterNet::kClientId, node,
-            [&] {
-              Result<std::optional<ReplicaRecord>> record = target->HandleRead(key);
+            ClusterNet::kClientId, node, ctx,
+            [&](const TraceContext& trace) {
+              Result<std::optional<ReplicaRecord>> record = target->HandleRead(key, trace);
               if (record.ok()) {
                 *out = std::move(record.value());
               } else {
@@ -206,6 +212,13 @@ QuorumResult ClusterCoordinator::WriteInternal(ShardId key, const ReplicaRecord&
     root.set_status(result.status.code());
     return result;
   }
+  // Phase spans: "cluster.fanout" covers the whole owner sweep; "cluster.quorum.wait"
+  // measures the virtual ticks from fan-out start until the W-th ack lands (it stays
+  // open past the sweep only on the no-quorum path, where it closes with the fanout
+  // span carrying kUnavailable).
+  Span fanout = scope.Child("cluster.fanout");
+  Span quorum_wait = scope.Child("cluster.quorum.wait");
+  const SpanScope fanout_scope = fanout.scope();
   for (const int owner : owners) {
     NodeHealth health;
     {
@@ -220,14 +233,22 @@ QuorumResult ClusterCoordinator::WriteInternal(ShardId key, const ReplicaRecord&
       continue;
     }
     ++result.contacted;
-    const Status s = ContactWrite(owner, key, record, scope, "cluster.replica.write");
+    const Status s = ContactWrite(owner, key, record, fanout_scope, "cluster.replica.write");
     if (s.ok()) {
       ++result.acks;
+      if (result.acks == result.required) {
+        quorum_wait.End();
+      }
     } else {
       StoreHint(owner, key, record);
       ++result.hints_stored;
     }
   }
+  if (result.acks < result.required) {
+    quorum_wait.set_status(StatusCode::kUnavailable);
+  }
+  quorum_wait.End();
+  fanout.End();
   if (result.acks >= result.required) {
     result.status = Status::Ok();
     result.outcome = result.acks == static_cast<int>(owners.size()) ? QuorumOutcome::kOk
@@ -300,6 +321,11 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
     std::optional<ReplicaRecord> record;
   };
   std::vector<Reply> replies;  // successful owner reads, contact order
+  // Same phase pair as the write path: fan-out covers the replica sweep (pending
+  // rebalance sources included), quorum wait ends at the R-th reply.
+  Span fanout = scope.Child("cluster.fanout");
+  Span quorum_wait = scope.Child("cluster.quorum.wait");
+  const SpanScope fanout_scope = fanout.scope();
   // Rotating start: consecutive reads begin at different replicas, so divergence is
   // actually observable (and the model checker can steer a reader at a stale node).
   const size_t start = static_cast<size_t>(read_rotation_.FetchAdd(1)) % owners.size();
@@ -307,15 +333,18 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
     const int node = owners[(start + i) % owners.size()];
     ++result.contacted;
     Reply reply{node, std::nullopt};
-    const Status s = ContactRead(node, key, &reply.record, scope);
+    const Status s = ContactRead(node, key, &reply.record, fanout_scope);
     if (s.ok()) {
       replies.push_back(std::move(reply));
     }
   }
   result.acks = static_cast<int>(replies.size());
   if (replies.size() < options_.read_quorum) {
+    quorum_wait.set_status(StatusCode::kUnavailable);
+    fanout.set_status(StatusCode::kUnavailable);
     return fail(Status::Unavailable("cluster: read quorum not met"));
   }
+  quorum_wait.End();
 
   // While the key's rebalance move is pending, the old owners listed in the table
   // may hold a version the new owners never received: every one of them must answer
@@ -333,12 +362,14 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
       continue;
     }
     Reply reply{src, std::nullopt};
-    const Status s = ContactRead(src, key, &reply.record, scope);
+    const Status s = ContactRead(src, key, &reply.record, fanout_scope);
     if (!s.ok()) {
+      fanout.set_status(StatusCode::kUnavailable);
       return fail(Status::Unavailable("cluster: pending rebalance source unreachable"));
     }
     extras.push_back(std::move(reply));
   }
+  fanout.End();
 
   const ReplicaRecord* newest = nullptr;
   for (const Reply& r : replies) {
@@ -362,6 +393,8 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
   }
 
   if (newest != nullptr) {
+    Span repair_span = scope.Child("cluster.read_repair");
+    const SpanScope repair_scope = repair_span.scope();
     ReplicaRecord repair = *newest;
     if (options_.seeded_bug_read_repair_wrong_value) {
       // Seeded bug #17: the repair keeps the newest *version* but pairs it with the
@@ -395,7 +428,7 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
           ++holders;
           continue;
         }
-        const Status s = ContactWrite(owner, key, repair, scope, "cluster.replica.repair");
+        const Status s = ContactWrite(owner, key, repair, repair_scope, "cluster.replica.repair");
         if (s.ok()) {
           ++holders;
           ++result.read_repairs;
@@ -406,6 +439,7 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
                               ? owners.size() - options_.read_quorum + 1
                               : 1;
       if (holders < need) {
+        repair_span.set_status(StatusCode::kUnavailable);
         return fail(Status::Unavailable(
             "cluster: divergent read could not re-establish quorum overlap"));
       }
@@ -421,7 +455,7 @@ QuorumResult ClusterCoordinator::Get(ShardId key) {
         if (have >= newest->version) {
           continue;
         }
-        const Status s = ContactWrite(r.node, key, repair, scope, "cluster.replica.repair");
+        const Status s = ContactWrite(r.node, key, repair, repair_scope, "cluster.replica.repair");
         if (s.ok()) {
           ++result.read_repairs;
           read_repairs_->Increment();
@@ -563,7 +597,12 @@ void ClusterCoordinator::Tick(uint64_t rounds) {
     Span root(&spans_, &net_, "cluster.tick");
     const SpanScope scope = root.scope();
     HeartbeatRound();
-    ReplayHints(scope);
+    {
+      // Hint replay gets its own phase span so drain latency is a first-class
+      // histogram (span.cluster.hint.drain.ticks) the benches can export.
+      Span drain = scope.Child("cluster.hint.drain");
+      ReplayHints(drain.scope());
+    }
     RetryPendingMoves(scope);
   }
 }
@@ -806,6 +845,110 @@ Result<std::optional<ReplicaRecord>> ClusterCoordinator::DebugReplicaRead(int no
     return Status::Unavailable("cluster: no such member");
   }
   return target->HandleRead(key);
+}
+
+ClusterTrace ClusterCoordinator::AssembleTrace(uint64_t root_id) const {
+  // Hold the node refs so the span trees outlive the lock release; the trees are
+  // read under their own leaf locks, never under mu_.
+  std::vector<std::shared_ptr<ClusterNode>> hold;
+  std::vector<std::pair<std::string, const SpanTree*>> trees;
+  {
+    LockGuard lock(mu_);
+    hold.reserve(nodes_.size());
+    trees.reserve(nodes_.size());
+    for (const auto& [id, node] : nodes_) {
+      hold.push_back(node);
+      trees.emplace_back("node-" + std::to_string(id), &node->server().spans());
+    }
+  }
+  return AssembleClusterTrace(root_id, spans_, trees);
+}
+
+std::string ClusterCoordinator::ClusterSnapshotJson() const {
+  struct NodeInfo {
+    int id = 0;
+    std::shared_ptr<ClusterNode> node;
+    const char* health = "";
+    uint32_t misses = 0;
+    size_t hint_depth = 0;
+  };
+  std::vector<NodeInfo> infos;
+  std::map<ShardId, std::vector<int>> pending;
+  std::map<ShardId, uint64_t> acked;
+  std::vector<ShardId> keys;
+  {
+    LockGuard lock(mu_);
+    for (const auto& [id, node] : nodes_) {
+      NodeInfo info;
+      info.id = id;
+      info.node = node;
+      info.health = NodeHealthName(fd_.Health(id));
+      info.misses = fd_.Misses(id);
+      auto it = hints_.find(id);
+      if (it != hints_.end()) {
+        info.hint_depth = it->second.size();
+      }
+      infos.push_back(std::move(info));
+    }
+    pending = pending_moves_;
+    acked = acked_;
+    keys.assign(keys_.begin(), keys_.end());
+  }
+  // Per-node metric snapshots are taken after mu_ is released — the coordinator
+  // never calls into a member while holding its own lock (same discipline as the
+  // fan-out paths).
+  ss::MetricsSnapshot aggregated;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nodes").BeginObject();
+  for (const NodeInfo& info : infos) {
+    w.Key(std::to_string(info.id)).BeginObject();
+    w.Key("health").String(info.health);
+    w.Key("misses").UInt(info.misses);
+    w.Key("crashed").Bool(net_.Crashed(info.id));
+    w.Key("hint_queue_depth").UInt(info.hint_depth);
+    w.EndObject();
+    aggregated.MergeFrom(info.node->server().MetricsSnapshot());
+  }
+  w.EndObject();
+  w.Key("ring").BeginObject();
+  w.Key("members").BeginArray();
+  for (const int id : ring_.Nodes()) {
+    w.Int(id);
+  }
+  w.EndArray();
+  w.Key("vnodes").UInt(options_.vnodes);
+  w.Key("points").UInt(ring_.point_count());
+  w.Key("ownership").BeginObject();
+  for (const ShardId key : keys) {
+    w.Key(std::to_string(key)).BeginArray();
+    for (const int owner : ring_.Owners(key, options_.replication)) {
+      w.Int(owner);
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+  w.Key("pending_moves").BeginObject();
+  for (const auto& [key, sources] : pending) {
+    w.Key(std::to_string(key)).BeginArray();
+    for (const int src : sources) {
+      w.Int(src);
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.Key("acked_floor").BeginObject();
+  for (const auto& [key, version] : acked) {
+    w.Key(std::to_string(key)).UInt(version);
+  }
+  w.EndObject();
+  w.Key("metrics").BeginObject();
+  w.Key("coordinator").Raw(metrics_.Snapshot().ToJson());
+  w.Key("nodes_aggregated").Raw(aggregated.ToJson());
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 ss::MetricsSnapshot ClusterCoordinator::MetricsSnapshot() const {

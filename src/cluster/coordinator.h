@@ -56,6 +56,7 @@
 #include "src/cluster/hash_ring.h"
 #include "src/cluster/replica.h"
 #include "src/common/retry_policy.h"
+#include "src/obs/cluster_trace.h"
 
 namespace ss {
 namespace cluster {
@@ -168,6 +169,20 @@ class ClusterCoordinator {
   SpanTree& spans() { return spans_; }
   ss::MetricsSnapshot MetricsSnapshot() const;
   std::string DumpMetrics() const;
+
+  // Assembles the cross-node trace keyed by a coordinator root span id (a
+  // QuorumResult::trace_id): the coordinator's tree plus every member subtree that
+  // adopted the op's TraceContext, stitched under the per-replica RPC spans. A
+  // replica a fault kept the message from shows up as a *missing* source — the
+  // degraded path is visible as absence, not as an error entry.
+  ClusterTrace AssembleTrace(uint64_t root_id) const;
+
+  // Point-in-time cluster state as one JSON object: per-node failure-detector
+  // health/misses/crash flag/hint-queue depth, ring membership + per-key ownership,
+  // pending rebalance moves, the acked-version floor table, and a metrics block
+  // holding the coordinator registry plus the per-node registries aggregated with
+  // MetricsSnapshot::MergeFrom. Attached to every cluster-harness flight artifact.
+  std::string ClusterSnapshotJson() const;
 
   const ClusterOptions& options() const { return options_; }
 

@@ -15,12 +15,18 @@ const char* NodeHealthName(NodeHealth health) {
   return "unknown";
 }
 
-FailureDetector::FailureDetector(FailureDetectorOptions options) : options_(options) {
+FailureDetector::FailureDetector(FailureDetectorOptions options, MetricRegistry* metrics)
+    : options_(options) {
   if (options_.suspect_after_misses == 0) {
     options_.suspect_after_misses = 1;
   }
   if (options_.down_after_misses <= options_.suspect_after_misses) {
     options_.down_after_misses = options_.suspect_after_misses + 1;
+  }
+  if (metrics != nullptr) {
+    entered_healthy_ = &metrics->counter("cluster.fd.healthy");
+    entered_suspect_ = &metrics->counter("cluster.fd.suspect");
+    entered_down_ = &metrics->counter("cluster.fd.down");
   }
 }
 
@@ -50,6 +56,21 @@ std::vector<FailureDetector::Transition> FailureDetector::Observe(int node,
   }
   if (state.health != before) {
     out.push_back(Transition{node, before, state.health});
+    Counter* entered = nullptr;
+    switch (state.health) {
+      case NodeHealth::kHealthy:
+        entered = entered_healthy_;
+        break;
+      case NodeHealth::kSuspect:
+        entered = entered_suspect_;
+        break;
+      case NodeHealth::kDown:
+        entered = entered_down_;
+        break;
+    }
+    if (entered != nullptr) {
+      entered->Increment();
+    }
   }
   return out;
 }

@@ -16,6 +16,8 @@
 #include <map>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace ss {
 namespace cluster {
 
@@ -31,7 +33,12 @@ struct FailureDetectorOptions {
 
 class FailureDetector {
  public:
-  explicit FailureDetector(FailureDetectorOptions options = {});
+  // When `metrics` is provided, every ladder transition increments the counter named
+  // for the state *entered*: cluster.fd.healthy (recovery), cluster.fd.suspect,
+  // cluster.fd.down. Counter pointers are resolved once here (registration is rare,
+  // transitions are hot-path under the coordinator lock).
+  explicit FailureDetector(FailureDetectorOptions options = {},
+                           MetricRegistry* metrics = nullptr);
 
   void AddNode(int node);     // starts healthy
   void RemoveNode(int node);
@@ -58,6 +65,9 @@ class FailureDetector {
   };
   FailureDetectorOptions options_;
   std::map<int, NodeState> nodes_;
+  Counter* entered_healthy_ = nullptr;  // null when metrics were not supplied
+  Counter* entered_suspect_ = nullptr;
+  Counter* entered_down_ = nullptr;
 };
 
 }  // namespace cluster

@@ -46,8 +46,8 @@ Result<std::unique_ptr<ClusterNode>> ClusterNode::Create(int id, NodeServerOptio
   return std::unique_ptr<ClusterNode>(new ClusterNode(id, std::move(server.value())));
 }
 
-Result<std::optional<ReplicaRecord>> ClusterNode::ReadLocked(ShardId key) {
-  Result<GetResult> raw = server_->Get(key);
+Result<std::optional<ReplicaRecord>> ClusterNode::ReadLocked(ShardId key, TraceContext trace) {
+  Result<GetResult> raw = server_->Get(key, trace);
   if (!raw.ok()) {
     if (raw.status().code() == StatusCode::kNotFound) {
       return std::optional<ReplicaRecord>{};
@@ -61,9 +61,9 @@ Result<std::optional<ReplicaRecord>> ClusterNode::ReadLocked(ShardId key) {
   return std::optional<ReplicaRecord>(std::move(record.value()));
 }
 
-Status ClusterNode::HandleWrite(ShardId key, const ReplicaRecord& record) {
+Status ClusterNode::HandleWrite(ShardId key, const ReplicaRecord& record, TraceContext trace) {
   LockGuard lock(mu_);
-  Result<std::optional<ReplicaRecord>> current = ReadLocked(key);
+  Result<std::optional<ReplicaRecord>> current = ReadLocked(key, trace);
   if (!current.ok()) {
     return current.status();
   }
@@ -73,13 +73,13 @@ Status ClusterNode::HandleWrite(ShardId key, const ReplicaRecord& record) {
     return Status::Ok();
   }
   const Bytes encoded = EncodeReplicaRecord(record);
-  Result<PutResult> put = server_->Put(key, ByteSpan(encoded));
+  Result<PutResult> put = server_->Put(key, ByteSpan(encoded), trace);
   return put.status();
 }
 
-Result<std::optional<ReplicaRecord>> ClusterNode::HandleRead(ShardId key) {
+Result<std::optional<ReplicaRecord>> ClusterNode::HandleRead(ShardId key, TraceContext trace) {
   LockGuard lock(mu_);
-  return ReadLocked(key);
+  return ReadLocked(key, trace);
 }
 
 }  // namespace cluster

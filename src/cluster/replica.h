@@ -51,18 +51,20 @@ class ClusterNode {
   // Applies `record` iff it is newer than the stored version (idempotent under
   // duplication and replay). Returns the storage status; version-stale applications
   // return Ok — the replica already has something at least as new, which is exactly
-  // the state the sender wanted to reach.
-  Status HandleWrite(ShardId key, const ReplicaRecord& record);
+  // the state the sender wanted to reach. `trace` (when active) links the node's
+  // rpc.* spans — both the version-guard read and the applying put — under the
+  // sender's trace.
+  Status HandleWrite(ShardId key, const ReplicaRecord& record, TraceContext trace = {});
 
   // The replica's current record, or nullopt when the key was never written here.
-  Result<std::optional<ReplicaRecord>> HandleRead(ShardId key);
+  Result<std::optional<ReplicaRecord>> HandleRead(ShardId key, TraceContext trace = {});
 
  private:
   ClusterNode(int id, std::unique_ptr<NodeServer> server)
       : id_(id), server_(std::move(server)) {}
 
   // Caller holds mu_. Reads the stored record for the version guard.
-  Result<std::optional<ReplicaRecord>> ReadLocked(ShardId key);
+  Result<std::optional<ReplicaRecord>> ReadLocked(ShardId key, TraceContext trace = {});
 
   int id_;
   std::unique_ptr<NodeServer> server_;

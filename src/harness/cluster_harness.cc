@@ -284,6 +284,7 @@ std::optional<std::string> ClusterConformanceHarness::Run(const std::vector<Clus
   uint64_t puts_issued = 0;
   uint64_t gets_issued = 0;
   uint64_t deletes_issued = 0;
+  uint64_t last_trace_id = 0;  // root span id of the most recent client op
   ClusterModel model;
 
   auto record_failure = [&](const std::string& message) {
@@ -297,6 +298,10 @@ std::optional<std::string> ClusterConformanceHarness::Run(const std::vector<Clus
       }
       record.metrics_json = cluster->MetricsSnapshot().ToJson();
       record.spans_json = cluster->spans().ToJson();
+      record.cluster_json = cluster->ClusterSnapshotJson();
+      if (last_trace_id != 0) {
+        record.cluster_trace_json = cluster->AssembleTrace(last_trace_id).ToJson();
+      }
       (void)options_.recorder->Write(record);
     }
     return std::optional<std::string>(message);
@@ -315,6 +320,7 @@ std::optional<std::string> ClusterConformanceHarness::Run(const std::vector<Clus
       case ClusterOpKind::kGet: {
         const cluster::QuorumResult r = cluster->Get(op.key);
         ++gets_issued;
+        last_trace_id = r.trace_id;
         if (r.status.ok() || r.status.code() == StatusCode::kNotFound) {
           if (auto err = model.OnRead(op.key, r.found, r.version, r.value)) {
             return fail(i, *err);
@@ -332,6 +338,7 @@ std::optional<std::string> ClusterConformanceHarness::Run(const std::vector<Clus
       case ClusterOpKind::kPut: {
         const cluster::QuorumResult r = cluster->Put(op.key, ByteSpan(op.value));
         ++puts_issued;
+        last_trace_id = r.trace_id;
         if (r.ok()) {
           model.OnWriteAck(op.key, r.version, false, op.value);
         } else if (r.status.code() == StatusCode::kUnavailable ||
@@ -348,6 +355,7 @@ std::optional<std::string> ClusterConformanceHarness::Run(const std::vector<Clus
       case ClusterOpKind::kDelete: {
         const cluster::QuorumResult r = cluster->Delete(op.key);
         ++deletes_issued;
+        last_trace_id = r.trace_id;
         if (r.ok()) {
           model.OnWriteAck(op.key, r.version, true, Bytes{});
         } else if (r.status.code() == StatusCode::kUnavailable ||

@@ -1,0 +1,133 @@
+#include "src/obs/cluster_trace.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace ss {
+
+std::vector<std::string> ClusterTrace::Sources() const {
+  std::vector<std::string> out;
+  for (const ClusterTraceEntry& entry : spans) {
+    bool seen = false;
+    for (const std::string& s : out) {
+      if (s == entry.source) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out.push_back(entry.source);
+    }
+  }
+  return out;
+}
+
+bool ClusterTrace::HasSource(std::string_view source) const {
+  for (const ClusterTraceEntry& entry : spans) {
+    if (entry.source == source) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ClusterTrace::CountFor(std::string_view source) const {
+  size_t n = 0;
+  for (const ClusterTraceEntry& entry : spans) {
+    if (entry.source == source) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string ClusterTrace::ToString() const {
+  // Keys are (source, local id); node-local roots additionally attach under the
+  // coordinator span named by their remote_parent.
+  using Key = std::pair<std::string, uint64_t>;
+  std::map<Key, const ClusterTraceEntry*> by_id;
+  std::multimap<Key, const ClusterTraceEntry*> children;
+  const ClusterTraceEntry* coord_root = nullptr;
+  for (const ClusterTraceEntry& entry : spans) {
+    by_id[{entry.source, entry.span.id}] = &entry;
+  }
+  for (const ClusterTraceEntry& entry : spans) {
+    const SpanRecord& s = entry.span;
+    if (entry.source == "coord" && s.id == root) {
+      coord_root = &entry;
+    } else if (s.id == s.root && s.remote_root == root) {
+      children.emplace(Key{"coord", s.remote_parent}, &entry);  // cross-tree attach
+    } else {
+      children.emplace(Key{entry.source, s.parent}, &entry);
+    }
+  }
+  std::ostringstream out;
+  if (coord_root == nullptr) {
+    out << "cluster trace root #" << root << " <not retained>\n";
+    return out.str();
+  }
+  std::vector<std::pair<const ClusterTraceEntry*, int>> stack = {{coord_root, 0}};
+  while (!stack.empty()) {
+    auto [entry, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) {
+      out << "  ";
+    }
+    if (entry->source != "coord") {
+      out << "[" << entry->source << "] ";
+    }
+    out << entry->span.ToString() << "\n";
+    auto [lo, hi] = children.equal_range({entry->source, entry->span.id});
+    std::vector<const ClusterTraceEntry*> kids;
+    for (auto it = lo; it != hi; ++it) {
+      kids.push_back(it->second);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out.str();
+}
+
+std::string ClusterTrace::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("root").UInt(root);
+  w.Key("spans");
+  w.BeginArray();
+  for (const ClusterTraceEntry& entry : spans) {
+    // Same shape as SpanRecordToJson plus a leading "source".
+    JsonWriter span_json;
+    SpanRecordToJson(entry.span, span_json);
+    std::string body = span_json.str();  // "{...}"
+    w.Raw("{\"source\":\"" + JsonEscape(entry.source) + "\"," + body.substr(1));
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+ClusterTrace AssembleClusterTrace(
+    uint64_t root, const SpanTree& coordinator,
+    const std::vector<std::pair<std::string, const SpanTree*>>& nodes) {
+  ClusterTrace trace;
+  trace.root = root;
+  for (SpanRecord& record : coordinator.Tree(root)) {
+    trace.spans.push_back({"coord", std::move(record)});
+  }
+  for (const auto& [label, tree] : nodes) {
+    if (tree == nullptr) {
+      continue;
+    }
+    for (uint64_t local_root : tree->RemoteTrees(root)) {
+      for (SpanRecord& record : tree->Tree(local_root)) {
+        trace.spans.push_back({label, std::move(record)});
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace ss

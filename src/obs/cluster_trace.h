@@ -1,0 +1,62 @@
+// Cluster trace assembly — merging per-process SpanTrees into one causal view.
+//
+// Every SpanTree numbers span ids from 1, so a node's spans can never literally
+// adopt the coordinator's ids without colliding with its own. Instead the sender
+// ships a TraceContext (its root + parent span ids) with each message, the receiver
+// opens a *locally rooted* span carrying that context as `remote_root`/`remote_parent`
+// (SpanTree::StartRemoteSpan), and assembly happens after the fact: for a given
+// coordinator root id, AssembleClusterTrace collects the coordinator's tree plus, from
+// each node tree, every local subtree whose remote_root matches, and stitches node
+// subtrees under the coordinator span named by their remote_parent.
+//
+// The result is a plain value (source label + SpanRecord per entry) with ToString()
+// for humans and ToJson() for flight-recorder artifacts. Because all spans run on the
+// virtual clock, the assembled trace is deterministic under `ss::mc` replay.
+
+#ifndef SS_OBS_CLUSTER_TRACE_H_
+#define SS_OBS_CLUSTER_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/span.h"
+
+namespace ss {
+
+struct ClusterTraceEntry {
+  std::string source;  // "coord" or "node-<id>"
+  SpanRecord span;
+};
+
+// One assembled cross-process trace. Entries are grouped by source: the
+// coordinator's tree first (ascending id), then each node's matching subtrees in
+// the order the node trees were supplied.
+struct ClusterTrace {
+  uint64_t root = 0;  // coordinator root span id the trace is keyed by
+  std::vector<ClusterTraceEntry> spans;
+
+  // Distinct source labels in first-appearance order.
+  std::vector<std::string> Sources() const;
+  bool HasSource(std::string_view source) const;
+  size_t CountFor(std::string_view source) const;
+
+  // Indented cross-source rendering: node subtrees appear under the coordinator
+  // span they were sent from, each line tagged with its source.
+  std::string ToString() const;
+  // {"root": N, "spans": [{"source": ..., <SpanRecord fields>}, ...]}
+  std::string ToJson() const;
+};
+
+// Assembles the trace keyed by the coordinator root span id `root`. `nodes` supplies
+// (label, tree) pairs for every process that may have adopted the coordinator's
+// TraceContext. Trees are read via their own locks; none are held across each other.
+ClusterTrace AssembleClusterTrace(
+    uint64_t root, const SpanTree& coordinator,
+    const std::vector<std::pair<std::string, const SpanTree*>>& nodes);
+
+}  // namespace ss
+
+#endif  // SS_OBS_CLUSTER_TRACE_H_

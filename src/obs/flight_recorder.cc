@@ -170,6 +170,10 @@ Result<std::string> FlightRecorder::Write(const FlightRecord& record) {
   RawOrNull(w, record.disks_json);
   w.Key("analysis");
   RawOrNull(w, record.analysis_json);
+  w.Key("cluster");
+  RawOrNull(w, record.cluster_json);
+  w.Key("cluster_trace");
+  RawOrNull(w, record.cluster_trace_json);
   w.EndObject();
 
   std::error_code ec;

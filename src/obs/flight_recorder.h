@@ -59,6 +59,10 @@ struct FlightRecord {
   std::string analysis_json;  // static/dynamic analysis report (lock-order witness
                               // LockOrderReport::ToJson(), dep linter
                               // DepLintReport::ToJson())
+  std::string cluster_json;        // ClusterCoordinator::ClusterSnapshotJson() — ring,
+                                   // FD states, hints, pending moves, aggregated metrics
+  std::string cluster_trace_json;  // ClusterTrace::ToJson() — the failing op's
+                                   // assembled cross-node trace
 };
 
 // Fills `record` from a live single-disk store: metric snapshot, pending-writeback

@@ -94,6 +94,7 @@ std::string HistogramSnapshot::ToJson() const {
   w.EndArray();
   w.Key("p50").UInt(ValueAtQuantile(0.5));
   w.Key("p99").UInt(ValueAtQuantile(0.99));
+  w.Key("p999").UInt(ValueAtQuantile(0.999));
   w.EndObject();
   return w.str();
 }
@@ -161,6 +162,29 @@ std::string MetricsSnapshot::ToJson() const {
   w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;  // uint64 wraparound on overflow is intended
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] += value;
+  }
+  for (const auto& [name, theirs] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, theirs);
+    if (inserted) {
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    if (mine.bounds == theirs.bounds && mine.counts.size() == theirs.counts.size()) {
+      for (size_t i = 0; i < mine.counts.size(); ++i) {
+        mine.counts[i] += theirs.counts[i];
+      }
+    }  // mismatched shapes keep this snapshot's buckets; only the totals fold in
+    mine.count += theirs.count;
+    mine.sum += theirs.sum;
+  }
 }
 
 uint64_t CounterDelta(const MetricsSnapshot& before, const MetricsSnapshot& after,

@@ -115,6 +115,12 @@ struct MetricsSnapshot {
   uint64_t counter(std::string_view name) const;
   int64_t gauge(std::string_view name) const;
 
+  // Accumulates `other` into this snapshot: counters and gauges sum (uint64 wrap on
+  // counter overflow is defined behaviour), histograms with identical bounds merge
+  // bucket-wise, mismatched bounds fold into count/sum only (counts/bounds keep this
+  // snapshot's shape). The cluster tier uses this to aggregate per-node snapshots.
+  void MergeFrom(const MetricsSnapshot& other);
+
   std::string ToString() const;
   // Machine-readable form: {"counters":{..},"gauges":{..},"histograms":{..}}, the
   // exit the benches and the flight recorder consume.

@@ -12,6 +12,9 @@ std::string SpanRecord::ToString() const {
   std::ostringstream out;
   out << "#" << id << " " << name << " parent=" << parent << " root=" << root
       << " ticks=" << duration_ticks << " status=" << StatusCodeName(status);
+  if (remote_root != 0) {
+    out << " remote_parent=" << remote_parent << " remote_root=" << remote_root;
+  }
   if (open) {
     out << " (open)";
   }
@@ -23,16 +26,12 @@ SpanTree::SpanTree(size_t capacity, MetricRegistry* metrics)
   ring_.reserve(capacity_);
 }
 
-uint64_t SpanTree::StartSpan(std::string_view name, uint64_t parent, uint64_t root,
-                             uint64_t start_ticks) {
-  LockGuard lock(mu_);
+uint64_t SpanTree::InsertLocked(SpanRecord record) {
   const uint64_t id = next_id_++;
-  SpanRecord record;
   record.id = id;
-  record.parent = parent;
-  record.root = root == 0 ? id : root;
-  record.name = std::string(name);
-  record.start_ticks = start_ticks;
+  if (record.root == 0) {
+    record.root = id;
+  }
   const size_t slot = static_cast<size_t>((id - 1) % capacity_);
   if (slot < ring_.size()) {
     ring_[slot] = std::move(record);
@@ -40,6 +39,39 @@ uint64_t SpanTree::StartSpan(std::string_view name, uint64_t parent, uint64_t ro
     ring_.push_back(std::move(record));
   }
   return id;
+}
+
+uint64_t SpanTree::StartSpan(std::string_view name, uint64_t parent, uint64_t root,
+                             uint64_t start_ticks) {
+  LockGuard lock(mu_);
+  SpanRecord record;
+  record.parent = parent;
+  record.root = root;
+  record.name = std::string(name);
+  record.start_ticks = start_ticks;
+  return InsertLocked(std::move(record));
+}
+
+uint64_t SpanTree::StartRemoteSpan(std::string_view name, TraceContext remote,
+                                   uint64_t start_ticks) {
+  LockGuard lock(mu_);
+  SpanRecord record;
+  record.remote_parent = remote.parent;
+  record.remote_root = remote.root;
+  record.name = std::string(name);
+  record.start_ticks = start_ticks;
+  return InsertLocked(std::move(record));  // locally rooted: parent/root stay 0/self
+}
+
+std::vector<uint64_t> SpanTree::RemoteTrees(uint64_t remote_root) const {
+  LockGuard lock(mu_);
+  std::vector<uint64_t> out;
+  for (const SpanRecord& record : SpansLocked()) {
+    if (record.id == record.root && record.remote_root == remote_root) {
+      out.push_back(record.id);
+    }
+  }
+  return out;
 }
 
 void SpanTree::EndSpan(uint64_t id, StatusCode status, uint64_t duration_ticks) {
@@ -144,13 +176,15 @@ std::string SpanTree::ToString(uint64_t root) const {
   return out.str();
 }
 
-namespace {
-
-void SpanToJson(const SpanRecord& record, JsonWriter& w) {
+void SpanRecordToJson(const SpanRecord& record, JsonWriter& w) {
   w.BeginObject();
   w.Key("id").UInt(record.id);
   w.Key("parent").UInt(record.parent);
   w.Key("root").UInt(record.root);
+  if (record.remote_root != 0) {
+    w.Key("remote_parent").UInt(record.remote_parent);
+    w.Key("remote_root").UInt(record.remote_root);
+  }
   w.Key("name").String(record.name);
   w.Key("start_ticks").UInt(record.start_ticks);
   w.Key("duration_ticks").UInt(record.duration_ticks);
@@ -159,11 +193,13 @@ void SpanToJson(const SpanRecord& record, JsonWriter& w) {
   w.EndObject();
 }
 
+namespace {
+
 std::string SpansJson(const std::vector<SpanRecord>& spans) {
   JsonWriter w;
   w.BeginArray();
   for (const SpanRecord& record : spans) {
-    SpanToJson(record, w);
+    SpanRecordToJson(record, w);
   }
   w.EndArray();
   return w.str();
@@ -184,6 +220,17 @@ Span::Span(SpanTree* tree, const TickSource* clock, std::string_view name, uint6
   start_ = clock_ != nullptr ? clock_->SpanTicksNow() : 0;
   id_ = tree_->StartSpan(name, parent, root, start_);
   root_ = root == 0 ? id_ : root;
+  open_ = true;
+}
+
+Span::Span(SpanTree* tree, const TickSource* clock, std::string_view name, TraceContext remote)
+    : tree_(tree), clock_(clock) {
+  if (tree_ == nullptr) {
+    return;
+  }
+  start_ = clock_ != nullptr ? clock_->SpanTicksNow() : 0;
+  id_ = tree_->StartRemoteSpan(name, remote, start_);
+  root_ = id_;  // locally rooted; the remote linkage lives in the record
   open_ = true;
 }
 

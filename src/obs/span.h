@@ -34,6 +34,8 @@
 
 namespace ss {
 
+class JsonWriter;
+
 // Source of virtual-clock ticks for span latency. ExtentManager implements this over
 // its retry-backoff clock (an atomic mirror, so reading it is never a scheduling
 // point); tests can supply fake clocks.
@@ -43,10 +45,28 @@ class TickSource {
   virtual uint64_t SpanTicksNow() const = 0;
 };
 
+// Wire form of a span's identity, carried across the cluster network so a receiving
+// node's spans can adopt the sender's causal tree. `root`/`parent` are span ids in the
+// *sender's* SpanTree (the cluster coordinator's); root == 0 means no context and the
+// receiver roots its own tree as before. The ids are opaque to the receiver — it
+// records them as remote linkage, never resolves them locally — which is what lets
+// the cluster trace assembler stitch per-node trees back under the coordinator's root
+// without any cross-tree id coordination.
+struct TraceContext {
+  uint64_t root = 0;    // sender's root span id
+  uint64_t parent = 0;  // sender's span the message was sent under
+  bool active() const { return root != 0; }
+};
+
 struct SpanRecord {
   uint64_t id = 0;      // 1-based, monotonically increasing for the tree's lifetime
   uint64_t parent = 0;  // 0 = root span
   uint64_t root = 0;    // id of the tree's root span (== id for roots)
+  // Remote linkage for spans adopted from another tree's TraceContext: ids in the
+  // *sender's* tree (0 = none). Only locally-rooted spans carry these; their local
+  // children keep chaining through `parent`/`root` as usual.
+  uint64_t remote_parent = 0;
+  uint64_t remote_root = 0;
   std::string name;     // e.g. "rpc.put", "lsm.insert", "io.coalesce"
   uint64_t start_ticks = 0;
   uint64_t duration_ticks = 0;
@@ -72,6 +92,10 @@ class SpanTree {
   // Starts a span and returns its id. `root` 0 means the span is its own root.
   uint64_t StartSpan(std::string_view name, uint64_t parent = 0, uint64_t root = 0,
                      uint64_t start_ticks = 0);
+  // Starts a *locally rooted* span that records `remote` as its causal origin in
+  // another tree (the sender's). Children chain under it with plain StartSpan.
+  uint64_t StartRemoteSpan(std::string_view name, TraceContext remote,
+                           uint64_t start_ticks = 0);
   // Ends a span (no-op if the record was already overwritten by wraparound).
   void EndSpan(uint64_t id, StatusCode status, uint64_t duration_ticks);
 
@@ -79,6 +103,9 @@ class SpanTree {
   std::vector<SpanRecord> Spans() const;
   // Retained records belonging to the tree rooted at `root`, ascending id order.
   std::vector<SpanRecord> Tree(uint64_t root) const;
+  // Ids of retained local roots whose remote_root is `remote_root`, ascending — the
+  // subtrees this tree contributed to a remote trace (cluster assembler input).
+  std::vector<uint64_t> RemoteTrees(uint64_t remote_root) const;
 
   // Lifetime span count, unaffected by wraparound.
   uint64_t total_started() const;
@@ -92,6 +119,7 @@ class SpanTree {
 
  private:
   std::vector<SpanRecord> SpansLocked() const;  // caller holds mu_
+  uint64_t InsertLocked(SpanRecord record);     // caller holds mu_; assigns the id
 
   // Ranked below the metric-registry shards: EndSpan publishes the duration
   // histogram while holding this lock.
@@ -105,6 +133,10 @@ class SpanTree {
   // span name, not once per span. Guarded by mu_; Histogram addresses are stable.
   std::map<std::string, Histogram*, std::less<>> histogram_cache_;
 };
+
+// Appends one span record as a JSON object to `w` (remote linkage included when
+// present). Shared by SpanTree::ToJson and the cluster trace assembler.
+void SpanRecordToJson(const SpanRecord& record, JsonWriter& w);
 
 class Span;
 
@@ -130,6 +162,9 @@ class Span {
   // yields durations from AddTicks only.
   Span(SpanTree* tree, const TickSource* clock, std::string_view name, uint64_t parent = 0,
        uint64_t root = 0);
+  // Opens a locally rooted span adopting `remote` (another tree's TraceContext) as
+  // its causal origin — the receive side of cross-node trace propagation.
+  Span(SpanTree* tree, const TickSource* clock, std::string_view name, TraceContext remote);
   Span(Span&& other) noexcept;
   Span& operator=(Span&& other) noexcept;
   Span(const Span&) = delete;

@@ -146,8 +146,8 @@ void NodeServer::AbsorbTrackerHealth(int disk, ShardStore& target) {
   }
 }
 
-Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value) {
-  Span span = RootSpan("rpc.put");
+Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value, TraceContext remote) {
+  Span span = RootSpan("rpc.put", remote);
   int disk = -1;
   auto routed = Route(id, /*mutating=*/true, &disk);
   if (!routed.ok()) {
@@ -198,8 +198,8 @@ Result<PutResult> NodeServer::Put(ShardId id, ByteSpan value) {
   return result;
 }
 
-Result<GetResult> NodeServer::Get(ShardId id) {
-  Span span = RootSpan("rpc.get");
+Result<GetResult> NodeServer::Get(ShardId id, TraceContext remote) {
+  Span span = RootSpan("rpc.get", remote);
   int disk = -1;
   auto routed = Route(id, /*mutating=*/false, &disk);
   if (!routed.ok()) {
@@ -289,8 +289,8 @@ Result<ScanResult> NodeServer::Scan(ShardId start, ShardId end) {
   return result;
 }
 
-Result<DeleteResult> NodeServer::Delete(ShardId id) {
-  Span span = RootSpan("rpc.delete");
+Result<DeleteResult> NodeServer::Delete(ShardId id, TraceContext remote) {
+  Span span = RootSpan("rpc.delete", remote);
   int disk = -1;
   auto routed = Route(id, /*mutating=*/true, &disk);
   if (!routed.ok()) {

@@ -135,9 +135,13 @@ class NodeServer {
   static Result<std::unique_ptr<NodeServer>> Create(NodeServerOptions options = {});
 
   // --- Request plane -------------------------------------------------------------------
-  Result<PutResult> Put(ShardId id, ByteSpan value);
-  Result<GetResult> Get(ShardId id);
-  Result<DeleteResult> Delete(ShardId id);
+  // `remote` is the optional cross-node trace context (a cluster coordinator's
+  // root/parent span ids): when active, the RPC's root span records it as remote
+  // linkage so the cluster trace assembler can stitch this node's subtree under
+  // the coordinator's trace. Local callers leave it defaulted.
+  Result<PutResult> Put(ShardId id, ByteSpan value, TraceContext remote = {});
+  Result<GetResult> Get(ShardId id, TraceContext remote = {});
+  Result<DeleteResult> Delete(ShardId id, TraceContext remote = {});
 
   // Merged range scan: every live shard with id in the half-open window [start, end),
   // in key order, fanned out across all in-service disks (a shard that transiently
@@ -267,7 +271,10 @@ class NodeServer {
 
   // Opens a root span for one RPC (null clock: durations accumulate via AddTicks of
   // per-store virtual-clock deltas, since the owning disk is not known yet).
-  Span RootSpan(std::string_view name) { return Span(&spans_, nullptr, name); }
+  Span RootSpan(std::string_view name, TraceContext remote = {}) {
+    return remote.active() ? Span(&spans_, nullptr, name, remote)
+                           : Span(&spans_, nullptr, name);
+  }
 
   NodeServerOptions options_;
   std::vector<std::unique_ptr<Disk>> disks_;

@@ -16,7 +16,9 @@
 #include "src/faults/faults.h"
 #include "src/harness/cluster_harness.h"
 #include "src/mc/mc.h"
+#include "src/obs/cluster_trace.h"
 #include "src/obs/flight_recorder.h"
+#include "src/sync/sync.h"
 
 namespace ss {
 namespace {
@@ -231,6 +233,110 @@ TEST(ClusterQuorum, DeliveryDelaysPastTheOpTimeoutAreRetriedThenFail) {
   EXPECT_GE(snap.counter("cluster.rpc.retries"), 3u);   // each RPC got its retry
 }
 
+// --- Cluster-wide tracing -------------------------------------------------------------
+
+TEST(ClusterTrace, QuorumPutAssemblesOneCrossNodeTrace) {
+  auto cluster = MakeCluster(SmallOptions());
+  const QuorumResult put = cluster->Put(5, BytesOf("traced"));
+  ASSERT_TRUE(put.ok());
+  ASSERT_NE(put.trace_id, 0u);
+  const ClusterTrace trace = cluster->AssembleTrace(put.trace_id);
+  EXPECT_EQ(trace.root, put.trace_id);
+  ASSERT_TRUE(trace.HasSource("coord"));
+  // Every contacted replica contributed node-side spans sharing the one root: the
+  // coordinator's entries carry root == trace_id, the node entries point back at it
+  // through their remote linkage.
+  for (const int owner : cluster->OwnersOf(5)) {
+    const std::string source = "node-" + std::to_string(owner);
+    EXPECT_TRUE(trace.HasSource(source)) << source << " missing from the trace";
+    // A replica write is two node RPCs (version guard read + the put).
+    EXPECT_GE(trace.CountFor(source), 2u);
+  }
+  for (const ClusterTraceEntry& entry : trace.spans) {
+    if (entry.source == "coord") {
+      EXPECT_EQ(entry.span.root, put.trace_id);
+    } else if (entry.span.id == entry.span.root) {
+      EXPECT_EQ(entry.span.remote_root, put.trace_id);
+      EXPECT_NE(entry.span.remote_parent, 0u);
+    }
+  }
+  // The per-phase spans feed the aggregated latency surface.
+  const auto snap = cluster->MetricsSnapshot();
+  ASSERT_TRUE(snap.histograms.count("span.cluster.fanout.ticks"));
+  ASSERT_TRUE(snap.histograms.count("span.cluster.quorum.wait.ticks"));
+  EXPECT_GE(snap.histograms.at("span.cluster.fanout.ticks").count, 1u);
+  EXPECT_GE(snap.histograms.at("span.cluster.quorum.wait.ticks").count, 1u);
+  // Human rendering tags node lines with their source.
+  const std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("[node-"), std::string::npos) << rendered;
+}
+
+TEST(ClusterTrace, QuorumGetTracesOnlyContactedReplicas) {
+  auto cluster = MakeCluster(SmallOptions());
+  ASSERT_TRUE(cluster->Put(9, BytesOf("v")).ok());
+  const QuorumResult get = cluster->Get(9);
+  ASSERT_TRUE(get.ok());
+  ASSERT_NE(get.trace_id, 0u);
+  const ClusterTrace trace = cluster->AssembleTrace(get.trace_id);
+  // R=2: the coordinator plus exactly the two contacted owners appear; the third
+  // replica was never sent the read and so contributes nothing.
+  const std::vector<std::string> sources = trace.Sources();
+  ASSERT_EQ(sources.size(), 3u) << trace.ToString();
+  EXPECT_EQ(sources.front(), "coord");
+  const std::vector<int> owners = cluster->OwnersOf(9);
+  for (size_t i = 1; i < sources.size(); ++i) {
+    bool is_owner = false;
+    for (const int owner : owners) {
+      is_owner |= sources[i] == "node-" + std::to_string(owner);
+    }
+    EXPECT_TRUE(is_owner) << sources[i] << " is not an owner of key 9";
+  }
+}
+
+TEST(ClusterTrace, PartitionedReplicaIsMissingFromTheAssembledTrace) {
+  auto cluster = MakeCluster(SmallOptions());
+  const std::vector<int> owners = cluster->OwnersOf(3);
+  cluster->net().PartitionLink(ClusterNet::kClientId, owners[1]);
+  const QuorumResult put = cluster->Put(3, BytesOf("degraded"));
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put.outcome, QuorumOutcome::kDegraded);
+  const ClusterTrace trace = cluster->AssembleTrace(put.trace_id);
+  // The dropped message never delivered its TraceContext, so the degraded path is
+  // visible as the victim's absence from the assembled trace.
+  EXPECT_TRUE(trace.HasSource("node-" + std::to_string(owners[0])));
+  EXPECT_TRUE(trace.HasSource("node-" + std::to_string(owners[2])));
+  EXPECT_FALSE(trace.HasSource("node-" + std::to_string(owners[1])))
+      << "partitioned replica leaked spans into the trace:\n" << trace.ToString();
+}
+
+TEST(ClusterTrace, SameMcScheduleAssemblesIdenticalTraces) {
+  // Determinism: spans run on the virtual clock and MC serializes the threads, so
+  // replaying the same schedule must assemble byte-identical cluster traces.
+  auto run = [](std::string* out) {
+    auto body = [out] {
+      auto cluster_or = ClusterCoordinator::Create(SmallOptions());
+      MC_CHECK(cluster_or.ok(), "cluster create failed");
+      auto cluster = std::move(cluster_or).value();
+      ClusterCoordinator* raw = cluster.get();
+      Thread writer = Thread::Spawn([raw] { (void)raw->Put(7, BytesOf("w")); });
+      Thread reader = Thread::Spawn([raw] { (void)raw->Get(7); });
+      writer.Join();
+      reader.Join();
+      const QuorumResult last = raw->Put(7, BytesOf("final"));
+      MC_CHECK(last.ok(), "final put failed");
+      *out = raw->AssembleTrace(last.trace_id).ToJson();
+    };
+    McResult result = McReplay(body, {});
+    ASSERT_TRUE(result.ok) << result.error;
+  };
+  std::string first;
+  std::string second;
+  run(&first);
+  run(&second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
 // --- Failure detector -----------------------------------------------------------------
 
 TEST(ClusterFailureDetector, LadderClimbsOnMissesAndRecoversOnHeartbeat) {
@@ -248,6 +354,26 @@ TEST(ClusterFailureDetector, LadderClimbsOnMissesAndRecoversOnHeartbeat) {
   EXPECT_EQ(snap.counter("cluster.fd.downs"), 1u);
   EXPECT_EQ(snap.counter("cluster.fd.recoveries"), 1u);
   EXPECT_GE(snap.counter("cluster.fd.heartbeats"), 15u);  // 5 rounds x 3 members
+}
+
+TEST(ClusterFailureDetector, TransitionCountersTrackAPartitionHealCycle) {
+  auto cluster = MakeCluster(SmallOptions());
+  // Partition the heartbeat path to node 1: misses climb the ladder without the node
+  // itself being down, the steady state of an asymmetric network fault.
+  cluster->net().PartitionLink(ClusterNet::kClientId, 1);
+  cluster->Tick(2);
+  EXPECT_EQ(cluster->HealthOf(1), NodeHealth::kSuspect);
+  cluster->Tick(2);
+  EXPECT_EQ(cluster->HealthOf(1), NodeHealth::kDown);
+  cluster->net().HealLink(ClusterNet::kClientId, 1);
+  cluster->Tick();
+  EXPECT_EQ(cluster->HealthOf(1), NodeHealth::kHealthy);
+  // The detector itself counts every state *entered* (initial membership is not a
+  // transition): one suspect, one down, one healthy re-entry across the cycle.
+  const auto snap = cluster->MetricsSnapshot();
+  EXPECT_EQ(snap.counter("cluster.fd.suspect"), 1u);
+  EXPECT_EQ(snap.counter("cluster.fd.down"), 1u);
+  EXPECT_EQ(snap.counter("cluster.fd.healthy"), 1u);
 }
 
 TEST(ClusterFailureDetector, WritesSkipDownMembersAndHintInstead) {
@@ -484,6 +610,17 @@ TEST(ClusterSeededBug, CorruptReadRepairIsCaughtMinimizedAndRecorded) {
   ASSERT_TRUE(replay_error.has_value()) << "minimized sequence stopped failing";
   EXPECT_EQ(*replay_error, failure->message);
   ASSERT_EQ(recorder.written(), 1u);
+  // The artifact carries the full cluster state: the ClusterSnapshotJson() dump
+  // (ring, FD states, hint depths, acked floor, aggregated metrics) and the failing
+  // op's assembled cross-node trace.
+  const std::string artifact = ReadFile(recorder.dir() + "/flight-0-cluster_quorum.json");
+  ASSERT_FALSE(artifact.empty());
+  EXPECT_NE(artifact.find("\"cluster\":{"), std::string::npos);
+  EXPECT_NE(artifact.find("\"acked_floor\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"hint_queue_depth\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"nodes_aggregated\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"cluster_trace\":{"), std::string::npos);
+  EXPECT_NE(artifact.find("\"source\":\"coord\""), std::string::npos);
 }
 
 // --- Model-checked cross-node linearizability -----------------------------------------

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "src/faults/faults.h"
 #include "src/mc/mc.h"
+#include "src/obs/cluster_trace.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/obs/trace.h"
@@ -117,6 +119,76 @@ TEST(MetricRegistry, ToStringListsEverySection) {
   EXPECT_NE(out.find("c.one"), std::string::npos);
   EXPECT_NE(out.find("g.one"), std::string::npos);
   EXPECT_NE(out.find("h.one"), std::string::npos);
+}
+
+// --- MetricsSnapshot::MergeFrom (cluster-wide aggregation) --------------------------
+
+TEST(MetricsMerge, EmptyRegistriesMergeToEmpty) {
+  MetricsSnapshot a;
+  MetricsSnapshot b;
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.counters.empty());
+  EXPECT_TRUE(a.gauges.empty());
+  EXPECT_TRUE(a.histograms.empty());
+  // Merging into an empty snapshot adopts the other side wholesale.
+  MetricRegistry registry;
+  registry.counter("ops").Increment(3);
+  registry.gauge("depth").Set(-1);
+  registry.histogram("h", {4}).Record(2);
+  MetricsSnapshot populated = registry.Snapshot();
+  a.MergeFrom(populated);
+  EXPECT_EQ(a.counter("ops"), 3u);
+  EXPECT_EQ(a.gauge("depth"), -1);
+  EXPECT_EQ(a.histograms.at("h").count, 1u);
+  // And merging an empty snapshot changes nothing.
+  populated.MergeFrom(MetricsSnapshot{});
+  EXPECT_EQ(populated.counter("ops"), 3u);
+}
+
+TEST(MetricsMerge, MatchedBoundsHistogramsMergeBucketwise) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.histogram("h", {10, 20}).Record(5);
+  a.histogram("h", {10, 20}).Record(15);
+  b.histogram("h", {10, 20}).Record(15);
+  b.histogram("h", {10, 20}).Record(99);  // overflow bucket
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  const HistogramSnapshot& h = merged.histograms.at("h");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 134u);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 1u);  // 5
+  EXPECT_EQ(h.counts[1], 2u);  // both 15s
+  EXPECT_EQ(h.counts[2], 1u);  // 99 overflows
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 20u);
+}
+
+TEST(MetricsMerge, MismatchedBoundsFoldIntoCountAndSum) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.histogram("h", {10}).Record(7);
+  b.histogram("h", {1, 2, 3}).Record(2);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  // Bucket-wise addition would misfile samples, so only the scalars accumulate;
+  // the receiver's bounds win and its bucket counts stay untouched.
+  const HistogramSnapshot& h = merged.histograms.at("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 9u);
+  EXPECT_EQ(h.bounds, (std::vector<uint64_t>{10}));
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);  // only a's sample is bucketed
+}
+
+TEST(MetricsMerge, CounterOverflowWrapsAround) {
+  MetricsSnapshot a;
+  MetricsSnapshot b;
+  a.counters["ops"] = std::numeric_limits<uint64_t>::max();
+  b.counters["ops"] = 3;
+  a.MergeFrom(b);
+  // uint64 wraparound is defined behaviour: max + 3 == 2.
+  EXPECT_EQ(a.counter("ops"), 2u);
 }
 
 // --- HistogramSnapshot::ValueAtQuantile ---------------------------------------------
@@ -334,6 +406,87 @@ TEST(SpanTree, RenderingsShowHierarchy) {
   std::string json = tree.ToJson(root_id);
   EXPECT_NE(json.find("\"name\":\"store.put\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"parent\":" + std::to_string(root_id)), std::string::npos) << json;
+}
+
+// --- Cross-tree trace propagation and assembly ---------------------------------------
+
+TEST(RemoteSpans, StartRemoteSpanRecordsLinkageAndStaysLocallyRooted) {
+  SpanTree tree;
+  const uint64_t id = tree.StartRemoteSpan("rpc.put", TraceContext{40, 41});
+  const uint64_t child = tree.StartSpan("lsm.insert", id, id);
+  tree.EndSpan(child, StatusCode::kOk, 1);
+  tree.EndSpan(id, StatusCode::kOk, 2);
+  std::vector<SpanRecord> spans = tree.Tree(id);
+  ASSERT_EQ(spans.size(), 2u);
+  // The adopted span is a root in *this* tree — remote ids are recorded, never
+  // resolved locally — and its children chain through plain parent/root links.
+  EXPECT_EQ(spans[0].root, id);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].remote_root, 40u);
+  EXPECT_EQ(spans[0].remote_parent, 41u);
+  EXPECT_EQ(spans[1].remote_root, 0u) << "children must not inherit remote linkage";
+  EXPECT_NE(spans[0].ToString().find("remote_root=40"), std::string::npos);
+  // RemoteTrees surfaces exactly the adopted subtrees for a given sender root.
+  EXPECT_EQ(tree.RemoteTrees(40), (std::vector<uint64_t>{id}));
+  EXPECT_TRUE(tree.RemoteTrees(99).empty());
+  const std::string json = tree.ToJson(id);
+  EXPECT_NE(json.find("\"remote_parent\":41"), std::string::npos) << json;
+}
+
+TEST(ClusterTraceAssembly, StitchesNodeSubtreesUnderTheCoordinatorSpan) {
+  // Hand-built trees: a coordinator root with one fan-out child, and a node tree
+  // holding one adopted subtree for this trace plus an unrelated one that must not
+  // leak in.
+  SpanTree coord;
+  const uint64_t root = coord.StartSpan("cluster.put");
+  const uint64_t fanout = coord.StartSpan("cluster.fanout", root, root);
+  SpanTree node;
+  const uint64_t adopted = node.StartRemoteSpan("rpc.put", TraceContext{root, fanout});
+  const uint64_t nested = node.StartSpan("lsm.insert", adopted, adopted);
+  const uint64_t unrelated = node.StartRemoteSpan("rpc.get", TraceContext{777, 778});
+  node.EndSpan(nested, StatusCode::kOk, 1);
+  node.EndSpan(adopted, StatusCode::kOk, 2);
+  node.EndSpan(unrelated, StatusCode::kOk, 1);
+  coord.EndSpan(fanout, StatusCode::kOk, 3);
+  coord.EndSpan(root, StatusCode::kOk, 4);
+
+  const ClusterTrace trace = AssembleClusterTrace(root, coord, {{"node-7", &node}});
+  EXPECT_EQ(trace.root, root);
+  EXPECT_EQ(trace.Sources(), (std::vector<std::string>{"coord", "node-7"}));
+  EXPECT_EQ(trace.CountFor("coord"), 2u);
+  EXPECT_EQ(trace.CountFor("node-7"), 2u) << "unrelated remote subtree leaked in";
+  // The node's adopted root points back at the coordinator span it was sent under.
+  bool found_adopted = false;
+  for (const ClusterTraceEntry& entry : trace.spans) {
+    if (entry.source == "node-7" && entry.span.id == entry.span.root) {
+      EXPECT_EQ(entry.span.remote_root, root);
+      EXPECT_EQ(entry.span.remote_parent, fanout);
+      found_adopted = true;
+    }
+  }
+  EXPECT_TRUE(found_adopted);
+  // Rendering nests the node subtree under the coordinator's fan-out span and tags
+  // foreign lines with their source.
+  const std::string text = trace.ToString();
+  const size_t fanout_at = text.find("cluster.fanout");
+  const size_t node_at = text.find("[node-7] #1 rpc.put");
+  ASSERT_NE(fanout_at, std::string::npos) << text;
+  ASSERT_NE(node_at, std::string::npos) << text;
+  EXPECT_GT(node_at, fanout_at);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"root\":" + std::to_string(root)), std::string::npos) << json;
+  EXPECT_NE(json.find("\"source\":\"coord\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"source\":\"node-7\""), std::string::npos) << json;
+}
+
+TEST(ClusterTraceAssembly, MissingRootAssemblesEmpty) {
+  SpanTree coord;
+  SpanTree node;
+  const ClusterTrace trace = AssembleClusterTrace(123, coord, {{"node-0", &node}});
+  EXPECT_EQ(trace.root, 123u);
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_TRUE(trace.Sources().empty());
+  EXPECT_FALSE(trace.HasSource("coord"));
 }
 
 // --- Concurrency: snapshots are safe and exact against concurrent recorders ---------
